@@ -1,0 +1,168 @@
+// Package bohr_test hosts the repository-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (§8). Each benchmark regenerates its exhibit on a reduced setup; run
+// cmd/bohrbench for the full-size rows and series.
+//
+//	go test -bench=. -benchmem
+package bohr_test
+
+import (
+	"testing"
+
+	"bohr/internal/experiments"
+)
+
+// benchSetup is small enough that a full figure regenerates in a few
+// seconds per benchmark iteration.
+func benchSetup() experiments.Setup {
+	s := experiments.DefaultSetup()
+	s.Datasets = 4
+	s.RowsPerSite = 1500
+	s.KeysPerPool = 250
+	s.Runs = 1
+	return s
+}
+
+func BenchmarkFigure6QCTRandomPlacement(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7QCTLocalityPlacement(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8ReductionRandomPlacement(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9ReductionLocalityPlacement(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10ComponentQCT(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11ComponentReduction(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12ReductionVsProbeK(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13QCTVsProbeK(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure13(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2DatasetProbing(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3SimilarityCheckingTime(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4RDDOverhead(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5LPSolvingTime(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6StorageOverhead(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table6(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverheadCubeGeneration(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.OverheadCubeGeneration(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPlacement(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPlacement(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7DynamicDatasets(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command bohrctl drives single experiments against the simulated
+// geo-distributed deployment: generate a workload, run it under one of the
+// six compared schemes, and print the report; or execute an ad-hoc SQL
+// query under full Bohr.
+//
+//	bohrctl -workload tpcds -scheme bohr
+//	bohrctl -workload bigdata-scan -scheme iridium-c -datasets 12 -locality
+//	bohrctl -workload facebook -sql "SELECT jobclass, COUNT(*) FROM facebook-000 GROUP BY jobclass"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bohr/internal/core"
+	"bohr/internal/experiments"
+	"bohr/internal/placement"
+	"bohr/internal/sql"
+	"bohr/internal/stats"
+	"bohr/internal/workload"
+)
+
+func main() {
+	var (
+		kindName   = flag.String("workload", "bigdata-scan", "bigdata-scan | bigdata-udf | bigdata-aggr | tpcds | facebook")
+		schemeName = flag.String("scheme", "bohr", "iridium | iridium-c | bohr-sim | bohr-joint | bohr-rdd | bohr")
+		datasets   = flag.Int("datasets", 0, "datasets per workload (0 = default)")
+		rows       = flag.Int("rows", 0, "rows per site per dataset (0 = default)")
+		probeK     = flag.Int("k", 0, "probe budget (0 = default 30)")
+		locality   = flag.Bool("locality", false, "locality-aware initial placement")
+		seed       = flag.Int64("seed", 0, "random seed (0 = default)")
+		sqlText    = flag.String("sql", "", "ad-hoc SQL to run under the chosen scheme")
+		dynamic    = flag.Bool("dynamic", false, "run the §8.6 highly-dynamic-dataset protocol")
+	)
+	flag.Parse()
+
+	if err := run(*kindName, *schemeName, *datasets, *rows, *probeK, *locality, *seed, *sqlText, *dynamic); err != nil {
+		fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseKind(name string) (workload.Kind, error) {
+	switch strings.ToLower(name) {
+	case "bigdata-scan":
+		return workload.BigDataScan, nil
+	case "bigdata-udf":
+		return workload.BigDataUDF, nil
+	case "bigdata-aggr":
+		return workload.BigDataAggr, nil
+	case "tpcds":
+		return workload.TPCDS, nil
+	case "facebook":
+		return workload.Facebook, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", name)
+}
+
+func parseScheme(name string) (placement.SchemeID, error) {
+	for _, id := range placement.AllSchemes() {
+		if strings.EqualFold(id.String(), name) {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
+}
+
+func run(kindName, schemeName string, datasets, rows, probeK int, locality bool, seed int64, sqlText string, dynamic bool) error {
+	kind, err := parseKind(kindName)
+	if err != nil {
+		return err
+	}
+	scheme, err := parseScheme(schemeName)
+	if err != nil {
+		return err
+	}
+	s := experiments.DefaultSetup()
+	if datasets > 0 {
+		s.Datasets = datasets
+	}
+	if rows > 0 {
+		s.RowsPerSite = rows
+	}
+	if probeK > 0 {
+		s.ProbeK = probeK
+	}
+	if seed != 0 {
+		s.Seed = seed
+	}
+
+	c, w, err := s.Populated(kind, locality, 0)
+	if err != nil {
+		return err
+	}
+
+	if dynamic {
+		empty, err := s.BuildCluster()
+		if err != nil {
+			return err
+		}
+		rep, err := core.RunDynamic(empty, w, scheme, s.PlacementOptions(0), core.DefaultDynamicConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s / %v, dynamic: mean QCT %.2fs over %d arrivals, %d replans, %d batches\n",
+			scheme, kind, rep.MeanQCT, len(rep.QCTs), rep.Replans, rep.BatchesDelivered)
+		return nil
+	}
+
+	vanilla, err := core.VanillaBaseline(c.Clone(), w)
+	if err != nil {
+		return err
+	}
+	sys, err := core.New(c, w, scheme, s.PlacementOptions(0))
+	if err != nil {
+		return err
+	}
+	prep, err := sys.Prepare()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %v: moved %.1f MB in %.2fs (lag %.0fs), probe checking %.2fs, LP %.2fs\n",
+		scheme, kind, prep.MovedMB, prep.MoveDuration, s.Lag, prep.CheckTime, prep.LPTime)
+
+	if sqlText != "" {
+		return runSQL(sys, w, sqlText)
+	}
+
+	rep, err := sys.RunAll()
+	if err != nil {
+		return err
+	}
+	red := core.DataReduction(vanilla, rep.IntermediateMBPerSite)
+	fmt.Printf("mean QCT %.2fs over %d queries, %.1f MB shuffled, mean data reduction %.1f%%\n",
+		rep.MeanQCT, len(rep.Queries), rep.TotalShuffleMB, stats.Mean(red))
+	top := s.Topology()
+	fmt.Printf("%-12s %10s %12s\n", "Site", "Inter(MB)", "Reduction")
+	for i := 0; i < c.N(); i++ {
+		fmt.Printf("%-12s %10.1f %11.1f%%\n", top.Sites[i].Name, rep.IntermediateMBPerSite[i], red[i])
+	}
+	return nil
+}
+
+func runSQL(sys *core.System, w *workload.Workload, text string) error {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return err
+	}
+	var ds *workload.Dataset
+	for _, d := range w.Datasets {
+		if d.Name == stmt.Dataset {
+			ds = d
+			break
+		}
+	}
+	if ds == nil {
+		var names []string
+		for _, d := range w.Datasets {
+			names = append(names, d.Name)
+		}
+		return fmt.Errorf("dataset %q not in workload (have %v)", stmt.Dataset, names)
+	}
+	plan, err := sql.Compile(stmt, ds.Schema)
+	if err != nil {
+		return err
+	}
+	res, err := sys.RunQuery(plan.Query)
+	if err != nil {
+		return err
+	}
+	rows := plan.PostProcess(res.Output)
+	fmt.Printf("%s: QCT %.2fs, %.1f MB shuffled, %d output rows\n",
+		plan.Query.Name, res.QCT, res.TotalShuffleMB, len(rows))
+	limit := len(rows)
+	if limit > 20 {
+		limit = 20
+	}
+	for _, kv := range rows[:limit] {
+		fmt.Printf("%-50s %v\n", strings.ReplaceAll(kv.Key, "\x1f", "|"), kv.Val)
+	}
+	if len(rows) > limit {
+		fmt.Printf("... (%d more rows)\n", len(rows)-limit)
+	}
+	return nil
+}

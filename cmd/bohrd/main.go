@@ -1,0 +1,189 @@
+// Command bohrd runs the live-TCP pieces of the Bohr reproduction.
+//
+// Worker mode starts one site daemon:
+//
+//	bohrd -mode worker -site 0 -listen 127.0.0.1:7000 -up 10
+//
+// Load mode pushes CSV records ("coord1,coord2,...,value" per line) to a
+// worker:
+//
+//	bohrd -mode load -workers 127.0.0.1:7000,127.0.0.1:7001 \
+//	      -site 0 -dataset logs -schema url,country -file data.csv
+//
+// Query mode runs a distributed projection/aggregate across workers:
+//
+//	bohrd -mode query -workers 127.0.0.1:7000,127.0.0.1:7001 \
+//	      -dataset logs -dims url -agg sum
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"bohr/internal/engine"
+	"bohr/internal/netio"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "worker", "worker | load | query")
+		site    = flag.Int("site", 0, "site ID (worker, load)")
+		listen  = flag.String("listen", "127.0.0.1:0", "listen address (worker)")
+		up      = flag.Float64("up", 0, "uplink shaping in MB/s, 0 = unshaped (worker)")
+		seed    = flag.Int64("seed", 1, "random seed (worker)")
+		workers = flag.String("workers", "", "comma-separated worker addresses (load, query)")
+		dataset = flag.String("dataset", "", "dataset name (load, query)")
+		schema  = flag.String("schema", "", "comma-separated dimension names (load)")
+		file    = flag.String("file", "", "CSV file of records (load); - for stdin")
+		dims    = flag.String("dims", "", "comma-separated projection dimensions (query)")
+		agg     = flag.String("agg", "sum", "sum | count | max | min (query)")
+		queryID = flag.String("id", "q", "query identifier (query)")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "worker":
+		err = runWorker(*site, *listen, *up, *seed)
+	case "load":
+		err = runLoad(splitCSV(*workers), *site, *dataset, splitCSV(*schema), *file)
+	case "query":
+		err = runQuery(splitCSV(*workers), *dataset, splitCSV(*dims), *agg, *queryID)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bohrd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func runWorker(site int, listen string, up float64, seed int64) error {
+	w, err := netio.NewWorker(site, listen, up, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bohrd: site %d listening on %s (uplink %s)\n",
+		site, w.Addr(), shapeDesc(up))
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return w.Close()
+}
+
+func shapeDesc(up float64) string {
+	if up <= 0 {
+		return "unshaped"
+	}
+	return fmt.Sprintf("%.1f MB/s", up)
+}
+
+func runLoad(addrs []string, site int, dataset string, schema []string, file string) error {
+	if dataset == "" || len(schema) == 0 {
+		return fmt.Errorf("load mode needs -dataset and -schema")
+	}
+	in := os.Stdin
+	if file != "" && file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var records []engine.KV
+	sc := bufio.NewScanner(in)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != len(schema)+1 {
+			return fmt.Errorf("line %d: got %d fields, want %d coords + value", line, len(parts), len(schema))
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(parts[len(parts)-1]), 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value: %w", line, err)
+		}
+		coords := parts[:len(parts)-1]
+		for i := range coords {
+			coords[i] = strings.TrimSpace(coords[i])
+		}
+		records = append(records, engine.KV{Key: strings.Join(coords, "\x1f"), Val: val})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	ctl, err := netio.Dial(addrs)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	if err := ctl.Put(site, dataset, schema, records); err != nil {
+		return err
+	}
+	fmt.Printf("bohrd: loaded %d records into %q at site %d\n", len(records), dataset, site)
+	return nil
+}
+
+func runQuery(addrs []string, dataset string, dims []string, agg, id string) error {
+	if dataset == "" {
+		return fmt.Errorf("query mode needs -dataset")
+	}
+	var op engine.CombineOp
+	switch strings.ToLower(agg) {
+	case "sum":
+		op = engine.OpSum
+	case "count":
+		op = engine.OpCount
+	case "max":
+		op = engine.OpMax
+	case "min":
+		op = engine.OpMin
+	default:
+		return fmt.Errorf("unknown aggregate %q", agg)
+	}
+	ctl, err := netio.Dial(addrs)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	res, err := ctl.RunQuery(netio.QueryDTO{
+		ID: id, Dataset: dataset, Dims: dims, Combine: op,
+	}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bohrd: query %q finished in %v, %d cross-site records, per-site intermediate %v\n",
+		id, res.Elapsed, res.ShuffledRecords, res.IntermediatePerSite)
+	limit := len(res.Output)
+	if limit > 20 {
+		limit = 20
+	}
+	for _, kv := range res.Output[:limit] {
+		fmt.Printf("%-40s %v\n", strings.ReplaceAll(kv.Key, "\x1f", "|"), kv.Val)
+	}
+	if len(res.Output) > limit {
+		fmt.Printf("... (%d more rows)\n", len(res.Output)-limit)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Retail: TPC-DS-flavoured business intelligence through the SQL front
+// end — OLAP cube exploration (slice / roll-up / dimension cubes) on the
+// store_sales schema, then SQL aggregations executed under full Bohr.
+//
+//	go run ./examples/retail
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"bohr/internal/core"
+	"bohr/internal/experiments"
+	"bohr/internal/placement"
+	"bohr/internal/sql"
+	"bohr/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	s := experiments.DefaultSetup()
+	s.Datasets = 2
+	s.Runs = 1
+	cluster, w, err := s.Populated(workload.TPCDS, true, 0)
+	if err != nil {
+		return err
+	}
+	ds := w.Datasets[0]
+
+	// 1. OLAP cube exploration: build the site-0 cube and drill around.
+	sets, err := ds.CubeSets()
+	if err != nil {
+		return err
+	}
+	base := sets[0].Base()
+	fmt.Printf("Retail analytics on %s (schema %v)\n", ds.Name, ds.Schema.Dims())
+	fmt.Printf("Site 0 cube: %d rows in %d cells\n\n", base.NumRows(), base.NumCells())
+
+	byRegion, err := base.DimensionCube("region")
+	if err != nil {
+		return err
+	}
+	fmt.Println("Roll-up to the region dimension cube:")
+	for _, cell := range byRegion.TopCells(4) {
+		fmt.Printf("  %-8s %8.0f sales over %d transactions\n", cell.Coords[0], cell.Sum, cell.Count)
+	}
+
+	amer, err := base.Slice("region", "AMER")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSlice region=AMER: %d cells, %.0f total sales\n\n", amer.NumCells(), amer.TotalMeasure())
+
+	// 2. SQL under full Bohr across the ten regions.
+	sys, err := core.New(cluster, w, placement.Bohr, s.PlacementOptions(0))
+	if err != nil {
+		return err
+	}
+	prep, err := sys.Prepare()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Bohr prepared: %.1f MB moved, probes checked in %.2fs\n\n", prep.MovedMB, prep.CheckTime)
+
+	queries := []string{
+		fmt.Sprintf("SELECT region, SUM(measure) FROM %s GROUP BY region ORDER BY value DESC", ds.Name),
+		fmt.Sprintf("SELECT store, SUM(measure) FROM %s WHERE region = 'APAC' GROUP BY store ORDER BY value DESC LIMIT 4", ds.Name),
+		fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE region != 'AMER'", ds.Name),
+	}
+	for _, text := range queries {
+		plan, err := sql.CompileString(text, ds.Schema)
+		if err != nil {
+			return err
+		}
+		res, err := sys.RunQuery(plan.Query)
+		if err != nil {
+			return err
+		}
+		rows := plan.PostProcess(res.Output)
+		fmt.Printf("%s\n  QCT %.2fs, %d rows\n", text, res.QCT, len(rows))
+		limit := len(rows)
+		if limit > 4 {
+			limit = 4
+		}
+		for _, kv := range rows[:limit] {
+			fmt.Printf("  %-30s %.1f\n", strings.ReplaceAll(kv.Key, "\x1f", " | "), kv.Val)
+		}
+		fmt.Println()
+	}
+	return nil
+}

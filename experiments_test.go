@@ -1,0 +1,64 @@
+package bohr_test
+
+import (
+	"testing"
+
+	"bohr/internal/experiments"
+	"bohr/internal/stats"
+)
+
+// TestPaperHeadlines asserts the paper's headline shapes end to end on the
+// reduced setup: who wins, by roughly what factor. Absolute numbers are
+// not expected to match the authors' EC2 testbed; the orderings are.
+func TestPaperHeadlines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline experiment is seconds-long")
+	}
+	s := benchSetup()
+
+	// Figure 6 shape: Bohr ≤ Iridium-C ≤ Iridium per workload (with a
+	// tie band at this scale), and a strict, sizeable win on average.
+	rows, err := experiments.Figure6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bohr, iridiumC, iridium float64
+	for _, r := range rows {
+		bohr += r.QCT["Bohr"]
+		iridiumC += r.QCT["Iridium-C"]
+		iridium += r.QCT["Iridium"]
+		if r.QCT["Bohr"] > 1.15*r.QCT["Iridium-C"] {
+			t.Errorf("%s: Bohr %.2fs vs Iridium-C %.2fs", r.Workload, r.QCT["Bohr"], r.QCT["Iridium-C"])
+		}
+	}
+	if !(bohr < iridiumC && iridiumC <= iridium) {
+		t.Fatalf("mean QCT ordering broken: Bohr %.2f, Iridium-C %.2f, Iridium %.2f",
+			bohr/5, iridiumC/5, iridium/5)
+	}
+	speedup := 1 - bohr/iridiumC
+	if speedup < 0.05 {
+		t.Fatalf("Bohr only %.1f%% faster than Iridium-C; the paper reports 26-52%%", 100*speedup)
+	}
+	t.Logf("Bohr mean QCT %.2fs vs Iridium-C %.2fs (%.0f%% faster; paper: 26-52%%)",
+		bohr/5, iridiumC/5, 100*speedup)
+
+	// Figure 8 shape: Bohr's mean data reduction is a multiple of
+	// Iridium-C's (the paper reports 2.6-5.3x).
+	red, err := experiments.Figure8(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bohrRed, ircRed []float64
+	for _, r := range red {
+		bohrRed = append(bohrRed, r.Reduction["Bohr"])
+		ircRed = append(ircRed, r.Reduction["Iridium-C"])
+	}
+	mb, mi := stats.Mean(bohrRed), stats.Mean(ircRed)
+	if mb <= mi {
+		t.Fatalf("Bohr mean reduction %.1f%% should exceed Iridium-C %.1f%%", mb, mi)
+	}
+	if mi > 0 && mb/mi < 1.5 {
+		t.Fatalf("Bohr/Iridium-C reduction ratio %.1fx below the paper's multiple-x band", mb/mi)
+	}
+	t.Logf("mean data reduction: Bohr %.1f%% vs Iridium-C %.1f%%", mb, mi)
+}

@@ -1,0 +1,3 @@
+module bohr
+
+go 1.22

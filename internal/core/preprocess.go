@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"bohr/internal/olap"
+	"bohr/internal/similarity"
+	"bohr/internal/workload"
+)
+
+// Preprocessor maintains the per-site OLAP cube state of §4.1 for one
+// dataset: the base cube plus one materialized dimension cube per query
+// type, with the eager/background update discipline the paper describes —
+// new rows are buffered, the cube the incoming query needs is caught up
+// first, and the rest are folded in by a background flush between queries.
+type Preprocessor struct {
+	Dataset string
+	Schema  *olap.Schema
+	// Sites[i] is site i's cube set.
+	Sites []*olap.CubeSet
+	// types maps a query-type ID to its attribute set.
+	types map[olap.QueryTypeID][]string
+	// weights holds the per-type probe weights (§4.2).
+	weights []similarity.QueryTypeWeight
+}
+
+// NewPreprocessor formats a dataset's initial rows into per-site cube sets
+// and registers every recurring query type.
+func NewPreprocessor(ds *workload.Dataset) (*Preprocessor, error) {
+	p := &Preprocessor{
+		Dataset: ds.Name,
+		Schema:  ds.Schema,
+		types:   map[olap.QueryTypeID][]string{},
+	}
+	total := ds.TotalQueries()
+	for _, q := range ds.Queries {
+		id := olap.QueryTypeFor(q.Dims)
+		p.types[id] = append([]string(nil), q.Dims...)
+		w := 0.0
+		if total > 0 {
+			w = float64(q.Count) / float64(total)
+		}
+		p.weights = append(p.weights, similarity.QueryTypeWeight{
+			QueryType: id, Dims: q.Dims, Weight: w,
+		})
+	}
+	for site, rows := range ds.Rows {
+		cs := olap.NewCubeSet(ds.Schema)
+		if err := cs.Insert(rows...); err != nil {
+			return nil, fmt.Errorf("core: preprocess %q site %d: %w", ds.Name, site, err)
+		}
+		for id, dims := range p.types {
+			if _, err := cs.RegisterQueryType(dims); err != nil {
+				return nil, fmt.Errorf("core: preprocess %q site %d type %q: %w", ds.Name, site, id, err)
+			}
+		}
+		p.Sites = append(p.Sites, cs)
+	}
+	return p, nil
+}
+
+// Ingest buffers newly generated rows at a site: the base cube updates
+// immediately, dimension cubes stay pending until PrepareFor or
+// FlushBackground — exactly the §4.1 buffering discipline.
+func (p *Preprocessor) Ingest(site int, rows ...olap.Row) error {
+	if site < 0 || site >= len(p.Sites) {
+		return fmt.Errorf("core: ingest: site %d out of range [0,%d)", site, len(p.Sites))
+	}
+	return p.Sites[site].Insert(rows...)
+}
+
+// PrepareFor eagerly catches up the dimension cube an incoming query needs
+// at every site and returns the per-site cubes.
+func (p *Preprocessor) PrepareFor(dims []string) ([]*olap.Cube, error) {
+	id := olap.QueryTypeFor(dims)
+	if _, ok := p.types[id]; !ok {
+		return nil, fmt.Errorf("core: query type %q not registered for %q", id, p.Dataset)
+	}
+	out := make([]*olap.Cube, len(p.Sites))
+	for site, cs := range p.Sites {
+		cube, err := cs.Prepare(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: prepare %q site %d: %w", p.Dataset, site, err)
+		}
+		out[site] = cube
+	}
+	return out, nil
+}
+
+// FlushBackground folds all pending rows into every dimension cube at
+// every site (the between-queries background update) and reports how many
+// cubes had pending work.
+func (p *Preprocessor) FlushBackground() int {
+	n := 0
+	for _, cs := range p.Sites {
+		n += cs.FlushBackground()
+	}
+	return n
+}
+
+// Probes builds the §4.2 probe set for one site: the k-record budget split
+// across query types by their weights.
+func (p *Preprocessor) Probes(site, k int) ([]similarity.Probe, error) {
+	if site < 0 || site >= len(p.Sites) {
+		return nil, fmt.Errorf("core: probes: site %d out of range [0,%d)", site, len(p.Sites))
+	}
+	return similarity.BuildProbes(p.Dataset, p.Sites[site], p.weights, k)
+}
+
+// CrossSim scores one site's probe of one query type against every other
+// site's dimension cube, returning the similarity row S_{site,j}.
+func (p *Preprocessor) CrossSim(site int, dims []string, k int) ([]float64, error) {
+	id := olap.QueryTypeFor(dims)
+	cubes, err := p.PrepareFor(dims)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := similarity.BuildProbe(p.Dataset, id, cubes[site], k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(p.Sites))
+	for j := range p.Sites {
+		if j == site {
+			out[j] = similarity.SelfSimilarity(cubes[j])
+			continue
+		}
+		s, err := similarity.Score(probe, cubes[j])
+		if err != nil {
+			return nil, err
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// StorageBytes sums the cube footprint across sites (Table 6 accounting).
+func (p *Preprocessor) StorageBytes() int64 {
+	var b int64
+	for _, cs := range p.Sites {
+		b += cs.StorageBytes()
+	}
+	return b
+}

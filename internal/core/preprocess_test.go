@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"bohr/internal/olap"
+	"bohr/internal/workload"
+)
+
+func mkDataset(t *testing.T) *workload.Dataset {
+	t.Helper()
+	cfg := workload.DefaultConfig(workload.BigDataScan)
+	cfg.Sites = 3
+	cfg.Datasets = 1
+	cfg.RowsPerSite = 400
+	cfg.KeysPerPool = 80
+	w, err := workload.Generate(workload.BigDataScan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Datasets[0]
+}
+
+func TestNewPreprocessor(t *testing.T) {
+	ds := mkDataset(t)
+	p, err := NewPreprocessor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Sites) != 3 {
+		t.Fatalf("sites = %d", len(p.Sites))
+	}
+	for site, cs := range p.Sites {
+		if cs.Base().NumRows() != len(ds.Rows[site]) {
+			t.Fatalf("site %d rows = %d, want %d", site, cs.Base().NumRows(), len(ds.Rows[site]))
+		}
+		if got := len(cs.QueryTypes()); got != len(ds.Queries) {
+			t.Fatalf("site %d types = %d", site, got)
+		}
+	}
+	if p.StorageBytes() <= 0 {
+		t.Fatal("storage accounting missing")
+	}
+}
+
+func TestPreprocessorIngestBuffering(t *testing.T) {
+	ds := mkDataset(t)
+	p, err := NewPreprocessor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := ds.Queries[0].Dims
+	id := olap.QueryTypeFor(dims)
+	before := p.Sites[0].Base().NumRows()
+
+	row := olap.Row{Coords: ds.Rows[0][0].Coords, Measure: 1}
+	if err := p.Ingest(0, row); err != nil {
+		t.Fatal(err)
+	}
+	// Base is current; the dimension cube is behind until prepared.
+	if p.Sites[0].Base().NumRows() != before+1 {
+		t.Fatal("base cube must update eagerly")
+	}
+	if p.Sites[0].PendingRows(id) != 1 {
+		t.Fatalf("pending = %d", p.Sites[0].PendingRows(id))
+	}
+	cubes, err := p.PrepareFor(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sites[0].PendingRows(id) != 0 {
+		t.Fatal("PrepareFor should fold pending rows")
+	}
+	if cubes[0].NumRows() != before+1 {
+		t.Fatalf("prepared cube rows = %d", cubes[0].NumRows())
+	}
+	// Other query types stay pending until the background flush.
+	otherID := olap.QueryTypeFor(ds.Queries[1].Dims)
+	if p.Sites[0].PendingRows(otherID) != 1 {
+		t.Fatal("other cubes should stay buffered")
+	}
+	if n := p.FlushBackground(); n == 0 {
+		t.Fatal("flush should touch the stale cube")
+	}
+	if p.Sites[0].PendingRows(otherID) != 0 {
+		t.Fatal("flush should clear pending rows")
+	}
+
+	if err := p.Ingest(9, row); err == nil {
+		t.Fatal("out-of-range site should error")
+	}
+}
+
+func TestPreprocessorPrepareForUnknownType(t *testing.T) {
+	p, err := NewPreprocessor(mkDataset(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PrepareFor([]string{"nope"}); err == nil {
+		t.Fatal("unknown query type should error")
+	}
+}
+
+func TestPreprocessorProbesAndCrossSim(t *testing.T) {
+	ds := mkDataset(t)
+	p, err := NewPreprocessor(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, err := p.Probes(0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != len(ds.Queries) {
+		t.Fatalf("probes = %d", len(probes))
+	}
+	if _, err := p.Probes(99, 30); err == nil {
+		t.Fatal("out-of-range site should error")
+	}
+
+	row, err := p.CrossSim(0, ds.Queries[0].Dims, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 3 {
+		t.Fatalf("cross-sim row = %v", row)
+	}
+	for j, s := range row {
+		if s < 0 || s > 1 {
+			t.Fatalf("S(0,%d) = %v", j, s)
+		}
+	}
+	// The generated sites share the common key pool, so some cross-site
+	// similarity must be visible.
+	if row[1] == 0 && row[2] == 0 {
+		t.Fatal("expected visible cross-site similarity")
+	}
+	if _, err := p.CrossSim(0, []string{"nope"}, 30); err == nil {
+		t.Fatal("unknown dims should error")
+	}
+}

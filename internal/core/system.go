@@ -1,0 +1,205 @@
+// Package core ties the Bohr reproduction together: a System couples a
+// geo-distributed cluster with a workload and a placement scheme, and
+// drives the paper's pipeline — pre-processing into OLAP cubes, probe
+// exchange, (joint) data/task placement, offline data movement in the
+// query lag, and query execution with runtime RDD similarity. It also
+// implements the §8.6 highly-dynamic-dataset mode where data arrives in
+// batches between recurring queries.
+package core
+
+import (
+	"fmt"
+
+	"bohr/internal/engine"
+	"bohr/internal/placement"
+	"bohr/internal/stats"
+	"bohr/internal/workload"
+)
+
+// System is one deployed configuration: cluster + workload + scheme.
+type System struct {
+	Cluster  *engine.Cluster
+	Workload *workload.Workload
+	Scheme   placement.SchemeID
+	Opts     placement.Options
+
+	plan  *placement.Plan
+	moved *engine.MoveResult
+}
+
+// New validates and assembles a system. The cluster must already hold the
+// workload's data (use workload.Populate) — New does not load data so that
+// callers can share one populated snapshot across schemes via Clone.
+func New(c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID, opts placement.Options) (*System, error) {
+	if c == nil || w == nil {
+		return nil, fmt.Errorf("core: system needs a cluster and a workload")
+	}
+	for _, ds := range w.Datasets {
+		found := false
+		for i := 0; i < c.N() && !found; i++ {
+			found = len(c.Data[i].Records(ds.Name)) > 0
+		}
+		if !found {
+			return nil, fmt.Errorf("core: dataset %q has no data in the cluster; call workload.Populate first", ds.Name)
+		}
+	}
+	return &System{Cluster: c, Workload: w, Scheme: scheme, Opts: opts}, nil
+}
+
+// PrepareReport summarizes the offline phase.
+type PrepareReport struct {
+	// MovedMB is the total volume moved across the WAN in the lag.
+	MovedMB float64
+	// MoveDuration is the WAN time the movement took; it must fit in Lag.
+	MoveDuration float64
+	// CheckTime is the modeled probe/similarity-checking time (offline).
+	CheckTime float64
+	// LPTime is the modeled optimizer time (included in QCT later).
+	LPTime float64
+	// Moves is the number of movement specs executed.
+	Moves int
+}
+
+// Prepare runs the offline pipeline: similarity checking via probes,
+// placement planning, and data movement. It mutates the cluster's data
+// placement. Calling it twice is an error.
+func (s *System) Prepare() (*PrepareReport, error) {
+	if s.plan != nil {
+		return nil, fmt.Errorf("core: system already prepared")
+	}
+	plan, err := placement.PlanScheme(s.Scheme, s.Cluster, s.Workload, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	moved, err := plan.Execute(s.Cluster, stats.Split(s.Opts.Seed, 1001))
+	if err != nil {
+		return nil, err
+	}
+	s.plan = plan
+	s.moved = moved
+	rep := &PrepareReport{
+		MoveDuration: moved.Duration,
+		CheckTime:    plan.CheckTime,
+		LPTime:       plan.LPTime,
+		Moves:        len(plan.Moves),
+	}
+	for _, tr := range moved.Transfers {
+		rep.MovedMB += tr.MB
+	}
+	return rep, nil
+}
+
+// Plan exposes the computed plan (nil before Prepare).
+func (s *System) Plan() *placement.Plan { return s.plan }
+
+// RunQuery executes one query under the prepared plan.
+func (s *System) RunQuery(q engine.Query) (*engine.RunResult, error) {
+	if s.plan == nil {
+		return nil, fmt.Errorf("core: Prepare must run before queries")
+	}
+	return s.Cluster.Run(s.plan.JobConfigFor(q))
+}
+
+// QueryReport is the outcome of one query execution.
+type QueryReport struct {
+	Dataset string
+	Query   string
+	QCT     float64
+	// IntermediateMBPerSite is the post-combiner volume per site.
+	IntermediateMBPerSite []float64
+	ShuffleMB             float64
+}
+
+// RunReport aggregates a full workload execution.
+type RunReport struct {
+	Scheme  placement.SchemeID
+	Queries []QueryReport
+	// MeanQCT is the average query completion time (the paper's headline
+	// metric).
+	MeanQCT float64
+	// IntermediateMBPerSite sums per-site intermediate volumes across
+	// queries.
+	IntermediateMBPerSite []float64
+	TotalShuffleMB        float64
+}
+
+// RunAll executes every dataset's dominant recurring query — concurrently,
+// the way recurring queries over many datasets actually arrive and the way
+// §5's objective models them (every dataset's shuffle shares the WAN) —
+// and aggregates the metrics the paper reports.
+func (s *System) RunAll() (*RunReport, error) {
+	if s.plan == nil {
+		return nil, fmt.Errorf("core: Prepare must run before queries")
+	}
+	rep := &RunReport{
+		Scheme:                s.Scheme,
+		IntermediateMBPerSite: make([]float64, s.Cluster.N()),
+	}
+	cfgs := make([]engine.JobConfig, len(s.Workload.Datasets))
+	for i, ds := range s.Workload.Datasets {
+		cfgs[i] = s.plan.JobConfigFor(ds.DominantQuery().Query)
+	}
+	results, err := s.Cluster.RunConcurrent(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("core: concurrent run: %w", err)
+	}
+	var qctSum float64
+	for i, res := range results {
+		ds := s.Workload.Datasets[i]
+		rep.Queries = append(rep.Queries, QueryReport{
+			Dataset:               ds.Name,
+			Query:                 cfgs[i].Query.Name,
+			QCT:                   res.QCT,
+			IntermediateMBPerSite: res.IntermediateMBPerSite,
+			ShuffleMB:             res.TotalShuffleMB,
+		})
+		qctSum += res.QCT
+		for j, mb := range res.IntermediateMBPerSite {
+			rep.IntermediateMBPerSite[j] += mb
+		}
+		rep.TotalShuffleMB += res.TotalShuffleMB
+	}
+	if len(rep.Queries) > 0 {
+		rep.MeanQCT = qctSum / float64(len(rep.Queries))
+	}
+	return rep, nil
+}
+
+// VanillaBaseline runs the workload in-place on plain Spark semantics —
+// no movement, no cubes, bandwidth-proportional task placement, random
+// partition assignment — and returns the per-site intermediate volumes.
+// The paper's "data reduction ratio" measures savings against this
+// baseline.
+func VanillaBaseline(c *engine.Cluster, w *workload.Workload) ([]float64, error) {
+	inter := make([]float64, c.N())
+	cfgs := make([]engine.JobConfig, len(w.Datasets))
+	for i, ds := range w.Datasets {
+		cfgs[i] = engine.JobConfig{Query: ds.DominantQuery().Query}
+	}
+	results, err := c.RunConcurrent(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("core: vanilla baseline: %w", err)
+	}
+	for _, res := range results {
+		for i, mb := range res.IntermediateMBPerSite {
+			inter[i] += mb
+		}
+	}
+	return inter, nil
+}
+
+// DataReduction converts scheme vs vanilla intermediate volumes into the
+// paper's per-site data reduction ratio (%): positive means the scheme
+// produced less intermediate data than in-place processing; negative (as
+// Iridium shows at some sites in Figure 8) means more.
+func DataReduction(vanilla, scheme []float64) []float64 {
+	out := make([]float64, len(vanilla))
+	for i := range vanilla {
+		if vanilla[i] <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = 100 * (1 - scheme[i]/vanilla[i])
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestCombinePartialsSumsCounts(t *testing.T) {
+	// Two partial counts (3 and 2) must merge to 5, not be re-counted as 2.
+	partials := []KV{{"k", 3}, {"k", 2}}
+	out := CombinePartials(partials, OpCount)
+	if len(out) != 1 || out[0].Val != 5 {
+		t.Fatalf("partial counts = %+v, want k=5", out)
+	}
+	// Non-count ops behave exactly like Combine.
+	if got := CombinePartials([]KV{{"k", 3}, {"k", 9}}, OpMax); got[0].Val != 9 {
+		t.Fatalf("partial max = %v", got[0].Val)
+	}
+}
+
+func TestTwoStageCountCorrectness(t *testing.T) {
+	// End to end: counting records spread across sites and executors must
+	// equal the raw record count per key.
+	c := testCluster(t)
+	for site := 0; site < 3; site++ {
+		for i := 0; i < 40+site*10; i++ {
+			c.Data[site].Add("jobs", KV{Key: fmt.Sprintf("class-%d", i%3), Val: 999})
+		}
+	}
+	q := Query{
+		Name: "count", Dataset: "jobs", Combine: OpCount,
+		MapCost: DefaultMapCost, ReduceCost: DefaultReduceCost,
+	}
+	res, err := c.Run(JobConfig{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, kv := range res.Output {
+		total += kv.Val
+	}
+	want := float64(40 + 50 + 60)
+	if total != want {
+		t.Fatalf("counted %v records, want %v", total, want)
+	}
+}
+
+func TestRunConcurrentSharesShuffle(t *testing.T) {
+	c := testCluster(t)
+	for i := 0; i < 2000; i++ {
+		c.Data[0].Add("a", KV{Key: fmt.Sprintf("a%d", i), Val: 1})
+		c.Data[0].Add("b", KV{Key: fmt.Sprintf("b%d", i), Val: 1})
+	}
+	solo, err := c.Run(JobConfig{Query: ScanQuery("qa", "a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := c.RunConcurrent([]JobConfig{
+		{Query: ScanQuery("qa", "a")},
+		{Query: ScanQuery("qb", "b")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent jobs share links: each job's shuffle time must be at
+	// least its solo time, and both jobs see the same (shared) stage time.
+	if both[0].Rounds[0].ShuffleTime < solo.Rounds[0].ShuffleTime-1e-9 {
+		t.Fatalf("shared shuffle %v below solo %v", both[0].Rounds[0].ShuffleTime, solo.Rounds[0].ShuffleTime)
+	}
+	if math.Abs(both[0].Rounds[0].ShuffleTime-both[1].Rounds[0].ShuffleTime) > 1e-9 {
+		t.Fatalf("concurrent jobs must share one shuffle stage: %v vs %v",
+			both[0].Rounds[0].ShuffleTime, both[1].Rounds[0].ShuffleTime)
+	}
+	// Outputs stay per-job.
+	if len(both[0].Output) == 0 || len(both[1].Output) == 0 {
+		t.Fatal("missing outputs")
+	}
+	if both[0].Output[0].Key[0] != 'a' || both[1].Output[0].Key[0] != 'b' {
+		t.Fatal("job outputs mixed up")
+	}
+}
+
+func TestRunConcurrentMixedRounds(t *testing.T) {
+	c := testCluster(t)
+	c.Data[0].Add("a", KV{"x", 1}, KV{"y", 1})
+	c.Data[1].Add("b", KV{"p", 1})
+	res, err := c.RunConcurrent([]JobConfig{
+		{Query: ScanQuery("scan", "a")}, // 1 round
+		{Query: UDFQuery("pr", "b", 3)}, // 3 rounds
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].Rounds) != 1 {
+		t.Fatalf("scan rounds = %d", len(res[0].Rounds))
+	}
+	if len(res[1].Rounds) != 3 {
+		t.Fatalf("udf rounds = %d", len(res[1].Rounds))
+	}
+}
+
+func TestRunConcurrentValidatesEachJob(t *testing.T) {
+	c := testCluster(t)
+	c.Data[0].Add("a", KV{"x", 1})
+	_, err := c.RunConcurrent([]JobConfig{
+		{Query: ScanQuery("ok", "a")},
+		{Query: Query{}}, // invalid
+	})
+	if err == nil {
+		t.Fatal("invalid job should fail the batch")
+	}
+}
+
+func TestCubeInputReducesMapTime(t *testing.T) {
+	c := testCluster(t)
+	// Heavily duplicated data: distinct cells ≪ records.
+	for i := 0; i < 4000; i++ {
+		c.Data[0].Add("d", KV{Key: fmt.Sprintf("k%d", i%50), Val: 1})
+	}
+	raw, err := c.Run(JobConfig{Query: ScanQuery("s", "d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := c.Run(JobConfig{Query: ScanQuery("s", "d"), CubeInput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Rounds[0].MapTime >= raw.Rounds[0].MapTime/2 {
+		t.Fatalf("cube map %v should be well below raw %v on duplicate-heavy data",
+			cube.Rounds[0].MapTime, raw.Rounds[0].MapTime)
+	}
+	// Data semantics unchanged: identical outputs.
+	if len(raw.Output) != len(cube.Output) {
+		t.Fatal("cube input changed query results")
+	}
+	for i := range raw.Output {
+		if raw.Output[i] != cube.Output[i] {
+			t.Fatal("cube input changed query results")
+		}
+	}
+}
+
+func TestCubeInputNeutralOnDistinctData(t *testing.T) {
+	c := testCluster(t)
+	for i := 0; i < 500; i++ {
+		c.Data[0].Add("d", KV{Key: fmt.Sprintf("k%d", i), Val: 1})
+	}
+	raw, _ := c.Run(JobConfig{Query: ScanQuery("s", "d")})
+	cube, _ := c.Run(JobConfig{Query: ScanQuery("s", "d"), CubeInput: true})
+	if math.Abs(raw.Rounds[0].MapTime-cube.Rounds[0].MapTime) > 1e-12 {
+		t.Fatalf("all-distinct data should cost the same: %v vs %v",
+			raw.Rounds[0].MapTime, cube.Rounds[0].MapTime)
+	}
+}
+
+func TestProfileIntermediateMatchesRun(t *testing.T) {
+	c := testCluster(t)
+	for i := 0; i < 1000; i++ {
+		c.Data[0].Add("d", KV{Key: fmt.Sprintf("k%d", i%100), Val: 1})
+	}
+	q := ScanQuery("s", "d")
+	profiled, err := c.ProfileIntermediate(c.Data[0].Records("d"), q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(JobConfig{Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MB(profiled); math.Abs(got-res.IntermediateMBPerSite[0]) > 1e-9 {
+		t.Fatalf("profiled %v MB != realized %v MB", got, res.IntermediateMBPerSite[0])
+	}
+}
+
+func TestMapCostScaleStillWorks(t *testing.T) {
+	c := testCluster(t)
+	for i := 0; i < 1000; i++ {
+		c.Data[0].Add("d", KV{Key: fmt.Sprintf("k%d", i), Val: 1})
+	}
+	base, _ := c.Run(JobConfig{Query: ScanQuery("s", "d")})
+	scaled, _ := c.Run(JobConfig{Query: ScanQuery("s", "d"), MapCostScale: 0.5})
+	if math.Abs(scaled.Rounds[0].MapTime-base.Rounds[0].MapTime/2) > 1e-12 {
+		t.Fatalf("map scale 0.5: %v vs base %v", scaled.Rounds[0].MapTime, base.Rounds[0].MapTime)
+	}
+}

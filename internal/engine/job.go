@@ -1,0 +1,359 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"bohr/internal/wan"
+)
+
+// JobConfig configures one query execution on a cluster.
+type JobConfig struct {
+	Query Query
+	// TaskFrac is r_i, the fraction of reduce tasks at each site; it must
+	// sum to ~1. nil assigns fractions proportional to uplink bandwidth.
+	TaskFrac []float64
+	// Assigner places partitions on executors per machine; nil uses
+	// round-robin (the Spark default Bohr's RDD similarity replaces).
+	Assigner Assigner
+	// PartitionsPerExecutor controls partition granularity (default 4).
+	PartitionsPerExecutor int
+	// ExtraQCT is added to the final QCT: the paper includes LP solving
+	// and RDD-similarity checking time in measured QCT (§8.5).
+	ExtraQCT float64
+	// MapCostScale scales the query's per-record map cost (generic knob;
+	// zero means 1).
+	MapCostScale float64
+	// CubeInput models OLAP-cube storage: the cube holds pre-aggregated
+	// cells, so scanning costs one map operation per *distinct* key
+	// rather than per raw record (the Iridium-C vs Iridium gain of §8.2).
+	// Data volume semantics are unchanged — only scan cost drops, and it
+	// drops more for duplicate-heavy (similar) data.
+	CubeInput bool
+}
+
+// RoundMetrics reports one map-shuffle-reduce round.
+type RoundMetrics struct {
+	MapTime        float64
+	AssignOverhead float64
+	ShuffleTime    float64
+	ReduceTime     float64
+	// IntermediateMB[i] is the post-combiner shuffle volume produced at
+	// site i this round.
+	IntermediateMB []float64
+	// ShuffleMB is the volume that actually crossed the WAN this round.
+	ShuffleMB float64
+}
+
+// RunResult is the outcome of executing a query.
+type RunResult struct {
+	// QCT is the query completion time in modeled seconds.
+	QCT    float64
+	Rounds []RoundMetrics
+	// IntermediateMBPerSite sums per-site post-combiner volumes over all
+	// rounds — the quantity Figures 8/9/11 compare.
+	IntermediateMBPerSite []float64
+	// TotalShuffleMB sums cross-WAN shuffle volume over all rounds.
+	TotalShuffleMB float64
+	// Output is the final reduce output across all sites, merged and
+	// sorted by key.
+	Output []KV
+}
+
+// Run executes the query on the cluster and returns timing and volume
+// metrics. The cluster's data is not modified; rounds after the first
+// operate on reduce outputs held per site.
+func (c *Cluster) Run(cfg JobConfig) (*RunResult, error) {
+	res, err := c.RunConcurrent([]JobConfig{cfg})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// RunConcurrent executes several queries together, the way recurring
+// queries over many datasets actually arrive: each query's map, combine
+// and reduce run in its own right, but every round's shuffle shares the
+// WAN — the stage ends when the slowest site drains the union of all
+// jobs' flows. This is exactly the link sharing objective (2) of §5
+// optimizes for, and it is where joint placement pays off. Iterative
+// queries keep shuffling in later rounds after shorter jobs finish.
+func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
+	n := c.N()
+	type jobState struct {
+		cfg      JobConfig
+		q        Query
+		taskFrac []float64
+		assigner Assigner
+		ppe      int
+		cube     bool
+		input    [][]KV
+		res      *RunResult
+	}
+	jobs := make([]*jobState, len(cfgs))
+	maxRounds := 0
+	for ji, cfg := range cfgs {
+		if err := cfg.Query.Validate(); err != nil {
+			return nil, err
+		}
+		q := cfg.Query
+		if cfg.MapCostScale > 0 {
+			q.MapCost *= cfg.MapCostScale
+		}
+		taskFrac := cfg.TaskFrac
+		if taskFrac == nil {
+			taskFrac = UplinkProportional(c.Top)
+		}
+		if len(taskFrac) != n {
+			return nil, fmt.Errorf("engine: job %d task fractions sized %d, want %d", ji, len(taskFrac), n)
+		}
+		var fracSum float64
+		for i, f := range taskFrac {
+			if f < -1e-9 {
+				return nil, fmt.Errorf("engine: job %d negative task fraction %v at site %d", ji, f, i)
+			}
+			fracSum += f
+		}
+		if math.Abs(fracSum-1) > 1e-3 {
+			return nil, fmt.Errorf("engine: job %d task fractions sum to %v, want 1", ji, fracSum)
+		}
+		assigner := cfg.Assigner
+		if assigner == nil {
+			assigner = RoundRobinAssigner{}
+		}
+		ppe := cfg.PartitionsPerExecutor
+		if ppe <= 0 {
+			ppe = 4
+		}
+		input := make([][]KV, n)
+		for i, sd := range c.Data {
+			input[i] = sd.Records(q.Dataset)
+		}
+		jobs[ji] = &jobState{
+			cfg: cfg, q: q, taskFrac: taskFrac, assigner: assigner, ppe: ppe,
+			cube:  cfg.CubeInput,
+			input: input,
+			res:   &RunResult{IntermediateMBPerSite: make([]float64, n)},
+		}
+		if r := q.rounds(); r > maxRounds {
+			maxRounds = r
+		}
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		var flows []wan.Transfer
+		type roundState struct {
+			rm       RoundMetrics
+			arriving [][]KV
+		}
+		states := make([]*roundState, len(jobs))
+
+		// Map + combine per job, and collect every job's shuffle flows.
+		for ji, job := range jobs {
+			if round >= job.q.rounds() {
+				continue
+			}
+			st := &roundState{
+				rm:       RoundMetrics{IntermediateMB: make([]float64, n)},
+				arriving: make([][]KV, n),
+			}
+			states[ji] = st
+			for i := 0; i < n; i++ {
+				inter, mapT, assignT, err := c.mapAndCombineOpts(job.input[i], job.q, i, job.assigner, job.ppe, job.cube)
+				if err != nil {
+					return nil, fmt.Errorf("engine: job %d site %d round %d: %w", ji, i, round, err)
+				}
+				if mapT > st.rm.MapTime {
+					st.rm.MapTime = mapT
+				}
+				if assignT > st.rm.AssignOverhead {
+					st.rm.AssignOverhead = assignT
+				}
+				st.rm.IntermediateMB[i] = c.MB(len(inter))
+				job.res.IntermediateMBPerSite[i] += st.rm.IntermediateMB[i]
+
+				crossMB := make([]float64, n)
+				for _, rec := range inter {
+					owner := KeyOwner(rec.Key, job.taskFrac)
+					st.arriving[owner] = append(st.arriving[owner], rec)
+					if owner != i {
+						crossMB[owner] += c.BytesPerRecord / 1e6
+					}
+				}
+				for j := 0; j < n; j++ {
+					if crossMB[j] > 0 {
+						flows = append(flows, wan.Transfer{Src: wan.SiteID(i), Dst: wan.SiteID(j), MB: crossMB[j]})
+						st.rm.ShuffleMB += crossMB[j]
+					}
+				}
+			}
+		}
+
+		// One shared shuffle: with many parallel flows the access links
+		// saturate, so the stage time is the paper's per-link aggregate
+		// model (Eqs. 3-4) over the union of all jobs' flows.
+		shuffleTime := c.Top.Estimate(flows)
+
+		// Reduce per job.
+		for ji, job := range jobs {
+			st := states[ji]
+			if st == nil {
+				continue
+			}
+			st.rm.ShuffleTime = shuffleTime
+			job.res.TotalShuffleMB += st.rm.ShuffleMB
+			output := make([][]KV, n)
+			for j := 0; j < n; j++ {
+				output[j] = CombinePartials(st.arriving[j], job.q.Combine)
+				execs := c.Exec[j].Total()
+				t := float64(len(st.arriving[j])) * job.q.ReduceCost / float64(execs)
+				if t > st.rm.ReduceTime {
+					st.rm.ReduceTime = t
+				}
+			}
+			job.res.Rounds = append(job.res.Rounds, st.rm)
+			job.res.QCT += st.rm.MapTime + st.rm.AssignOverhead + st.rm.ShuffleTime + st.rm.ReduceTime
+			job.input = output
+		}
+	}
+
+	out := make([]*RunResult, len(jobs))
+	for ji, job := range jobs {
+		job.res.QCT += job.cfg.ExtraQCT
+		var all []KV
+		for _, recs := range job.input {
+			all = append(all, recs...)
+		}
+		job.res.Output = CombinePartials(all, job.q.Combine)
+		out[ji] = job.res
+	}
+	return out, nil
+}
+
+// mapAndCombine runs the map stage of one site: partition the input,
+// assign partitions to executors machine by machine, map and combine per
+// executor, and concatenate executor outputs (records are NOT combined
+// across executors — exactly the inefficiency §6's RDD similarity
+// clustering reduces).
+func (c *Cluster) mapAndCombine(records []KV, q Query, site int, assigner Assigner, ppe int) (inter []KV, mapTime, assignOverhead float64, err error) {
+	return c.mapAndCombineOpts(records, q, site, assigner, ppe, false)
+}
+
+// mapAndCombineOpts is mapAndCombine with cube-input cost accounting: when
+// cubeInput is set, an executor's map cost is charged per distinct key
+// (pre-aggregated cube cell) instead of per raw record.
+func (c *Cluster) mapAndCombineOpts(records []KV, q Query, site int, assigner Assigner, ppe int, cubeInput bool) (inter []KV, mapTime, assignOverhead float64, err error) {
+	ex := c.Exec[site]
+	if len(records) == 0 {
+		return nil, 0, 0, nil
+	}
+	perMachine := (len(records) + ex.Machines - 1) / ex.Machines
+	for m := 0; m < ex.Machines; m++ {
+		lo := m * perMachine
+		if lo >= len(records) {
+			break
+		}
+		hi := lo + perMachine
+		if hi > len(records) {
+			hi = len(records)
+		}
+		machineRecs := records[lo:hi]
+		parts, perr := PartitionRecords(machineRecs, ex.PerMachine*ppe)
+		if perr != nil {
+			return nil, 0, 0, perr
+		}
+		assignment, overhead, aerr := assigner.Assign(parts, ex.PerMachine)
+		if aerr != nil {
+			return nil, 0, 0, aerr
+		}
+		if len(assignment) != len(parts) {
+			return nil, 0, 0, fmt.Errorf("assigner returned %d assignments for %d partitions", len(assignment), len(parts))
+		}
+		if overhead > assignOverhead {
+			assignOverhead = overhead
+		}
+		// Per-executor map + combine.
+		perExec := make([][]KV, ex.PerMachine)
+		for pi, e := range assignment {
+			if e < 0 || e >= ex.PerMachine {
+				return nil, 0, 0, fmt.Errorf("assigner placed partition %d on executor %d of %d", pi, e, ex.PerMachine)
+			}
+			perExec[e] = append(perExec[e], parts[pi].Records...)
+		}
+		for _, recs := range perExec {
+			if len(recs) == 0 {
+				continue
+			}
+			costBasis := len(recs)
+			if cubeInput {
+				costBasis = DistinctKeys(recs)
+			}
+			t := float64(costBasis) * q.MapCost
+			if t > mapTime {
+				mapTime = t // machines and executors run in parallel
+			}
+			mapped := q.applyMap(recs)
+			inter = append(inter, Combine(mapped, q.Combine)...)
+		}
+	}
+	return inter, mapTime, assignOverhead, nil
+}
+
+// ProfileIntermediate replays the map+combine stage of one site on the
+// given records and returns the post-combiner intermediate record count —
+// the quantity a recurring query's previous run reveals. The paper's
+// prototype estimates data reduction exactly this way (§7: "the input and
+// actual intermediate data size of the previous query"), and the planner
+// uses it to derive realized (executor-split-aware) similarity.
+func (c *Cluster) ProfileIntermediate(records []KV, q Query, site int) (int, error) {
+	inter, _, _, err := c.mapAndCombine(records, q, site, RoundRobinAssigner{}, 4)
+	if err != nil {
+		return 0, err
+	}
+	return len(inter), nil
+}
+
+// KeyOwner picks the reduce site of a key with probability proportional to
+// the task fractions, deterministically, via weighted rendezvous hashing.
+// The live netio workers use the same function so simulated and real
+// shuffles partition identically.
+func KeyOwner(key string, taskFrac []float64) int {
+	h := fnv1a(key)
+	best := 0
+	bestScore := math.Inf(1)
+	for j, w := range taskFrac {
+		if w <= 0 {
+			continue
+		}
+		// Uniform (0,1) draw from the (key, site) pair; the smallest
+		// exponential race time wins with probability proportional to w.
+		u := float64(mix(h^(uint64(j)*0x9E3779B97F4A7C15))%(1<<53)+1) / float64(1<<53+1)
+		score := -math.Log(u) / w
+		if score < bestScore {
+			bestScore = score
+			best = j
+		}
+	}
+	return best
+}
+
+func mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// UplinkProportional returns task fractions proportional to each site's
+// uplink bandwidth — the baseline task placement heuristic.
+func UplinkProportional(top *wan.Topology) []float64 {
+	ups := top.Uplinks()
+	var total float64
+	for _, u := range ups {
+		total += u
+	}
+	out := make([]float64, len(ups))
+	for i, u := range ups {
+		out[i] = u / total
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package engine implements the mini geo-distributed analytics engine the
+// Bohr reproduction runs on: RDD-style partitions, per-machine executors,
+// map tasks with combiners, an all-to-all WAN shuffle, and reduce tasks.
+// It substitutes for Apache Spark in the paper's prototype (§7): the QCT
+// phenomena Bohr targets depend only on map/combine/shuffle/reduce
+// semantics, which are implemented faithfully here, with compute time
+// modeled per record and WAN time taken from the wan package's fluid model.
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KV is one record: a combine key and a numeric value. Workloads project
+// raw rows down to the key attributes a query needs before handing them to
+// the engine, mirroring how Bohr feeds a query its dimension cube.
+type KV struct {
+	Key string
+	Val float64
+}
+
+// CombineOp is an associative, commutative merge of two values for the
+// same key — the operation both the combiner and the reducer apply.
+type CombineOp int
+
+// Supported combine operations.
+const (
+	OpSum CombineOp = iota
+	OpCount
+	OpMax
+	OpMin
+)
+
+func (op CombineOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpCount:
+		return "count"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return "?"
+}
+
+// apply merges two values under the operation. For OpCount the values are
+// partial counts, so merging is addition.
+func (op CombineOp) apply(a, b float64) float64 {
+	switch op {
+	case OpSum, OpCount:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("engine: unknown combine op %d", op))
+}
+
+// initial converts a record's value into the op's accumulator seed.
+func (op CombineOp) initial(v float64) float64 {
+	if op == OpCount {
+		return 1
+	}
+	return v
+}
+
+// Combine merges records by key under the operation, returning output
+// sorted by key for deterministic downstream behaviour. This is exactly
+// what a combiner (and a reducer) does.
+func Combine(records []KV, op CombineOp) []KV {
+	acc := make(map[string]float64, len(records))
+	for _, r := range records {
+		v, ok := acc[r.Key]
+		if !ok {
+			acc[r.Key] = op.initial(r.Val)
+			continue
+		}
+		acc[r.Key] = op.apply(v, op.initial(r.Val))
+	}
+	out := make([]KV, 0, len(acc))
+	for k, v := range acc {
+		out = append(out, KV{Key: k, Val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// CombinePartials merges already-combined partial aggregates by key. It
+// is Combine for every operation except COUNT, whose partial values are
+// partial counts and must be summed rather than re-counted — the standard
+// combiner/reducer asymmetry of two-stage counting.
+func CombinePartials(records []KV, op CombineOp) []KV {
+	if op == OpCount {
+		op = OpSum
+	}
+	return Combine(records, op)
+}
+
+// KeyCounts tallies how many records exist per key — the multiset view
+// similarity scoring and similarity-aware movement consume.
+func KeyCounts(records []KV) map[string]int {
+	m := make(map[string]int, len(records))
+	for _, r := range records {
+		m[r.Key]++
+	}
+	return m
+}
+
+// DistinctKeys returns the number of distinct keys in records.
+func DistinctKeys(records []KV) int {
+	seen := make(map[string]struct{}, len(records))
+	for _, r := range records {
+		seen[r.Key] = struct{}{}
+	}
+	return len(seen)
+}
+
+// SelfSimilarity is the in-data combiner-reduction fraction: with n
+// records over d distinct keys the combiner removes (n−d)/n of them.
+func SelfSimilarity(records []KV) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	return 1 - float64(DistinctKeys(records))/float64(len(records))
+}
+
+// fnv1a hashes a key for shuffle partitioning.
+func fnv1a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

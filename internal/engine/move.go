@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bohr/internal/wan"
+)
+
+// MoveSpec is one planned movement: MB megabytes of a dataset from Src to
+// Dst, executed in the lag before the query arrives.
+type MoveSpec struct {
+	Dataset  string
+	Src, Dst int
+	MB       float64
+}
+
+// Mover chooses which records leave a site when a MoveSpec is executed.
+// The choice is the heart of Bohr: similarity-agnostic systems pick
+// randomly, Bohr picks records that combine at the destination.
+type Mover interface {
+	// Select returns the indices (into src) of n records to move toward a
+	// destination whose key counts are dstCounts.
+	Select(src []KV, dstCounts map[string]int, n int, rng *rand.Rand) []int
+}
+
+// RandomMover models Iridium-style similarity-agnostic placement: a
+// uniform random sample of records leaves the site.
+type RandomMover struct{}
+
+// Select implements Mover.
+func (RandomMover) Select(src []KV, _ map[string]int, n int, rng *rand.Rand) []int {
+	if n >= len(src) {
+		return allIndices(len(src))
+	}
+	perm := rng.Perm(len(src))
+	return perm[:n]
+}
+
+// SimilarMover implements Bohr's similarity-aware selection: records whose
+// keys the destination already holds leave first (they combine away into
+// existing destination cells), smaller source clusters foremost (a whole
+// cluster leaving removes one post-combiner cell from the bottleneck
+// regardless of size). This mirrors §4.1: the dimension cube has already
+// clustered and sorted records by similarity, so the site peels off the
+// most combinable records.
+type SimilarMover struct {
+	// Project maps a stored key into the attribute space the dominant
+	// query type combines on (the dimension-cube view of §4.1). nil keeps
+	// full keys.
+	Project func(string) string
+	// DstTopK bounds what the mover knows about the destination: only the
+	// destination's DstTopK largest (projected) cells — what its probe
+	// carried (§4.2). Zero means full knowledge.
+	DstTopK int
+}
+
+// Select implements Mover.
+func (m SimilarMover) Select(src []KV, dstCounts map[string]int, n int, _ *rand.Rand) []int {
+	if n >= len(src) {
+		return allIndices(len(src))
+	}
+	proj := m.Project
+	if proj == nil {
+		proj = func(k string) string { return k }
+	}
+	srcCounts := make(map[string]int, len(src))
+	projected := make([]string, len(src))
+	for i, r := range src {
+		projected[i] = proj(r.Key)
+		srcCounts[projected[i]]++
+	}
+	projDst := make(map[string]int, len(dstCounts))
+	for k, c := range dstCounts {
+		projDst[proj(k)] += c
+	}
+	dstCounts = projDst
+	if m.DstTopK > 0 && len(dstCounts) > m.DstTopK {
+		// The probe carried only the destination's top cells; forget the
+		// rest.
+		type kc struct {
+			k string
+			c int
+		}
+		cells := make([]kc, 0, len(dstCounts))
+		for k, c := range dstCounts {
+			cells = append(cells, kc{k, c})
+		}
+		sort.Slice(cells, func(a, b int) bool {
+			if cells[a].c != cells[b].c {
+				return cells[a].c > cells[b].c
+			}
+			return cells[a].k < cells[b].k
+		})
+		dstCounts = make(map[string]int, m.DstTopK)
+		for _, cell := range cells[:m.DstTopK] {
+			dstCounts[cell.k] = cell.c
+		}
+	}
+	// Order keys for maximum combining benefit per moved megabyte.
+	// Destination-shared keys move first: their records vanish into
+	// existing destination cells, and within that class smaller source
+	// clusters go first — a whole cluster leaving removes one cell from
+	// the source's post-combiner output regardless of its size, so small
+	// clusters relieve the bottleneck fastest. Keys the destination does
+	// not hold follow, smallest clusters first for the same reason.
+	keys := make([]string, 0, len(srcCounts))
+	for k := range srcCounts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		da, db := dstCounts[ka], dstCounts[kb]
+		if (da > 0) != (db > 0) {
+			return da > 0
+		}
+		if srcCounts[ka] != srcCounts[kb] {
+			return srcCounts[ka] < srcCounts[kb]
+		}
+		if da != db {
+			return da > db
+		}
+		return ka < kb
+	})
+	rank := make(map[string]int, len(keys))
+	for i, k := range keys {
+		rank[k] = i
+	}
+	idx := allIndices(len(src))
+	sort.SliceStable(idx, func(a, b int) bool {
+		return rank[projected[idx[a]]] < rank[projected[idx[b]]]
+	})
+	return idx[:n]
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// MoveResult reports what a movement execution did.
+type MoveResult struct {
+	// MovedMB is the total volume moved per (src, dst) pair.
+	Transfers []wan.Transfer
+	// Duration is the WAN time the movement took (fluid model); planners
+	// must keep this within the query lag T.
+	Duration float64
+	// Records is the total number of records moved.
+	Records int
+}
+
+// ApplyMoves executes movement specs against the cluster's data in place:
+// the mover selects records at each source, which are removed there and
+// appended at the destination. Moves are applied in deterministic order
+// (by dataset, then src, then dst). The rng drives random selection only.
+func (c *Cluster) ApplyMoves(specs []MoveSpec, mover Mover, rng *rand.Rand) (*MoveResult, error) {
+	if mover == nil {
+		return nil, fmt.Errorf("engine: ApplyMoves needs a mover")
+	}
+	ordered := append([]MoveSpec(nil), specs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.Dataset != b.Dataset {
+			return a.Dataset < b.Dataset
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+
+	res := &MoveResult{}
+	for _, sp := range ordered {
+		if sp.MB <= 0 {
+			continue
+		}
+		if sp.Src == sp.Dst {
+			continue
+		}
+		if sp.Src < 0 || sp.Src >= c.N() || sp.Dst < 0 || sp.Dst >= c.N() {
+			return nil, fmt.Errorf("engine: move %q %d→%d out of range", sp.Dataset, sp.Src, sp.Dst)
+		}
+		src := c.Data[sp.Src].Records(sp.Dataset)
+		if len(src) == 0 {
+			continue
+		}
+		n := c.RecordsFor(sp.MB)
+		if n == 0 {
+			continue
+		}
+		if n > len(src) {
+			n = len(src)
+		}
+		dstCounts := KeyCounts(c.Data[sp.Dst].Records(sp.Dataset))
+		idx := mover.Select(src, dstCounts, n, rng)
+		if len(idx) > n {
+			idx = idx[:n]
+		}
+		moving := make(map[int]bool, len(idx))
+		for _, i := range idx {
+			if i < 0 || i >= len(src) {
+				return nil, fmt.Errorf("engine: mover returned out-of-range index %d", i)
+			}
+			moving[i] = true
+		}
+		var kept, moved []KV
+		for i, r := range src {
+			if moving[i] {
+				moved = append(moved, r)
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		c.Data[sp.Src].Datasets[sp.Dataset] = kept
+		c.Data[sp.Dst].Add(sp.Dataset, moved...)
+		res.Records += len(moved)
+		res.Transfers = append(res.Transfers, wan.Transfer{
+			Src: wan.SiteID(sp.Src), Dst: wan.SiteID(sp.Dst), MB: c.MB(len(moved)),
+		})
+	}
+	res.Duration = c.Top.Simulate(res.Transfers).Makespan
+	return res, nil
+}

@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"bohr/internal/stats"
+)
+
+func TestRandomMoverSelectsN(t *testing.T) {
+	rng := stats.NewRand(1)
+	src := make([]KV, 100)
+	for i := range src {
+		src[i] = KV{Key: fmt.Sprintf("k%d", i)}
+	}
+	idx := RandomMover{}.Select(src, nil, 30, rng)
+	if len(idx) != 30 {
+		t.Fatalf("selected %d", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= 100 || seen[i] {
+			t.Fatalf("bad index %d", i)
+		}
+		seen[i] = true
+	}
+	// Over-ask returns everything.
+	if got := (RandomMover{}).Select(src, nil, 1000, rng); len(got) != 100 {
+		t.Fatalf("over-ask = %d", len(got))
+	}
+}
+
+func TestSimilarMoverPrefersSharedKeys(t *testing.T) {
+	src := []KV{
+		{"shared-big", 1}, {"shared-big", 1},
+		{"local-only", 1}, {"local-only", 1}, {"local-only", 1},
+		{"shared-small", 1},
+	}
+	dst := map[string]int{"shared-big": 50, "shared-small": 2}
+	idx := SimilarMover{}.Select(src, dst, 3, nil)
+	if len(idx) != 3 {
+		t.Fatalf("selected %d", len(idx))
+	}
+	for _, i := range idx {
+		k := src[i].Key
+		if k != "shared-big" && k != "shared-small" {
+			t.Fatalf("selected non-shared key %q before shared ones", k)
+		}
+	}
+	// Among shared keys, the smaller source cluster leaves first:
+	// shared-small (1 record) precedes shared-big (2 records).
+	if src[idx[0]].Key != "shared-small" {
+		t.Fatalf("smallest shared cluster should move first, got %q", src[idx[0]].Key)
+	}
+}
+
+func TestSimilarMoverDstTopKBoundsKnowledge(t *testing.T) {
+	// With DstTopK=1 the mover only knows the destination's biggest cell;
+	// records of other shared keys rank as unknown.
+	src := []KV{{"big", 1}, {"small", 1}, {"tail", 1}}
+	dst := map[string]int{"big": 50, "small": 2}
+	idx := SimilarMover{DstTopK: 1}.Select(src, dst, 1, nil)
+	if src[idx[0]].Key != "big" {
+		t.Fatalf("only the known top cell should rank first, got %q", src[idx[0]].Key)
+	}
+}
+
+func TestSimilarMoverSharedSmallClustersFirst(t *testing.T) {
+	// Among destination-shared keys, whole small clusters leave first:
+	// each departed cluster removes one post-combiner cell from the
+	// source, so singletons relieve the bottleneck fastest per record.
+	src := []KV{
+		{"dup", 1}, {"dup", 1}, {"dup", 1},
+		{"solo1", 1}, {"solo2", 1},
+	}
+	dst := map[string]int{"dup": 4, "solo1": 1, "solo2": 1}
+	idx := SimilarMover{}.Select(src, dst, 2, nil)
+	for _, i := range idx {
+		if src[i].Key == "dup" {
+			t.Fatalf("shared singletons should move before the shared duplicated key, got %q", src[i].Key)
+		}
+	}
+}
+
+func TestSimilarMoverOverAsk(t *testing.T) {
+	src := []KV{{"a", 1}, {"b", 2}}
+	if got := (SimilarMover{}).Select(src, nil, 10, nil); len(got) != 2 {
+		t.Fatalf("over-ask = %d", len(got))
+	}
+}
+
+func TestApplyMovesMovesRecords(t *testing.T) {
+	c := testCluster(t)
+	for i := 0; i < 100; i++ {
+		c.Data[0].Add("ds", KV{Key: fmt.Sprintf("k%d", i%10), Val: 1})
+	}
+	rng := stats.NewRand(2)
+	// 100 records at 100 B = 0.01 MB total; move 0.004 MB = 40 records.
+	res, err := c.ApplyMoves([]MoveSpec{{Dataset: "ds", Src: 0, Dst: 2, MB: 0.004}}, SimilarMover{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 40 {
+		t.Fatalf("moved %d records, want 40", res.Records)
+	}
+	if len(c.Data[0].Records("ds")) != 60 || len(c.Data[2].Records("ds")) != 40 {
+		t.Fatalf("post-move sizes: %d / %d",
+			len(c.Data[0].Records("ds")), len(c.Data[2].Records("ds")))
+	}
+	if res.Duration <= 0 {
+		t.Fatalf("move duration = %v", res.Duration)
+	}
+	if len(res.Transfers) != 1 || res.Transfers[0].MB != c.MB(40) {
+		t.Fatalf("transfers = %+v", res.Transfers)
+	}
+}
+
+func TestApplyMovesValidation(t *testing.T) {
+	c := testCluster(t)
+	rng := stats.NewRand(1)
+	if _, err := c.ApplyMoves(nil, nil, rng); err == nil {
+		t.Fatal("nil mover should error")
+	}
+	if _, err := c.ApplyMoves([]MoveSpec{{Dataset: "ds", Src: 0, Dst: 99, MB: 1}}, RandomMover{}, rng); err == nil {
+		t.Fatal("out-of-range site should error")
+	}
+}
+
+func TestApplyMovesSkipsDegenerate(t *testing.T) {
+	c := testCluster(t)
+	c.Data[0].Add("ds", KV{"k", 1})
+	rng := stats.NewRand(1)
+	res, err := c.ApplyMoves([]MoveSpec{
+		{Dataset: "ds", Src: 0, Dst: 0, MB: 5},   // self move
+		{Dataset: "ds", Src: 1, Dst: 2, MB: 5},   // empty source
+		{Dataset: "ds", Src: 0, Dst: 1, MB: 0},   // zero volume
+		{Dataset: "ds", Src: 0, Dst: 1, MB: -3},  // negative volume
+		{Dataset: "none", Src: 0, Dst: 1, MB: 5}, // unknown dataset
+	}, RandomMover{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 || len(res.Transfers) != 0 {
+		t.Fatalf("degenerate moves should be no-ops: %+v", res)
+	}
+	if len(c.Data[0].Records("ds")) != 1 {
+		t.Fatal("data should be untouched")
+	}
+}
+
+func TestApplyMovesConservation(t *testing.T) {
+	c := testCluster(t)
+	rng := stats.NewRand(3)
+	total := 0
+	for i := 0; i < c.N(); i++ {
+		n := 200 * (i + 1)
+		total += n
+		for r := 0; r < n; r++ {
+			c.Data[i].Add("ds", KV{Key: fmt.Sprintf("s%d-%d", i, r%20), Val: 1})
+		}
+	}
+	specs := []MoveSpec{
+		{Dataset: "ds", Src: 0, Dst: 1, MB: 0.005},
+		{Dataset: "ds", Src: 1, Dst: 2, MB: 0.01},
+		{Dataset: "ds", Src: 2, Dst: 0, MB: 0.002},
+	}
+	if _, err := c.ApplyMoves(specs, SimilarMover{}, rng); err != nil {
+		t.Fatal(err)
+	}
+	after := 0
+	for i := 0; i < c.N(); i++ {
+		after += len(c.Data[i].Records("ds"))
+	}
+	if after != total {
+		t.Fatalf("records not conserved: %d → %d", total, after)
+	}
+}
+
+func TestSimilarMoveImprovesCombining(t *testing.T) {
+	// The motivating example of Figure 1: moving similar data must yield
+	// less intermediate data than moving random data.
+	mkCluster := func() *Cluster {
+		c := testCluster(t)
+		rng := stats.NewRand(42)
+		// Site 0 (bottleneck): mixed keys, half shared with site 2.
+		for i := 0; i < 4000; i++ {
+			var k string
+			if i%2 == 0 {
+				k = fmt.Sprintf("shared-%d", rng.Intn(200)) // also at site 2
+			} else {
+				k = fmt.Sprintf("site0-%d", rng.Intn(200))
+			}
+			c.Data[0].Add("ds", KV{Key: k, Val: 1})
+		}
+		for i := 0; i < 2000; i++ {
+			c.Data[2].Add("ds", KV{Key: fmt.Sprintf("shared-%d", rng.Intn(200)), Val: 1})
+		}
+		return c
+	}
+	moveMB := 0.2 // 2000 records
+	run := func(m Mover) float64 {
+		c := mkCluster()
+		rng := stats.NewRand(9)
+		if _, err := c.ApplyMoves([]MoveSpec{{Dataset: "ds", Src: 0, Dst: 2, MB: moveMB}}, m, rng); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(JobConfig{Query: ScanQuery("s", "ds")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Sum(res.IntermediateMBPerSite)
+	}
+	similar := run(SimilarMover{})
+	random := run(RandomMover{})
+	if similar >= random {
+		t.Fatalf("similarity-aware movement should reduce intermediate data: similar=%v random=%v", similar, random)
+	}
+}

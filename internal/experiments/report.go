@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatQCT renders QCT rows (Figures 6, 7, 10) as an aligned text table
+// with schemes in the given column order.
+func FormatQCT(title string, rows []QCTRow, schemes []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-18s", "Workload")
+	for _, s := range schemes {
+		fmt.Fprintf(&b, "%12s", s)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s", r.Workload)
+		for _, s := range schemes {
+			fmt.Fprintf(&b, "%11.2fs", r.QCT[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatReduction renders per-site reduction rows (Figures 8, 9, 11).
+func FormatReduction(title string, rows []ReductionRow, schemes []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s", "Site")
+	for _, s := range schemes {
+		fmt.Fprintf(&b, "%12s", s)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s", r.Site)
+		for _, s := range schemes {
+			fmt.Fprintf(&b, "%11.2f%%", r.Reduction[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatKSweep renders probe-size sweep rows (Figures 12, 13).
+func FormatKSweep(title, unit string, rows []KSweepRow) string {
+	var series []string
+	if len(rows) > 0 {
+		for name := range rows[0].Value {
+			series = append(series, name)
+		}
+		sort.Strings(series)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s", "k")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%18s", s)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d", r.K)
+		for _, s := range series {
+			fmt.Fprintf(&b, "%17.2f%s", r.Value[s], unit)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("Table 2: dataset attributes and probe allocation\n")
+	fmt.Fprintf(&b, "%-12s%-8s%-10s%-18s%-12s\n", "Dataset id", "# dims", "Size", "# probe records", "Check time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d%-8d%-10.2f%-18d%-12.2fs\n", r.DatasetID, r.NumDims, r.SizeGB, r.ProbeRecords, r.CheckTimeSecs)
+	}
+	return b.String()
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString("Table 3: similarity checking time in pre-processing\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "k=%-5d %.2fs\n", r.K, r.CheckTimeSecs)
+	}
+	return b.String()
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	b.WriteString("Table 4: RDD similarity checking overhead\n")
+	fmt.Fprintf(&b, "%-22s", "# executors")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10d", r.Executors)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-22s", "RDD similarity check")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.3fs", r.RDDCheckSecs)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-22s", "QCT")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.2fs", r.QCTSecs)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// FormatTable5 renders Table 5.
+func FormatTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: LP solving time\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s modeled %.2fs  wall %.2fs\n", r.Workload, r.LPSecs, r.WallSecs)
+	}
+	return b.String()
+}
+
+// FormatTable6 renders Table 6.
+func FormatTable6(rows []Table6Row) string {
+	var b strings.Builder
+	b.WriteString("Table 6: per-node storage overhead (GB, 40GB-input units)\n")
+	fmt.Fprintf(&b, "%-12s%14s%14s%12s%12s\n", "Scheme", "Storage/node", "For queries", "OLAP cubes", "Sim meta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s%14.2f%14.2f%12.2f%12.2f\n",
+			r.Scheme, r.StoragePerNode, r.NeededByQueries, r.OLAPCubes, r.SimilarityMeta)
+	}
+	return b.String()
+}
+
+// FormatTable7 renders Table 7.
+func FormatTable7(rows []Table7Row) string {
+	var b strings.Builder
+	b.WriteString("Table 7: highly dynamic datasets (full-data QCT)\n")
+	fmt.Fprintf(&b, "%-18s%10s%10s\n", "Workload", "Normal", "Dynamic")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s%9.2fs%9.2fs\n", r.Workload, r.NormalQCT, r.DynamicQCT)
+	}
+	return b.String()
+}

@@ -1,0 +1,382 @@
+// Package lp provides a self-contained linear-programming facility: a
+// two-phase dense simplex solver and the Bohr joint data/task placement
+// model built on top of it (§5 of the paper).
+//
+// The solver handles problems of the form
+//
+//	minimize    c·x
+//	subject to  A_i·x (≤ | = | ≥) b_i   for each constraint i
+//	            x ≥ 0
+//
+// using the standard two-phase method with Bland's anti-cycling rule.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // ≤
+	GE           // ≥
+	EQ           // =
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is one linear constraint A·x Op B.
+type Constraint struct {
+	A  []float64
+	Op Op
+	B  float64
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	C           []float64 // objective coefficients (minimize)
+	Constraints []Constraint
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+const eps = 1e-9
+
+// Validate checks structural consistency of the problem.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return fmt.Errorf("lp: problem has no variables")
+	}
+	for i, c := range p.Constraints {
+		if len(c.A) != n {
+			return fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.A), n)
+		}
+	}
+	return nil
+}
+
+// Solve runs the two-phase simplex method.
+func (p *Problem) Solve() (Solution, error) {
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	t := newTableau(p)
+	iters1, feasible := t.phase1()
+	if !feasible {
+		return Solution{Status: Infeasible, Iterations: iters1}, nil
+	}
+	iters2, bounded := t.phase2()
+	sol := Solution{Iterations: iters1 + iters2}
+	if !bounded {
+		sol.Status = Unbounded
+		return sol, nil
+	}
+	sol.Status = Optimal
+	sol.X = t.extract(len(p.C))
+	var obj float64
+	for i, c := range p.C {
+		obj += c * sol.X[i]
+	}
+	sol.Objective = obj
+	return sol, nil
+}
+
+// tableau is the dense simplex tableau. Columns: the n structural
+// variables, then slack/surplus variables, then artificial variables, then
+// the RHS column. Rows: one per constraint, plus the objective row(s)
+// managed separately.
+type tableau struct {
+	rows     int
+	cols     int // structural + slack + artificial (excludes RHS)
+	nStruct  int
+	nArt     int
+	a        [][]float64 // rows x (cols+1); last column is RHS
+	basis    []int       // basic variable per row
+	cost     []float64   // phase-2 objective coefficients per column
+	artBegin int         // first artificial column index
+}
+
+func newTableau(p *Problem) *tableau {
+	n := len(p.C)
+	m := len(p.Constraints)
+	// Count slack and artificial columns.
+	nSlack := 0
+	nArt := 0
+	for _, c := range p.Constraints {
+		b := c.B
+		op := c.Op
+		if b < 0 { // normalize RHS ≥ 0 by negating the row
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	cols := n + nSlack + nArt
+	t := &tableau{
+		rows:     m,
+		cols:     cols,
+		nStruct:  n,
+		nArt:     nArt,
+		a:        make([][]float64, m),
+		basis:    make([]int, m),
+		cost:     make([]float64, cols),
+		artBegin: n + nSlack,
+	}
+	copy(t.cost, p.C)
+
+	slackCol := n
+	artCol := t.artBegin
+	for i, c := range p.Constraints {
+		row := make([]float64, cols+1)
+		sign := 1.0
+		op := c.Op
+		b := c.B
+		if b < 0 {
+			sign = -1
+			b = -b
+			op = flip(op)
+		}
+		for j, v := range c.A {
+			row[j] = sign * v
+		}
+		row[cols] = b
+		switch op {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1 // surplus
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+func flip(o Op) Op {
+	switch o {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// reducedCosts computes the objective row z_j - c_j for the given cost
+// vector over the current basis.
+func (t *tableau) reducedCosts(cost []float64) []float64 {
+	// y = c_B (dual multipliers implicit via tableau form): since the
+	// tableau is kept in canonical form (basis columns are identity), the
+	// reduced cost of column j is cost[j] - Σ_i cost[basis[i]] * a[i][j].
+	rc := make([]float64, t.cols+1)
+	for j := 0; j <= t.cols; j++ {
+		var z float64
+		for i := 0; i < t.rows; i++ {
+			cb := 0.0
+			if t.basis[i] < len(cost) {
+				cb = cost[t.basis[i]]
+			}
+			z += cb * t.a[i][j]
+		}
+		cj := 0.0
+		if j < len(cost) {
+			cj = cost[j]
+		}
+		rc[j] = cj - z
+	}
+	return rc
+}
+
+// pivot performs a pivot on (row, col), renormalizing the tableau.
+func (t *tableau) pivot(row, col int) {
+	pr := t.a[row]
+	pv := pr[col]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := 0; i < t.rows; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+	}
+	t.basis[row] = col
+}
+
+// iterate runs simplex pivots for the given cost vector until optimal or
+// unbounded. banned columns (artificials in phase 2) are never entered.
+func (t *tableau) iterate(cost []float64, banned func(int) bool) (iters int, bounded bool) {
+	const maxIters = 200000
+	// Dantzig's rule (most negative reduced cost) converges fast; after
+	// blandAfter pivots we switch to Bland's rule, which cannot cycle.
+	const blandAfter = 5000
+	for iters = 0; iters < maxIters; iters++ {
+		rc := t.reducedCosts(cost)
+		enter := -1
+		if iters < blandAfter {
+			most := -eps
+			for j := 0; j < t.cols; j++ {
+				if banned != nil && banned(j) {
+					continue
+				}
+				if rc[j] < most {
+					most = rc[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < t.cols; j++ {
+				if banned != nil && banned(j) {
+					continue
+				}
+				if rc[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return iters, true
+		}
+		// Ratio test, ties broken by lowest basis index (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.rows; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.a[i][t.cols] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return iters, false // unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return iters, true // treat as converged at tolerance after many pivots
+}
+
+// phase1 minimizes the sum of artificial variables to find a basic
+// feasible solution.
+func (t *tableau) phase1() (iters int, feasible bool) {
+	if t.nArt == 0 {
+		return 0, true
+	}
+	cost1 := make([]float64, t.cols)
+	for j := t.artBegin; j < t.cols; j++ {
+		cost1[j] = 1
+	}
+	iters, _ = t.iterate(cost1, nil)
+	// Objective value of phase 1 = sum of artificial values.
+	var artSum float64
+	for i := 0; i < t.rows; i++ {
+		if t.basis[i] >= t.artBegin {
+			artSum += t.a[i][t.cols]
+		}
+	}
+	if artSum > 1e-6 {
+		return iters, false
+	}
+	// Drive any lingering artificial basics out of the basis if possible.
+	for i := 0; i < t.rows; i++ {
+		if t.basis[i] < t.artBegin {
+			continue
+		}
+		for j := 0; j < t.artBegin; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return iters, true
+}
+
+// phase2 minimizes the real objective from the feasible basis.
+func (t *tableau) phase2() (iters int, bounded bool) {
+	banned := func(j int) bool { return j >= t.artBegin }
+	return t.iterate(t.cost, banned)
+}
+
+// extract reads the first n variable values out of the basis.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			v := t.a[i][t.cols]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

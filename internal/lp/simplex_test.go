@@ -1,0 +1,267 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bohr/internal/stats"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestValidate(t *testing.T) {
+	p := Problem{}
+	if err := p.Validate(); err == nil {
+		t.Fatal("no variables should error")
+	}
+	p = Problem{C: []float64{1}, Constraints: []Constraint{{A: []float64{1, 2}, Op: LE, B: 1}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("ragged constraint should error")
+	}
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("Solve should surface validation errors")
+	}
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x1 + x2 s.t. x1 ≤ 2, x2 ≤ 3 → min −x1 −x2; optimum (2,3).
+	p := Problem{
+		C: []float64{-1, -1},
+		Constraints: []Constraint{
+			{A: []float64{1, 0}, Op: LE, B: 2},
+			{A: []float64{0, 1}, Op: LE, B: 3},
+		},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-3) > 1e-6 {
+		t.Fatalf("X = %v", sol.X)
+	}
+	if math.Abs(sol.Objective+5) > 1e-6 {
+		t.Fatalf("obj = %v", sol.Objective)
+	}
+}
+
+func TestClassicProblem(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+	p := Problem{
+		C: []float64{-3, -5},
+		Constraints: []Constraint{
+			{A: []float64{1, 0}, Op: LE, B: 4},
+			{A: []float64{0, 2}, Op: LE, B: 12},
+			{A: []float64{3, 2}, Op: LE, B: 18},
+		},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-6) > 1e-6 {
+		t.Fatalf("X = %v", sol.X)
+	}
+	if math.Abs(sol.Objective+36) > 1e-6 {
+		t.Fatalf("obj = %v", sol.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x ≤ 4 → (4, 6), obj 16.
+	p := Problem{
+		C: []float64{1, 2},
+		Constraints: []Constraint{
+			{A: []float64{1, 1}, Op: EQ, B: 10},
+			{A: []float64{1, 0}, Op: LE, B: 4},
+		},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-4) > 1e-6 || math.Abs(sol.X[1]-6) > 1e-6 {
+		t.Fatalf("X = %v", sol.X)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → (4, 0), obj 8.
+	p := Problem{
+		C: []float64{2, 3},
+		Constraints: []Constraint{
+			{A: []float64{1, 1}, Op: GE, B: 4},
+			{A: []float64{1, 0}, Op: GE, B: 1},
+		},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-8) > 1e-6 {
+		t.Fatalf("obj = %v, X = %v", sol.Objective, sol.X)
+	}
+}
+
+func TestNegativeRHSNormalized(t *testing.T) {
+	// −x ≤ −3 means x ≥ 3; min x → 3.
+	p := Problem{
+		C:           []float64{1},
+		Constraints: []Constraint{{A: []float64{-1}, Op: LE, B: -3}},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-3) > 1e-6 {
+		t.Fatalf("X = %v", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 2.
+	p := Problem{
+		C: []float64{1},
+		Constraints: []Constraint{
+			{A: []float64{1}, Op: LE, B: 1},
+			{A: []float64{1}, Op: GE, B: 2},
+		},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min −x with only x ≥ 0: unbounded below.
+	p := Problem{
+		C:           []float64{-1},
+		Constraints: []Constraint{{A: []float64{1}, Op: GE, B: 0}},
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Degenerate vertex (multiple constraints meet); must still solve.
+	p := Problem{
+		C: []float64{-1, -1},
+		Constraints: []Constraint{
+			{A: []float64{1, 0}, Op: LE, B: 1},
+			{A: []float64{1, 0}, Op: LE, B: 1},
+			{A: []float64{1, 1}, Op: LE, B: 2},
+			{A: []float64{0, 1}, Op: LE, B: 1},
+		},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+2) > 1e-6 {
+		t.Fatalf("obj = %v", sol.Objective)
+	}
+}
+
+func TestEqualityOnlyFeasiblePoint(t *testing.T) {
+	// x = 5 exactly.
+	p := Problem{
+		C:           []float64{1},
+		Constraints: []Constraint{{A: []float64{1}, Op: EQ, B: 5}},
+	}
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-5) > 1e-6 {
+		t.Fatalf("X = %v", sol.X)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Op strings wrong")
+	}
+	if Op(99).String() != "?" {
+		t.Fatal("unknown op should be ?")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() != "unknown" {
+		t.Fatal("Status strings wrong")
+	}
+}
+
+// Property: for random feasible bounded LPs of the transportation flavor,
+// the solution respects every constraint.
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		nv := 2 + rng.Intn(4)
+		nc := 1 + rng.Intn(4)
+		p := Problem{C: make([]float64, nv)}
+		for i := range p.C {
+			p.C[i] = rng.Float64()*4 - 1 // mostly positive → bounded min
+		}
+		for c := 0; c < nc; c++ {
+			a := make([]float64, nv)
+			for i := range a {
+				a[i] = rng.Float64()
+			}
+			p.Constraints = append(p.Constraints, Constraint{A: a, Op: LE, B: 1 + rng.Float64()*10})
+		}
+		// Add a lower bound so min of negative coefficients stays bounded:
+		// Σx ≤ big.
+		all := make([]float64, nv)
+		for i := range all {
+			all[i] = 1
+		}
+		p.Constraints = append(p.Constraints, Constraint{A: all, Op: LE, B: 100})
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		for _, c := range p.Constraints {
+			var lhs float64
+			for i, a := range c.A {
+				lhs += a * sol.X[i]
+			}
+			if lhs > c.B+1e-6 {
+				return false
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: relaxing a binding ≤ constraint can only improve (not worsen)
+// the minimum.
+func TestRelaxationMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		p := Problem{
+			C: []float64{-(1 + rng.Float64()), -(1 + rng.Float64())},
+			Constraints: []Constraint{
+				{A: []float64{1, 1}, Op: LE, B: 1 + rng.Float64()*5},
+				{A: []float64{1, 0}, Op: LE, B: 1 + rng.Float64()*5},
+			},
+		}
+		s1, err := p.Solve()
+		if err != nil || s1.Status != Optimal {
+			return false
+		}
+		p.Constraints[0].B *= 2
+		s2, err := p.Solve()
+		if err != nil || s2.Status != Optimal {
+			return false
+		}
+		return s2.Objective <= s1.Objective+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

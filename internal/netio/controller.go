@@ -1,0 +1,234 @@
+package netio
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"bohr/internal/engine"
+)
+
+// Controller is the logically centralized coordinator (§2.1): it connects
+// to every site worker, loads data, exchanges probes, directs similarity-
+// aware movement, and drives distributed query execution over real TCP.
+type Controller struct {
+	addrs []string
+	conns []*siteConn
+}
+
+// siteConn pairs a connection with its own lock so requests to different
+// sites proceed in parallel while each connection stays request/response.
+type siteConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to the workers at the given addresses (index = site ID).
+func Dial(addrs []string) (*Controller, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("netio: controller needs at least one worker")
+	}
+	c := &Controller{addrs: append([]string(nil), addrs...)}
+	for site, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netio: dial worker %d at %s: %w", site, addr, err)
+		}
+		resp, err := call(conn, &Envelope{Type: MsgHello})
+		if err != nil {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("netio: hello to worker %d: %w", site, err)
+		}
+		if resp.Site != site {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("netio: worker at %s identifies as site %d, want %d", addr, resp.Site, site)
+		}
+		c.conns = append(c.conns, &siteConn{conn: conn})
+	}
+	return c, nil
+}
+
+// Close tears down all connections.
+func (c *Controller) Close() {
+	for _, sc := range c.conns {
+		if sc != nil && sc.conn != nil {
+			sc.conn.Close()
+		}
+	}
+}
+
+// N returns the number of sites.
+func (c *Controller) N() int { return len(c.addrs) }
+
+// rpc issues one request to a site, serialized per controller.
+func (c *Controller) rpc(site int, req *Envelope) (*Envelope, error) {
+	if site < 0 || site >= len(c.conns) {
+		return nil, fmt.Errorf("netio: site %d out of range", site)
+	}
+	sc := c.conns[site]
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return call(sc.conn, req)
+}
+
+// Put stores records for a dataset at a site, registering its schema.
+func (c *Controller) Put(site int, dataset string, schema []string, records []engine.KV) error {
+	_, err := c.rpc(site, &Envelope{
+		Type: MsgPut, Dataset: dataset, Schema: schema, Records: records,
+	})
+	return err
+}
+
+// SiteStats is one site's view of a dataset under a projection.
+type SiteStats struct {
+	Records int
+	Top     []ProbeCellDTO
+}
+
+// Stats fetches record counts and the top-k projected cells from a site.
+func (c *Controller) Stats(site int, dataset string, dims []string, topK int) (*SiteStats, error) {
+	resp, err := c.rpc(site, &Envelope{Type: MsgStats, Dataset: dataset, Dims: dims, TopK: topK})
+	if err != nil {
+		return nil, err
+	}
+	return &SiteStats{Records: resp.Count, Top: resp.Cells}, nil
+}
+
+// Score sends a probe (cells from the bottleneck site) to a site and
+// returns its similarity score (§4.2 over real sockets).
+func (c *Controller) Score(site int, dataset string, dims []string, probe []ProbeCellDTO) (float64, error) {
+	resp, err := c.rpc(site, &Envelope{Type: MsgScore, Dataset: dataset, Dims: dims, Cells: probe})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Score, nil
+}
+
+// Move instructs src to select count records (similarity-aware against the
+// provided destination cells when similar is true) and push them to dst
+// through its shaped uplink. It returns the number of records moved.
+func (c *Controller) Move(src, dst int, dataset string, count int, similar bool, dstCells []ProbeCellDTO) (int, error) {
+	if dst < 0 || dst >= len(c.addrs) {
+		return 0, fmt.Errorf("netio: destination %d out of range", dst)
+	}
+	resp, err := c.rpc(src, &Envelope{
+		Type: MsgMove, Dataset: dataset, Count: count,
+		Dst: c.addrs[dst], Similar: similar, Cells: dstCells,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// QueryResult is the outcome of a distributed query run.
+type QueryResult struct {
+	Output []engine.KV
+	// IntermediatePerSite is each site's post-combiner record count.
+	IntermediatePerSite []int
+	// ShuffledRecords counts intermediate records that crossed the WAN.
+	ShuffledRecords int
+	// Elapsed is the wall-clock query time (map+shuffle+reduce).
+	Elapsed time.Duration
+}
+
+// RunQuery executes one projection/combine query across all sites: every
+// worker maps and combines its local records and scatters intermediate
+// records to their reduce owners (weighted by taskFrac); then each site
+// reduces what it received and the controller merges the outputs.
+func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, error) {
+	n := c.N()
+	if q.ID == "" {
+		return nil, fmt.Errorf("netio: query needs an ID")
+	}
+	if taskFrac == nil {
+		taskFrac = make([]float64, n)
+		for i := range taskFrac {
+			taskFrac[i] = 1 / float64(n)
+		}
+	}
+	if len(taskFrac) != n {
+		return nil, fmt.Errorf("netio: task fractions sized %d, want %d", len(taskFrac), n)
+	}
+	start := time.Now()
+
+	// Map phase: all sites in parallel.
+	type mapOut struct {
+		site    int
+		perSite []int
+		inter   int
+		err     error
+	}
+	outs := make(chan mapOut, n)
+	for site := 0; site < n; site++ {
+		go func(site int) {
+			resp, err := c.rpc(site, &Envelope{
+				Type: MsgRunMap, Query: q, TaskFrac: taskFrac, Peers: c.addrs,
+			})
+			if err != nil {
+				outs <- mapOut{site: site, err: err}
+				return
+			}
+			outs <- mapOut{site: site, perSite: resp.PerSite, inter: resp.Count}
+		}(site)
+	}
+	expected := make([]int, n)
+	interPerSite := make([]int, n)
+	shuffled := 0
+	for i := 0; i < n; i++ {
+		o := <-outs
+		if o.err != nil {
+			return nil, fmt.Errorf("netio: map at site %d: %w", o.site, o.err)
+		}
+		interPerSite[o.site] = o.inter
+		for dst, cnt := range o.perSite {
+			expected[dst] += cnt
+			if dst != o.site {
+				shuffled += cnt
+			}
+		}
+	}
+
+	// Reduce phase: all sites in parallel, each waiting for its expected
+	// intermediate records.
+	type redOut struct {
+		site    int
+		records []engine.KV
+		err     error
+	}
+	reds := make(chan redOut, n)
+	for site := 0; site < n; site++ {
+		go func(site int) {
+			resp, err := c.rpc(site, &Envelope{
+				Type: MsgReduce, Query: q, Expected: expected[site],
+			})
+			if err != nil {
+				reds <- redOut{site: site, err: err}
+				return
+			}
+			reds <- redOut{site: site, records: resp.Records}
+		}(site)
+	}
+	var all []engine.KV
+	for i := 0; i < n; i++ {
+		o := <-reds
+		if o.err != nil {
+			return nil, fmt.Errorf("netio: reduce at site %d: %w", o.site, o.err)
+		}
+		all = append(all, o.records...)
+	}
+	// Reduce outputs own disjoint key sets; merging is concatenation, but
+	// sort for deterministic output.
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	return &QueryResult{
+		Output:              all,
+		IntermediatePerSite: interPerSite,
+		ShuffledRecords:     shuffled,
+		Elapsed:             time.Since(start),
+	}, nil
+}

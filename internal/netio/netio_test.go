@@ -1,0 +1,324 @@
+package netio
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"bohr/internal/engine"
+)
+
+func TestBucketValidation(t *testing.T) {
+	if _, err := NewBucket(0, 1); err == nil {
+		t.Fatal("zero rate should error")
+	}
+	b, err := NewBucket(1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rate() != 1000 {
+		t.Fatalf("rate = %v", b.Rate())
+	}
+}
+
+func TestBucketPacing(t *testing.T) {
+	// 1 MB/s with a 10 KB burst: sending 100 KB with the contractual sleep
+	// after each take must spread over ≈90 ms (burst covers the first 10 KB).
+	b, _ := NewBucket(1e6, 1e4)
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if d := b.Take(10_000); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 70*time.Millisecond || elapsed > 200*time.Millisecond {
+		t.Fatalf("paced send took %v, want ≈90ms", elapsed)
+	}
+	if b.Take(0) != 0 {
+		t.Fatal("zero-byte take should not wait")
+	}
+}
+
+func TestBucketRefills(t *testing.T) {
+	b, _ := NewBucket(1e6, 1e6)
+	b.Take(1_000_000) // drain the burst
+	time.Sleep(50 * time.Millisecond)
+	// ~50 KB refilled; a 10 KB take should not wait.
+	if d := b.Take(10_000); d > 0 {
+		t.Fatalf("after refill take should be free, waited %v", d)
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	env := &Envelope{
+		Type:    MsgPut,
+		Dataset: "ds",
+		Schema:  []string{"a", "b"},
+		Records: []engine.KV{{Key: "x\x1fy", Val: 3.5}},
+		Cells:   []ProbeCellDTO{{Key: "k", Count: 7}},
+	}
+	if err := WriteMsg(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgPut || got.Dataset != "ds" || len(got.Records) != 1 ||
+		got.Records[0].Val != 3.5 || got.Cells[0].Count != 7 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestReadMsgRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Fatal("oversize header should error")
+	}
+}
+
+// liveCluster starts n workers and a controller on localhost.
+func liveCluster(t *testing.T, n int, upMBps float64) (*Controller, []*Worker) {
+	t.Helper()
+	var workers []*Worker
+	var addrs []string
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(i, "127.0.0.1:0", upMBps, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, w.Addr())
+	}
+	ctl, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctl.Close()
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	})
+	return ctl, workers
+}
+
+func key(coords ...string) string { return strings.Join(coords, "\x1f") }
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(nil); err == nil {
+		t.Fatal("no workers should error")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable worker should error")
+	}
+}
+
+func TestPutStatsScore(t *testing.T) {
+	ctl, _ := liveCluster(t, 2, 0)
+	schema := []string{"url", "country"}
+	if err := ctl.Put(0, "logs", schema, []engine.KV{
+		{Key: key("u1", "US"), Val: 1},
+		{Key: key("u1", "JP"), Val: 1},
+		{Key: key("u2", "US"), Val: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Put(1, "logs", schema, []engine.KV{
+		{Key: key("u1", "DE"), Val: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ctl.Stats(0, "logs", []string{"url"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 3 || len(st.Top) != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Top[0].Key != "u1" || st.Top[0].Count != 2 {
+		t.Fatalf("top cell = %+v", st.Top[0])
+	}
+	// Probe from site 0 against site 1: u1 matches (2 of 3 mass).
+	score, err := ctl.Score(1, "logs", []string{"url"}, st.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(score-2.0/3) > 1e-9 {
+		t.Fatalf("score = %v, want 2/3", score)
+	}
+}
+
+func TestStatsUnknownDimension(t *testing.T) {
+	ctl, _ := liveCluster(t, 1, 0)
+	_ = ctl.Put(0, "d", []string{"a"}, []engine.KV{{Key: "x", Val: 1}})
+	if _, err := ctl.Stats(0, "d", []string{"zzz"}, 5); err == nil {
+		t.Fatal("unknown dimension should error")
+	}
+}
+
+func TestMoveTransfersRecords(t *testing.T) {
+	ctl, _ := liveCluster(t, 2, 0)
+	schema := []string{"k"}
+	var recs []engine.KV
+	for i := 0; i < 100; i++ {
+		recs = append(recs, engine.KV{Key: fmt.Sprintf("k%d", i%10), Val: 1})
+	}
+	if err := ctl.Put(0, "d", schema, recs); err != nil {
+		t.Fatal(err)
+	}
+	dstStats, _ := ctl.Stats(1, "d", nil, 100)
+	moved, err := ctl.Move(0, 1, "d", 40, true, dstStats.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 40 {
+		t.Fatalf("moved = %d", moved)
+	}
+	s0, _ := ctl.Stats(0, "d", nil, 0)
+	s1, _ := ctl.Stats(1, "d", nil, 0)
+	if s0.Records != 60 || s1.Records != 40 {
+		t.Fatalf("post-move counts = %d / %d", s0.Records, s1.Records)
+	}
+}
+
+func TestDistributedQueryMatchesLocal(t *testing.T) {
+	ctl, _ := liveCluster(t, 3, 0)
+	schema := []string{"url", "country"}
+	var all []engine.KV
+	for site := 0; site < 3; site++ {
+		var recs []engine.KV
+		for i := 0; i < 50; i++ {
+			kv := engine.KV{
+				Key: key(fmt.Sprintf("u%d", i%7), fmt.Sprintf("c%d", (i+site)%3)),
+				Val: float64(i%5) + 1,
+			}
+			recs = append(recs, kv)
+			all = append(all, kv)
+		}
+		if err := ctl.Put(site, "logs", schema, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ctl.RunQuery(QueryDTO{
+		ID: "q1", Dataset: "logs", Dims: []string{"url"}, Combine: engine.OpSum,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: project + sum locally.
+	want := map[string]float64{}
+	for _, kv := range all {
+		url := strings.Split(kv.Key, "\x1f")[0]
+		want[url] += kv.Val
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output keys = %d, want %d", len(res.Output), len(want))
+	}
+	for _, kv := range res.Output {
+		if math.Abs(want[kv.Key]-kv.Val) > 1e-9 {
+			t.Fatalf("key %q = %v, want %v", kv.Key, kv.Val, want[kv.Key])
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed missing")
+	}
+	if res.ShuffledRecords <= 0 {
+		t.Fatal("expected cross-site shuffle records")
+	}
+}
+
+func TestDistributedCountQuery(t *testing.T) {
+	ctl, _ := liveCluster(t, 2, 0)
+	schema := []string{"class"}
+	_ = ctl.Put(0, "jobs", schema, []engine.KV{{Key: "a", Val: 9}, {Key: "a", Val: 9}, {Key: "b", Val: 9}})
+	_ = ctl.Put(1, "jobs", schema, []engine.KV{{Key: "a", Val: 9}})
+	res, err := ctl.RunQuery(QueryDTO{
+		ID: "count1", Dataset: "jobs", Dims: []string{"class"}, Combine: engine.OpCount,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, kv := range res.Output {
+		got[kv.Key] = kv.Val
+	}
+	if got["a"] != 3 || got["b"] != 1 {
+		t.Fatalf("counts = %v (partial counts must sum across sites)", got)
+	}
+}
+
+func TestTaskFracRoutesReduceWork(t *testing.T) {
+	ctl, _ := liveCluster(t, 2, 0)
+	_ = ctl.Put(0, "d", []string{"k"}, []engine.KV{{Key: "x", Val: 1}, {Key: "y", Val: 1}})
+	// All reduce tasks at site 1: everything shuffles there.
+	res, err := ctl.RunQuery(QueryDTO{ID: "q", Dataset: "d", Combine: engine.OpSum}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShuffledRecords != 2 {
+		t.Fatalf("shuffled = %d, want 2", res.ShuffledRecords)
+	}
+}
+
+func TestRunQueryValidation(t *testing.T) {
+	ctl, _ := liveCluster(t, 2, 0)
+	if _, err := ctl.RunQuery(QueryDTO{Dataset: "d"}, nil); err == nil {
+		t.Fatal("missing query ID should error")
+	}
+	if _, err := ctl.RunQuery(QueryDTO{ID: "q", Dataset: "d"}, []float64{1}); err == nil {
+		t.Fatal("short task fractions should error")
+	}
+}
+
+func TestShapedUplinkSlowsMovement(t *testing.T) {
+	// 1 MB of records through a 2 MB/s uplink must take ≈0.5 s; through an
+	// unshaped one it should be near-instant.
+	mkRecs := func() []engine.KV {
+		// ~100 B per record once gob-encoded; 10k records ≈ 1 MB.
+		recs := make([]engine.KV, 10_000)
+		for i := range recs {
+			recs[i] = engine.KV{Key: fmt.Sprintf("key-%04d-%060d", i, i), Val: float64(i)}
+		}
+		return recs
+	}
+	timeMove := func(upMBps float64) time.Duration {
+		ctl, _ := liveCluster(t, 2, upMBps)
+		if err := ctl.Put(0, "d", []string{"k"}, mkRecs()); err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, err := ctl.Move(0, 1, "d", 10_000, false, nil); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	fast := timeMove(0) // unshaped
+	slow := timeMove(2) // 2 MB/s with a 0.5 MB burst credit
+	// ≈1 MB minus the 0.5 MB burst at 2 MB/s ≥ 150 ms of pacing.
+	if slow < 120*time.Millisecond {
+		t.Fatalf("shaped move took %v, expected ≥120ms", slow)
+	}
+	if slow < fast+100*time.Millisecond {
+		t.Fatalf("shaping had no effect: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestWorkerCloseIdempotent(t *testing.T) {
+	w, err := NewWorker(0, "127.0.0.1:0", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package netio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"bohr/internal/engine"
+)
+
+// MsgType discriminates wire messages.
+type MsgType uint8
+
+// The protocol's message types. Requests flow controller→worker or
+// worker→worker (transfers); every request gets exactly one response.
+const (
+	MsgHello MsgType = iota + 1
+	MsgHelloOK
+	MsgPut // store records for a dataset
+	MsgPutOK
+	MsgStats // dataset statistics + probe cells
+	MsgStatsOK
+	MsgScore // score a probe against local data
+	MsgScoreOK
+	MsgMove // select records and push them to a peer
+	MsgMoveOK
+	MsgTransfer // records arriving from a peer (movement)
+	MsgTransferOK
+	MsgRunMap // run map+combine and scatter intermediate to peers
+	MsgRunMapOK
+	MsgIntermediate // intermediate records arriving for a query
+	MsgIntermediateOK
+	MsgReduce // combine received intermediate, return output
+	MsgReduceOK
+	MsgErr
+)
+
+// QueryDTO is the wire form of a query: functions cannot travel over gob,
+// so live queries are restricted to projection + combine (the scan /
+// aggregation classes), which is what the SQL front end produces anyway.
+type QueryDTO struct {
+	ID      string
+	Dataset string
+	// Dims are the schema attributes to project the key onto (empty keeps
+	// the full key).
+	Dims    []string
+	Combine engine.CombineOp
+}
+
+// ProbeCellDTO is one probe record on the wire.
+type ProbeCellDTO struct {
+	Key   string
+	Count int
+}
+
+// Envelope is the single wire message shape. Only the fields relevant to
+// Type are populated.
+type Envelope struct {
+	Type    MsgType
+	Site    int
+	Dataset string
+	Schema  []string
+	Records []engine.KV
+	Query   QueryDTO
+	// TaskFrac drives intermediate scattering during RunMap.
+	TaskFrac []float64
+	// Peers maps site index → dial address.
+	Peers []string
+	// Cells carries probe cells (MsgStats response, MsgScore request).
+	Cells []ProbeCellDTO
+	// Dims selects the projection for stats/probes.
+	Dims []string
+	// TopK bounds the probe cells returned by MsgStats.
+	TopK int
+	// Count carries record counts (move size, expected intermediates...).
+	Count int
+	// Dst is the destination address for MsgMove.
+	Dst string
+	// Similar selects similarity-aware record selection for MsgMove.
+	Similar bool
+	// Score is the similarity score (MsgScoreOK).
+	Score float64
+	// Expected is the number of intermediate records the reducer must
+	// have received before reducing (MsgReduce).
+	Expected int
+	// PerSite carries per-site record counts (MsgRunMapOK: how many
+	// intermediate records were routed to each site).
+	PerSite []int
+	// Err carries the error text for MsgErr.
+	Err string
+}
+
+// maxMsgBytes bounds a single message to keep a misbehaving peer from
+// exhausting memory.
+const maxMsgBytes = 64 << 20
+
+// WriteMsg writes one length-prefixed gob-encoded envelope.
+func WriteMsg(w io.Writer, env *Envelope) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("netio: encode: %w", err)
+	}
+	if buf.Len() > maxMsgBytes {
+		return fmt.Errorf("netio: message of %d bytes exceeds limit", buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("netio: write header: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("netio: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadMsg reads one length-prefixed envelope.
+func ReadMsg(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF propagates cleanly for connection close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMsgBytes {
+		return nil, fmt.Errorf("netio: message of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("netio: read body: %w", err)
+	}
+	env := &Envelope{}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(env); err != nil {
+		return nil, fmt.Errorf("netio: decode: %w", err)
+	}
+	return env, nil
+}
+
+// call sends a request and reads the single response, translating MsgErr.
+func call(rw io.ReadWriter, req *Envelope) (*Envelope, error) {
+	if err := WriteMsg(rw, req); err != nil {
+		return nil, err
+	}
+	resp, err := ReadMsg(rw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == MsgErr {
+		return nil, fmt.Errorf("netio: remote error: %s", resp.Err)
+	}
+	return resp, nil
+}

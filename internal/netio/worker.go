@@ -1,0 +1,412 @@
+package netio
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bohr/internal/engine"
+	"bohr/internal/stats"
+)
+
+// Worker is one live site: it stores dataset records, answers probe and
+// stats requests, pushes records to peers through its shaped uplink, and
+// executes the map/combine and reduce stages of distributed queries.
+type Worker struct {
+	Site int
+	seed int64
+
+	ln     net.Listener
+	up     *Bucket // uplink shaping for worker→worker pushes
+	quitMu sync.Mutex
+	closed bool
+
+	mu       sync.Mutex
+	schemas  map[string][]string    // dataset → dimension names
+	datasets map[string][]engine.KV // dataset → records
+	inter    map[string][]engine.KV // query id → received intermediate
+	interN   map[string]int         // query id → received record count
+}
+
+// NewWorker starts a worker listening on addr ("127.0.0.1:0" for an
+// ephemeral port). upMBps shapes all outgoing record pushes; <= 0 leaves
+// the uplink unshaped.
+func NewWorker(site int, addr string, upMBps float64, seed int64) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netio: worker %d listen: %w", site, err)
+	}
+	w := &Worker{
+		Site:     site,
+		seed:     seed,
+		ln:       ln,
+		schemas:  map[string][]string{},
+		datasets: map[string][]engine.KV{},
+		inter:    map[string][]engine.KV{},
+		interN:   map[string]int{},
+	}
+	if upMBps > 0 {
+		b, err := NewBucket(upMBps*1e6, upMBps*1e6/4)
+		if err != nil {
+			return nil, err
+		}
+		w.up = b
+	}
+	go w.serve()
+	return w, nil
+}
+
+// Addr returns the worker's dial address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops the listener. In-flight connections finish naturally.
+func (w *Worker) Close() error {
+	w.quitMu.Lock()
+	defer w.quitMu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.ln.Close()
+}
+
+func (w *Worker) serve() {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go w.handleConn(conn)
+	}
+}
+
+func (w *Worker) handleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		req, err := ReadMsg(conn)
+		if err != nil {
+			return
+		}
+		resp := w.dispatch(req)
+		if err := WriteMsg(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func errEnv(format string, args ...any) *Envelope {
+	return &Envelope{Type: MsgErr, Err: fmt.Sprintf(format, args...)}
+}
+
+func (w *Worker) dispatch(req *Envelope) *Envelope {
+	switch req.Type {
+	case MsgHello:
+		return &Envelope{Type: MsgHelloOK, Site: w.Site}
+	case MsgPut:
+		return w.handlePut(req)
+	case MsgStats:
+		return w.handleStats(req)
+	case MsgScore:
+		return w.handleScore(req)
+	case MsgMove:
+		return w.handleMove(req)
+	case MsgTransfer:
+		return w.handleTransfer(req)
+	case MsgRunMap:
+		return w.handleRunMap(req)
+	case MsgIntermediate:
+		return w.handleIntermediate(req)
+	case MsgReduce:
+		return w.handleReduce(req)
+	default:
+		return errEnv("worker %d: unknown message type %d", w.Site, req.Type)
+	}
+}
+
+func (w *Worker) handlePut(req *Envelope) *Envelope {
+	if req.Dataset == "" {
+		return errEnv("put: missing dataset")
+	}
+	w.mu.Lock()
+	if len(req.Schema) > 0 {
+		w.schemas[req.Dataset] = append([]string(nil), req.Schema...)
+	}
+	w.datasets[req.Dataset] = append(w.datasets[req.Dataset], req.Records...)
+	w.mu.Unlock()
+	return &Envelope{Type: MsgPutOK, Count: len(req.Records)}
+}
+
+// projector builds the key projection for the requested dims against the
+// dataset's stored schema. Empty dims keep the full key.
+func (w *Worker) projector(dataset string, dims []string) (func(string) string, error) {
+	if len(dims) == 0 {
+		return func(k string) string { return k }, nil
+	}
+	w.mu.Lock()
+	schema := w.schemas[dataset]
+	w.mu.Unlock()
+	if schema == nil {
+		return nil, fmt.Errorf("dataset %q has no schema", dataset)
+	}
+	idx := make([]int, len(dims))
+	for i, d := range dims {
+		idx[i] = -1
+		for j, s := range schema {
+			if s == d {
+				idx[i] = j
+				break
+			}
+		}
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("dataset %q has no dimension %q", dataset, d)
+		}
+	}
+	return func(key string) string {
+		coords := strings.Split(key, "\x1f")
+		if len(coords) != len(schema) {
+			return key
+		}
+		parts := make([]string, len(idx))
+		for i, j := range idx {
+			parts[i] = coords[j]
+		}
+		return strings.Join(parts, "\x1f")
+	}, nil
+}
+
+func (w *Worker) handleStats(req *Envelope) *Envelope {
+	proj, err := w.projector(req.Dataset, req.Dims)
+	if err != nil {
+		return errEnv("stats: %v", err)
+	}
+	w.mu.Lock()
+	recs := w.datasets[req.Dataset]
+	w.mu.Unlock()
+	counts := map[string]int{}
+	for _, r := range recs {
+		counts[proj(r.Key)]++
+	}
+	type kc struct {
+		k string
+		c int
+	}
+	cells := make([]kc, 0, len(counts))
+	for k, c := range counts {
+		cells = append(cells, kc{k, c})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].c != cells[j].c {
+			return cells[i].c > cells[j].c
+		}
+		return cells[i].k < cells[j].k
+	})
+	topK := req.TopK
+	if topK <= 0 || topK > len(cells) {
+		topK = len(cells)
+	}
+	out := make([]ProbeCellDTO, topK)
+	for i := 0; i < topK; i++ {
+		out[i] = ProbeCellDTO{Key: cells[i].k, Count: cells[i].c}
+	}
+	return &Envelope{Type: MsgStatsOK, Count: len(recs), Cells: out}
+}
+
+func (w *Worker) handleScore(req *Envelope) *Envelope {
+	proj, err := w.projector(req.Dataset, req.Dims)
+	if err != nil {
+		return errEnv("score: %v", err)
+	}
+	w.mu.Lock()
+	recs := w.datasets[req.Dataset]
+	w.mu.Unlock()
+	local := map[string]bool{}
+	for _, r := range recs {
+		local[proj(r.Key)] = true
+	}
+	var matched, total float64
+	for _, c := range req.Cells {
+		total += float64(c.Count)
+		if local[c.Key] {
+			matched += float64(c.Count)
+		}
+	}
+	score := 0.0
+	if total > 0 {
+		score = matched / total
+	}
+	return &Envelope{Type: MsgScoreOK, Score: score}
+}
+
+// handleMove selects records (similarity-aware when asked, using the
+// destination's probe cells carried in the request) and pushes them to
+// the destination worker through the shaped uplink.
+func (w *Worker) handleMove(req *Envelope) *Envelope {
+	w.mu.Lock()
+	src := w.datasets[req.Dataset]
+	w.mu.Unlock()
+	if req.Count <= 0 || len(src) == 0 {
+		return &Envelope{Type: MsgMoveOK, Count: 0}
+	}
+	n := req.Count
+	if n > len(src) {
+		n = len(src)
+	}
+	var mover engine.Mover
+	dstCounts := map[string]int{}
+	if req.Similar {
+		for _, c := range req.Cells {
+			dstCounts[c.Key] = c.Count
+		}
+		mover = engine.SimilarMover{}
+	} else {
+		mover = engine.RandomMover{}
+	}
+	rng := stats.NewRand(stats.Split(w.seed, int64(len(src))))
+	idx := mover.Select(src, dstCounts, n, rng)
+	moving := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		moving[i] = true
+	}
+	var kept, moved []engine.KV
+	for i, r := range src {
+		if moving[i] {
+			moved = append(moved, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+
+	// Push to the destination through the shaped uplink, then commit the
+	// removal locally only on success.
+	if err := w.push(req.Dst, &Envelope{
+		Type: MsgTransfer, Dataset: req.Dataset, Records: moved,
+		Schema: w.schemaOf(req.Dataset),
+	}); err != nil {
+		return errEnv("move: push to %s: %v", req.Dst, err)
+	}
+	w.mu.Lock()
+	w.datasets[req.Dataset] = kept
+	w.mu.Unlock()
+	return &Envelope{Type: MsgMoveOK, Count: len(moved)}
+}
+
+func (w *Worker) schemaOf(dataset string) []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.schemas[dataset]
+}
+
+// push dials a peer, shapes the connection with the uplink bucket, sends
+// one request and waits for its acknowledgement.
+func (w *Worker) push(addr string, env *Envelope) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var rw net.Conn = conn
+	if w.up != nil {
+		rw = Shape(conn, w.up, nil)
+	}
+	_, err = call(rw, env)
+	return err
+}
+
+func (w *Worker) handleTransfer(req *Envelope) *Envelope {
+	w.mu.Lock()
+	if len(req.Schema) > 0 && w.schemas[req.Dataset] == nil {
+		w.schemas[req.Dataset] = append([]string(nil), req.Schema...)
+	}
+	w.datasets[req.Dataset] = append(w.datasets[req.Dataset], req.Records...)
+	w.mu.Unlock()
+	return &Envelope{Type: MsgTransferOK, Count: len(req.Records)}
+}
+
+// handleRunMap executes map (projection) + combine over the local dataset
+// and scatters the intermediate records to their reduce owners through the
+// shaped uplink, delivering the local share directly. The response carries
+// the total intermediate count in Count and the per-destination record
+// counts in PerSite, which the controller aggregates into each reducer's
+// expected arrival count.
+func (w *Worker) handleRunMap(req *Envelope) *Envelope {
+	q := req.Query
+	proj, err := w.projector(q.Dataset, q.Dims)
+	if err != nil {
+		return errEnv("runmap: %v", err)
+	}
+	w.mu.Lock()
+	recs := w.datasets[q.Dataset]
+	w.mu.Unlock()
+	mapped := make([]engine.KV, len(recs))
+	for i, r := range recs {
+		mapped[i] = engine.KV{Key: proj(r.Key), Val: r.Val}
+	}
+	inter := engine.Combine(mapped, q.Combine)
+
+	// Scatter by reduce ownership.
+	if len(req.TaskFrac) != len(req.Peers) {
+		return errEnv("runmap: %d task fractions for %d peers", len(req.TaskFrac), len(req.Peers))
+	}
+	buckets := make([][]engine.KV, len(req.Peers))
+	for _, kv := range inter {
+		owner := engine.KeyOwner(kv.Key, req.TaskFrac)
+		buckets[owner] = append(buckets[owner], kv)
+	}
+	perSite := make([]int, len(req.Peers))
+	for site, batch := range buckets {
+		perSite[site] = len(batch)
+		if len(batch) == 0 {
+			continue
+		}
+		if site == w.Site {
+			w.acceptIntermediate(q.ID, batch)
+			continue
+		}
+		if err := w.push(req.Peers[site], &Envelope{
+			Type: MsgIntermediate, Query: QueryDTO{ID: q.ID}, Records: batch,
+		}); err != nil {
+			return errEnv("runmap: scatter to site %d: %v", site, err)
+		}
+	}
+	return &Envelope{Type: MsgRunMapOK, Count: len(inter), PerSite: perSite}
+}
+
+func (w *Worker) acceptIntermediate(queryID string, recs []engine.KV) {
+	w.mu.Lock()
+	w.inter[queryID] = append(w.inter[queryID], recs...)
+	w.interN[queryID] += len(recs)
+	w.mu.Unlock()
+}
+
+func (w *Worker) handleIntermediate(req *Envelope) *Envelope {
+	w.acceptIntermediate(req.Query.ID, req.Records)
+	return &Envelope{Type: MsgIntermediateOK, Count: len(req.Records)}
+}
+
+// handleReduce waits until the expected number of intermediate records has
+// arrived, combines them, and returns the reduce output.
+func (w *Worker) handleReduce(req *Envelope) *Envelope {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w.mu.Lock()
+		n := w.interN[req.Query.ID]
+		w.mu.Unlock()
+		if n >= req.Expected {
+			break
+		}
+		if time.Now().After(deadline) {
+			return errEnv("reduce: received %d of %d intermediate records for %q", n, req.Expected, req.Query.ID)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	w.mu.Lock()
+	recs := w.inter[req.Query.ID]
+	delete(w.inter, req.Query.ID)
+	delete(w.interN, req.Query.ID)
+	w.mu.Unlock()
+	out := engine.CombinePartials(recs, req.Query.Combine)
+	return &Envelope{Type: MsgReduceOK, Records: out}
+}

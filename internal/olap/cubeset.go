@@ -1,0 +1,172 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// QueryTypeID names one query type: the set of attributes a class of
+// recurring queries accesses (§4.1). Two queries over the same attributes
+// are the same type and share one dimension cube.
+type QueryTypeID string
+
+// QueryTypeFor derives the canonical ID for an attribute set: sorted,
+// comma-joined dimension names.
+func QueryTypeFor(dims []string) QueryTypeID {
+	cp := append([]string(nil), dims...)
+	sort.Strings(cp)
+	return QueryTypeID(strings.Join(cp, ","))
+}
+
+// CubeSet manages the base OLAP cube of one dataset at one site plus the
+// materialized dimension cubes for each registered query type. New data
+// generated while a query is running are buffered; the dimension cube the
+// incoming query needs is updated eagerly, the others lazily in the
+// background (§4.1), which FlushBackground models.
+type CubeSet struct {
+	mu      sync.Mutex
+	base    *Cube
+	dims    map[QueryTypeID][]string
+	derived map[QueryTypeID]*Cube
+	pending map[QueryTypeID][]Row // rows not yet folded into a derived cube
+}
+
+// NewCubeSet creates a cube set over the given base schema.
+func NewCubeSet(schema *Schema) *CubeSet {
+	return &CubeSet{
+		base:    NewCube(schema),
+		dims:    make(map[QueryTypeID][]string),
+		derived: make(map[QueryTypeID]*Cube),
+		pending: make(map[QueryTypeID][]Row),
+	}
+}
+
+// Base returns the base cube. Callers must not mutate it directly;
+// use Insert.
+func (cs *CubeSet) Base() *Cube {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.base
+}
+
+// RegisterQueryType materializes a dimension cube for the attribute set and
+// returns its ID. Registering an existing type is a no-op.
+func (cs *CubeSet) RegisterQueryType(dims []string) (QueryTypeID, error) {
+	id := QueryTypeFor(dims)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if _, ok := cs.derived[id]; ok {
+		return id, nil
+	}
+	dc, err := cs.base.DimensionCube(dims...)
+	if err != nil {
+		return "", fmt.Errorf("olap: register query type: %w", err)
+	}
+	cs.dims[id] = append([]string(nil), dims...)
+	cs.derived[id] = dc
+	return id, nil
+}
+
+// QueryTypes returns the registered query type IDs in sorted order.
+func (cs *CubeSet) QueryTypes() []QueryTypeID {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]QueryTypeID, 0, len(cs.derived))
+	for id := range cs.derived {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Insert adds new raw rows: the base cube is updated immediately while
+// every materialized dimension cube only gets the rows buffered, to be
+// folded in by an eager Prepare (for the query type about to run) or by
+// FlushBackground.
+func (cs *CubeSet) Insert(rows ...Row) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for i, r := range rows {
+		if err := cs.base.Insert(r); err != nil {
+			return fmt.Errorf("olap: cubeset insert row %d: %w", i, err)
+		}
+	}
+	for id := range cs.derived {
+		cs.pending[id] = append(cs.pending[id], rows...)
+	}
+	return nil
+}
+
+// Prepare eagerly folds the pending rows into the dimension cube of one
+// query type — what Bohr does for the cube "used by the coming query" —
+// and returns that cube.
+func (cs *CubeSet) Prepare(id QueryTypeID) (*Cube, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.prepareLocked(id)
+}
+
+func (cs *CubeSet) prepareLocked(id QueryTypeID) (*Cube, error) {
+	dc, ok := cs.derived[id]
+	if !ok {
+		return nil, fmt.Errorf("olap: prepare: unknown query type %q", id)
+	}
+	rows := cs.pending[id]
+	if len(rows) > 0 {
+		dims := cs.dims[id]
+		srcIdx := make([]int, len(dims))
+		for i, d := range dims {
+			srcIdx[i] = cs.base.Schema().Index(d)
+		}
+		for _, r := range rows {
+			coords := make([]string, len(dims))
+			for i, si := range srcIdx {
+				coords[i] = r.Coords[si]
+			}
+			dc.add(coords, r.Measure, 1)
+			dc.rows++
+		}
+		cs.pending[id] = nil
+	}
+	return dc, nil
+}
+
+// FlushBackground folds pending rows into every dimension cube, modeling
+// the paper's background update of the cubes other queries use. It returns
+// the number of cubes that had pending work.
+func (cs *CubeSet) FlushBackground() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	n := 0
+	for id := range cs.derived {
+		if len(cs.pending[id]) > 0 {
+			n++
+			// prepareLocked cannot fail for a registered id.
+			if _, err := cs.prepareLocked(id); err != nil {
+				panic("olap: flush background: " + err.Error())
+			}
+		}
+	}
+	return n
+}
+
+// PendingRows reports how many buffered rows a query type's cube is behind.
+func (cs *CubeSet) PendingRows(id QueryTypeID) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.pending[id])
+}
+
+// StorageBytes returns the combined footprint of the base cube and all
+// materialized dimension cubes, for Table 6's storage accounting.
+func (cs *CubeSet) StorageBytes() int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	b := cs.base.StorageBytes()
+	for _, dc := range cs.derived {
+		b += dc.StorageBytes()
+	}
+	return b
+}

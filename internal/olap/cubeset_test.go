@@ -1,0 +1,142 @@
+package olap
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueryTypeForCanonical(t *testing.T) {
+	a := QueryTypeFor([]string{"b", "a"})
+	b := QueryTypeFor([]string{"a", "b"})
+	if a != b {
+		t.Fatalf("query type not canonical: %q vs %q", a, b)
+	}
+	if a != "a,b" {
+		t.Fatalf("unexpected id %q", a)
+	}
+}
+
+func TestCubeSetRegisterAndPrepare(t *testing.T) {
+	cs := NewCubeSet(MustSchema("url", "country", "hour"))
+	_ = cs.Insert(
+		Row{Coords: []string{"u1", "US", "00"}, Measure: 1},
+		Row{Coords: []string{"u1", "US", "01"}, Measure: 1},
+		Row{Coords: []string{"u2", "JP", "00"}, Measure: 1},
+	)
+	id, err := cs.RegisterQueryType([]string{"url"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := cs.Prepare(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := dc.Lookup("u1")
+	if !ok || cell.Count != 2 {
+		t.Fatalf("url cube cell = %+v", cell)
+	}
+	// Re-registering is a no-op returning the same ID.
+	id2, err := cs.RegisterQueryType([]string{"url"})
+	if err != nil || id2 != id {
+		t.Fatalf("re-register: %v %v", id2, err)
+	}
+	if _, err := cs.RegisterQueryType([]string{"nope"}); err == nil {
+		t.Fatal("unknown dim should error")
+	}
+}
+
+func TestCubeSetBufferedInserts(t *testing.T) {
+	cs := NewCubeSet(MustSchema("url", "country"))
+	idURL, _ := cs.RegisterQueryType([]string{"url"})
+	idCty, _ := cs.RegisterQueryType([]string{"country"})
+
+	_ = cs.Insert(Row{Coords: []string{"u1", "US"}, Measure: 1})
+	if got := cs.PendingRows(idURL); got != 1 {
+		t.Fatalf("pending url rows = %d", got)
+	}
+	if got := cs.PendingRows(idCty); got != 1 {
+		t.Fatalf("pending country rows = %d", got)
+	}
+	// Base is always current.
+	if cs.Base().NumRows() != 1 {
+		t.Fatal("base cube must be updated eagerly")
+	}
+	// Eager prepare folds only the requested cube.
+	dc, _ := cs.Prepare(idURL)
+	if dc.NumRows() != 1 || cs.PendingRows(idURL) != 0 {
+		t.Fatalf("prepare did not fold: rows=%d pending=%d", dc.NumRows(), cs.PendingRows(idURL))
+	}
+	if cs.PendingRows(idCty) != 1 {
+		t.Fatal("other cubes stay buffered")
+	}
+	// Background flush catches the rest up.
+	if n := cs.FlushBackground(); n != 1 {
+		t.Fatalf("FlushBackground touched %d cubes, want 1", n)
+	}
+	if cs.PendingRows(idCty) != 0 {
+		t.Fatal("flush should clear pending")
+	}
+	dcC, _ := cs.Prepare(idCty)
+	if _, ok := dcC.Lookup("US"); !ok {
+		t.Fatal("country cube missing flushed row")
+	}
+}
+
+func TestCubeSetPrepareUnknown(t *testing.T) {
+	cs := NewCubeSet(MustSchema("a"))
+	if _, err := cs.Prepare("nope"); err == nil {
+		t.Fatal("unknown query type should error")
+	}
+}
+
+func TestCubeSetInsertValidation(t *testing.T) {
+	cs := NewCubeSet(MustSchema("a", "b"))
+	if err := cs.Insert(Row{Coords: []string{"only-one"}}); err == nil {
+		t.Fatal("arity error should propagate")
+	}
+}
+
+func TestCubeSetQueryTypesSorted(t *testing.T) {
+	cs := NewCubeSet(MustSchema("a", "b", "c"))
+	_, _ = cs.RegisterQueryType([]string{"c"})
+	_, _ = cs.RegisterQueryType([]string{"a"})
+	_, _ = cs.RegisterQueryType([]string{"b"})
+	ids := cs.QueryTypes()
+	if len(ids) != 3 || ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Fatalf("QueryTypes = %v", ids)
+	}
+}
+
+func TestCubeSetStorageIncludesDerived(t *testing.T) {
+	cs := NewCubeSet(MustSchema("a", "b"))
+	_ = cs.Insert(Row{Coords: []string{"x", "y"}, Measure: 1})
+	baseOnly := cs.StorageBytes()
+	_, _ = cs.RegisterQueryType([]string{"a"})
+	if cs.StorageBytes() <= baseOnly {
+		t.Fatal("derived cubes should add storage")
+	}
+}
+
+func TestCubeSetConcurrentInserts(t *testing.T) {
+	cs := NewCubeSet(MustSchema("k"))
+	id, _ := cs.RegisterQueryType([]string{"k"})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = cs.Insert(Row{Coords: []string{"key"}, Measure: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	dc, err := cs.Prepare(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := dc.Lookup("key")
+	if !ok || cell.Count != 800 {
+		t.Fatalf("concurrent inserts lost: %+v", cell)
+	}
+}

@@ -1,0 +1,126 @@
+// Package olap implements the OLAP cube substrate Bohr uses to store raw
+// data and to prepare per-query-type dimension cubes for similarity
+// checking (§2.2, §4.1 of the paper).
+//
+// A cube is a sparse multi-dimensional array: each cell is addressed by one
+// coordinate per dimension and holds an aggregated measure plus a record
+// count. Common OLAP operations — slice, dice, roll up, drill down, pivot —
+// produce derived cubes. Dimension cubes (subcubes aggregated down to the
+// dimensions one query type needs) are first-class because Bohr's probes
+// are built from their largest cells.
+package olap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema describes the dimensions of a cube, in order. Dimension names
+// must be unique and non-empty.
+type Schema struct {
+	dims  []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from ordered dimension names.
+func NewSchema(dims ...string) (*Schema, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("olap: schema needs at least one dimension")
+	}
+	s := &Schema{dims: append([]string(nil), dims...), index: make(map[string]int, len(dims))}
+	for i, d := range dims {
+		if d == "" {
+			return nil, fmt.Errorf("olap: empty dimension name at position %d", i)
+		}
+		if strings.ContainsRune(d, sep) {
+			return nil, fmt.Errorf("olap: dimension name %q contains reserved separator", d)
+		}
+		if _, dup := s.index[d]; dup {
+			return nil, fmt.Errorf("olap: duplicate dimension %q", d)
+		}
+		s.index[d] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for tests and literals.
+func MustSchema(dims ...string) *Schema {
+	s, err := NewSchema(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dims returns the ordered dimension names. The slice must not be mutated.
+func (s *Schema) Dims() []string { return s.dims }
+
+// NumDims returns the number of dimensions.
+func (s *Schema) NumDims() int { return len(s.dims) }
+
+// Index returns the position of a dimension, or -1 if absent.
+func (s *Schema) Index(dim string) int {
+	if i, ok := s.index[dim]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the schema contains the dimension.
+func (s *Schema) Has(dim string) bool { return s.Index(dim) >= 0 }
+
+// Project returns a new schema containing only the named dimensions, in
+// the order given. Every name must exist in s.
+func (s *Schema) Project(dims ...string) (*Schema, error) {
+	for _, d := range dims {
+		if !s.Has(d) {
+			return nil, fmt.Errorf("olap: project: unknown dimension %q", d)
+		}
+	}
+	return NewSchema(dims...)
+}
+
+// Without returns a new schema with the named dimension removed.
+func (s *Schema) Without(dim string) (*Schema, error) {
+	i := s.Index(dim)
+	if i < 0 {
+		return nil, fmt.Errorf("olap: without: unknown dimension %q", dim)
+	}
+	if len(s.dims) == 1 {
+		return nil, fmt.Errorf("olap: without: cannot remove the last dimension %q", dim)
+	}
+	rest := make([]string, 0, len(s.dims)-1)
+	rest = append(rest, s.dims[:i]...)
+	rest = append(rest, s.dims[i+1:]...)
+	return NewSchema(rest...)
+}
+
+// Equal reports whether two schemas have identical dimensions in the same
+// order.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.dims) != len(o.dims) {
+		return false
+	}
+	for i := range s.dims {
+		if s.dims[i] != o.dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Row is one raw record: a coordinate per schema dimension plus a numeric
+// measure (e.g. a page score, a sale amount).
+type Row struct {
+	Coords  []string
+	Measure float64
+}
+
+// Hierarchy coarsens one dimension's coordinates to a higher level, e.g.
+// day → month for a time dimension, or city → region. It backs the
+// roll-up-by-level operation.
+type Hierarchy struct {
+	Dim     string
+	Level   string
+	Coarsen func(coord string) string
+}

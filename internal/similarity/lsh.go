@@ -1,0 +1,123 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+
+	"bohr/internal/stats"
+)
+
+// LSH implements random-hyperplane locality-sensitive hashing for
+// high-dimensional feature vectors — the paper uses LSH to reduce the
+// dimensionality of image feature vectors before probing (§4.2).
+//
+// Each of the bits hyperplanes contributes one sign bit; two vectors'
+// signatures differ on a bit with probability θ/π where θ is the angle
+// between them, so Hamming similarity estimates cosine similarity.
+type LSH struct {
+	dim    int
+	planes [][]float64
+}
+
+// NewLSH creates an LSH with `bits` random hyperplanes over `dim`-
+// dimensional vectors, seeded deterministically.
+func NewLSH(dim, bits int, seed int64) (*LSH, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("similarity: lsh dimension must be positive, got %d", dim)
+	}
+	if bits <= 0 {
+		return nil, fmt.Errorf("similarity: lsh needs at least one bit, got %d", bits)
+	}
+	rng := stats.NewRand(seed)
+	planes := make([][]float64, bits)
+	for i := range planes {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		planes[i] = p
+	}
+	return &LSH{dim: dim, planes: planes}, nil
+}
+
+// Bits returns the signature length in bits.
+func (l *LSH) Bits() int { return len(l.planes) }
+
+// Dim returns the expected vector dimensionality.
+func (l *LSH) Dim() int { return l.dim }
+
+// Sign computes the bit signature of a vector, packed into uint64 words.
+func (l *LSH) Sign(v []float64) ([]uint64, error) {
+	if len(v) != l.dim {
+		return nil, fmt.Errorf("similarity: lsh sign: vector has dim %d, want %d", len(v), l.dim)
+	}
+	words := make([]uint64, (len(l.planes)+63)/64)
+	for i, p := range l.planes {
+		var dot float64
+		for j, x := range v {
+			dot += p[j] * x
+		}
+		if dot >= 0 {
+			words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return words, nil
+}
+
+// HammingSimilarity returns the fraction of matching signature bits of two
+// signatures produced by the same LSH.
+func (l *LSH) HammingSimilarity(a, b []uint64) (float64, error) {
+	want := (l.Bits() + 63) / 64
+	if len(a) != want || len(b) != want {
+		return 0, fmt.Errorf("similarity: lsh hamming: signature words %d/%d, want %d", len(a), len(b), want)
+	}
+	diff := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		// Mask bits beyond the configured signature length in the last word.
+		if i == len(a)-1 {
+			if r := l.Bits() % 64; r != 0 {
+				x &= (1 << uint(r)) - 1
+			}
+		}
+		diff += popcount(x)
+	}
+	return 1 - float64(diff)/float64(l.Bits()), nil
+}
+
+// EstimateCosine converts a Hamming bit-match fraction into the cosine
+// similarity it estimates: cos(π · (1 - match)).
+func (l *LSH) EstimateCosine(a, b []uint64) (float64, error) {
+	match, err := l.HammingSimilarity(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return math.Cos(math.Pi * (1 - match)), nil
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Cosine computes the exact cosine similarity of two vectors, the ground
+// truth the LSH estimator approximates. Zero vectors have similarity 0.
+func Cosine(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("similarity: cosine: dims %d vs %d", len(a), len(b))
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0, nil
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb)), nil
+}

@@ -1,0 +1,160 @@
+// Package similarity implements Bohr's similarity checking machinery (§4):
+// probe construction from OLAP dimension cubes, cross-site similarity
+// scoring, minhash signatures, locality-sensitive hashing for
+// high-dimensional feature vectors, and the vector space model used to
+// turn image-like data into feature vectors.
+package similarity
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// MinHasher computes m-function minhash signatures over string sets, the
+// estimator behind Jaccard similarity checks. Signatures of two sets agree
+// on each hash function with probability equal to their Jaccard index.
+type MinHasher struct {
+	seeds []uint64
+}
+
+// NewMinHasher creates a hasher with m independent hash functions derived
+// deterministically from seed.
+func NewMinHasher(m int, seed int64) (*MinHasher, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("similarity: minhash needs at least one function, got %d", m)
+	}
+	seeds := make([]uint64, m)
+	z := uint64(seed)
+	for i := range seeds {
+		// SplitMix64 step: decorrelated per-function seeds.
+		z += 0x9E3779B97F4A7C15
+		x := z
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		seeds[i] = x ^ (x >> 31)
+	}
+	return &MinHasher{seeds: seeds}, nil
+}
+
+// M returns the number of hash functions.
+func (h *MinHasher) M() int { return len(h.seeds) }
+
+// baseHash hashes a key once; per-function values are derived by mixing
+// the base hash with each function's seed through a full-avalanche
+// finalizer, which gives a family that is close enough to min-wise
+// independent for Jaccard estimation.
+func baseHash(key string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(key))
+	return f.Sum64()
+}
+
+// mix64 is the SplitMix64 finalizer: every input bit affects every output
+// bit.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Signature computes the minhash signature of a key set. An empty set
+// yields an all-max signature that matches nothing.
+func (h *MinHasher) Signature(keys []string) []uint64 {
+	sig := make([]uint64, len(h.seeds))
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for _, k := range keys {
+		b := baseHash(k)
+		for i, s := range h.seeds {
+			if v := mix64(b ^ s); v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// EstimateJaccard estimates the Jaccard index of the two sets behind the
+// signatures: the fraction of hash functions on which they agree.
+// Signatures must come from the same MinHasher.
+func EstimateJaccard(a, b []uint64) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("similarity: signatures have lengths %d and %d", len(a), len(b))
+	}
+	match := 0
+	for i := range a {
+		if a[i] == b[i] && a[i] != math.MaxUint64 {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a)), nil
+}
+
+// ExactJaccard computes the exact Jaccard index |X∩Y| / |X∪Y| of two key
+// sets, the ground truth the minhash estimator approximates. Two empty
+// sets have Jaccard 0 by convention here (nothing to combine).
+func ExactJaccard(x, y []string) float64 {
+	if len(x) == 0 && len(y) == 0 {
+		return 0
+	}
+	xs := make(map[string]bool, len(x))
+	for _, k := range x {
+		xs[k] = true
+	}
+	ys := make(map[string]bool, len(y))
+	for _, k := range y {
+		ys[k] = true
+	}
+	inter := 0
+	for k := range xs {
+		if ys[k] {
+			inter++
+		}
+	}
+	union := len(xs) + len(ys) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// WeightedJaccard computes the Jaccard index generalized to multisets
+// (a.k.a. the Ruzicka similarity): Σ min(cx, cy) / Σ max(cx, cy) over key
+// counts. It measures the fraction of records that would combine when the
+// two multisets are co-located, which is the quantity Bohr's combiner
+// actually benefits from.
+func WeightedJaccard(x, y map[string]int) float64 {
+	var num, den float64
+	seen := make(map[string]bool, len(x)+len(y))
+	for k, cx := range x {
+		cy := y[k]
+		num += float64(min(cx, cy))
+		den += float64(max(cx, cy))
+		seen[k] = true
+	}
+	for k, cy := range y {
+		if !seen[k] {
+			den += float64(cy)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package similarity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VSM is a vector space model (§4.1 cites Salton et al.): it maps
+// token streams to term-frequency vectors over a fixed vocabulary so
+// image-like or text data can be compared with vector distance functions
+// and hashed with LSH.
+type VSM struct {
+	vocab map[string]int
+	terms []string
+}
+
+// BuildVSM constructs the model from a corpus of documents, keeping the
+// maxTerms most frequent terms (all terms if maxTerms <= 0). Term order is
+// deterministic: descending corpus frequency, ties broken lexically.
+func BuildVSM(corpus [][]string, maxTerms int) (*VSM, error) {
+	freq := map[string]int{}
+	for _, doc := range corpus {
+		for _, tok := range doc {
+			if tok == "" {
+				continue
+			}
+			freq[tok]++
+		}
+	}
+	if len(freq) == 0 {
+		return nil, fmt.Errorf("similarity: vsm corpus has no terms")
+	}
+	terms := make([]string, 0, len(freq))
+	for t := range freq {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if freq[terms[i]] != freq[terms[j]] {
+			return freq[terms[i]] > freq[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if maxTerms > 0 && len(terms) > maxTerms {
+		terms = terms[:maxTerms]
+	}
+	v := &VSM{vocab: make(map[string]int, len(terms)), terms: terms}
+	for i, t := range terms {
+		v.vocab[t] = i
+	}
+	return v, nil
+}
+
+// Dim returns the vector dimensionality (vocabulary size).
+func (v *VSM) Dim() int { return len(v.terms) }
+
+// Terms returns the vocabulary in vector order. Do not mutate.
+func (v *VSM) Terms() []string { return v.terms }
+
+// Vector maps a document to its term-frequency vector. Terms outside the
+// vocabulary are dropped.
+func (v *VSM) Vector(doc []string) []float64 {
+	out := make([]float64, len(v.terms))
+	for _, tok := range doc {
+		if i, ok := v.vocab[tok]; ok {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Tokenize splits free text into lowercase word tokens on any
+// non-alphanumeric boundary — a minimal analyzer adequate for log lines.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+}

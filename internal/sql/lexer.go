@@ -1,0 +1,135 @@
+// Package sql implements the small SQL subset Bohr accepts through its
+// uniform query interface (§7: "it can leverage Spark SQL to parse SQL
+// queries"). Supported shape:
+//
+//	SELECT <item, ...> FROM <dataset>
+//	       [WHERE <dim> <op> <value> [AND ...]]
+//	       [GROUP BY <dim, ...>]
+//
+// where items are dimension names or aggregates — SUM(measure),
+// COUNT(*), MAX(measure), MIN(measure) — and ops are =, !=, <, <=, >, >=.
+// Statements compile to engine queries (projection map + combine) plus a
+// row predicate, so parsed SQL runs on the same substrate as the built-in
+// workloads.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexed tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = != < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return ","
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokStar:
+		return "*"
+	case tokOp:
+		return "operator"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits the input into tokens. Keywords stay tokIdent; the parser
+// matches them case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected %q at offset %d", c, i)
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < n && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c == '\'':
+			j := strings.IndexByte(input[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : i+1+j], i})
+			i += j + 2
+		case unicode.IsDigit(c) || c == '-' || c == '.':
+			j := i + 1
+			for j < n && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_' || input[j] == '-') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sql: unexpected %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

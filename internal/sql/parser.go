@@ -1,0 +1,263 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AggFunc is an aggregate function name.
+type AggFunc string
+
+// Supported aggregates.
+const (
+	AggNone  AggFunc = ""
+	AggSum   AggFunc = "SUM"
+	AggCount AggFunc = "COUNT"
+	AggMax   AggFunc = "MAX"
+	AggMin   AggFunc = "MIN"
+)
+
+// SelectItem is one projected column: a plain dimension or an aggregate
+// over the measure ("measure" or "*" for COUNT).
+type SelectItem struct {
+	Agg    AggFunc
+	Column string // dimension name; "*" only for COUNT(*)
+}
+
+// Condition is one WHERE conjunct: <dim> <op> <value>.
+type Condition struct {
+	Column string
+	Op     string // = != < <= > >=
+	Value  string
+	// Numeric reports whether Value lexed as a number, in which case
+	// comparisons are numeric where possible.
+	Numeric bool
+}
+
+// Statement is a parsed SELECT.
+type Statement struct {
+	Items   []SelectItem
+	Dataset string
+	Where   []Condition
+	GroupBy []string
+	// OrderBy is "key" to sort by group key or "value" to sort by the
+	// aggregated measure; empty means engine order (key-sorted).
+	OrderBy string
+	Desc    bool
+	// Limit bounds the result rows; 0 means unlimited.
+	Limit int
+}
+
+// parser walks a token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %q at offset %d", kw, p.peek().text, p.peek().pos)
+	}
+	p.next()
+	return nil
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt := &Statement{}
+
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	ds := p.next()
+	if ds.kind != tokIdent {
+		return nil, fmt.Errorf("sql: expected dataset name, got %q at offset %d", ds.text, ds.pos)
+	}
+	stmt.Dataset = ds.text
+
+	if p.isKeyword("WHERE") {
+		p.next()
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, cond)
+			if !p.isKeyword("AND") {
+				break
+			}
+			p.next()
+		}
+	}
+
+	if p.isKeyword("GROUP") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col := p.next()
+			if col.kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected column in GROUP BY, got %q at offset %d", col.text, col.pos)
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col.text)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+
+	if p.isKeyword("ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col := p.next()
+		if col.kind != tokIdent {
+			return nil, fmt.Errorf("sql: expected key|value in ORDER BY, got %q at offset %d", col.text, col.pos)
+		}
+		switch strings.ToLower(col.text) {
+		case "key", "value":
+			stmt.OrderBy = strings.ToLower(col.text)
+		default:
+			return nil, fmt.Errorf("sql: ORDER BY supports key or value, got %q", col.text)
+		}
+		if p.isKeyword("DESC") {
+			stmt.Desc = true
+			p.next()
+		} else if p.isKeyword("ASC") {
+			p.next()
+		}
+	}
+
+	if p.isKeyword("LIMIT") {
+		p.next()
+		num := p.next()
+		if num.kind != tokNumber {
+			return nil, fmt.Errorf("sql: expected number after LIMIT, got %q at offset %d", num.text, num.pos)
+		}
+		n, err := strconv.Atoi(num.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", num.text)
+		}
+		stmt.Limit = n
+	}
+
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input %q at offset %d", t.text, t.pos)
+	}
+	if err := stmt.validate(); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return SelectItem{}, fmt.Errorf("sql: expected select item, got %q at offset %d", t.text, t.pos)
+	}
+	upper := strings.ToUpper(t.text)
+	switch AggFunc(upper) {
+	case AggSum, AggCount, AggMax, AggMin:
+		if p.peek().kind == tokLParen {
+			p.next()
+			arg := p.next()
+			var col string
+			switch {
+			case arg.kind == tokStar:
+				col = "*"
+			case arg.kind == tokIdent:
+				col = arg.text
+			default:
+				return SelectItem{}, fmt.Errorf("sql: bad aggregate argument %q at offset %d", arg.text, arg.pos)
+			}
+			if cp := p.next(); cp.kind != tokRParen {
+				return SelectItem{}, fmt.Errorf("sql: expected ), got %q at offset %d", cp.text, cp.pos)
+			}
+			return SelectItem{Agg: AggFunc(upper), Column: col}, nil
+		}
+	}
+	return SelectItem{Column: t.text}, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	col := p.next()
+	if col.kind != tokIdent {
+		return Condition{}, fmt.Errorf("sql: expected column in WHERE, got %q at offset %d", col.text, col.pos)
+	}
+	op := p.next()
+	if op.kind != tokOp {
+		return Condition{}, fmt.Errorf("sql: expected operator, got %q at offset %d", op.text, op.pos)
+	}
+	val := p.next()
+	switch val.kind {
+	case tokString:
+		return Condition{Column: col.text, Op: op.text, Value: val.text}, nil
+	case tokNumber:
+		return Condition{Column: col.text, Op: op.text, Value: val.text, Numeric: true}, nil
+	case tokIdent:
+		return Condition{Column: col.text, Op: op.text, Value: val.text}, nil
+	default:
+		return Condition{}, fmt.Errorf("sql: expected value, got %q at offset %d", val.text, val.pos)
+	}
+}
+
+// validate enforces semantic rules that don't need a schema.
+func (s *Statement) validate() error {
+	hasAgg := false
+	var plain []string
+	for _, it := range s.Items {
+		if it.Agg != AggNone {
+			hasAgg = true
+			if it.Column == "*" && it.Agg != AggCount {
+				return fmt.Errorf("sql: %s(*) is not allowed; only COUNT(*)", it.Agg)
+			}
+		} else {
+			plain = append(plain, it.Column)
+		}
+	}
+	if hasAgg && len(s.GroupBy) == 0 && len(plain) > 0 {
+		return fmt.Errorf("sql: plain columns %v mixed with aggregates need GROUP BY", plain)
+	}
+	if len(s.GroupBy) > 0 {
+		grouped := map[string]bool{}
+		for _, g := range s.GroupBy {
+			grouped[g] = true
+		}
+		for _, col := range plain {
+			if !grouped[col] {
+				return fmt.Errorf("sql: column %q must appear in GROUP BY", col)
+			}
+		}
+	}
+	return nil
+}

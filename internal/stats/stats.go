@@ -1,0 +1,232 @@
+// Package stats provides small numeric helpers shared across the Bohr
+// reproduction: summary statistics, histograms, and deterministic seeded
+// random sources.
+//
+// Every stochastic component in the repository draws from an explicit
+// *rand.Rand created through this package so experiment runs are
+// bit-reproducible.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRand returns a deterministic random source for the given seed.
+// Callers must never share one source across goroutines; derive one per
+// goroutine with Split.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Split derives a child seed from a parent seed and a stream index so
+// parallel components get independent but reproducible streams.
+func Split(seed int64, stream int64) int64 {
+	// SplitMix64-style mixing keeps child streams decorrelated even for
+	// adjacent stream indices.
+	z := uint64(seed) + uint64(stream)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It copies xs and leaves the input
+// unmodified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary holds the usual five-number-ish summary of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary compactly for log lines and harness output.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.Max)
+}
+
+// Zipf draws n samples from a Zipf distribution over [0, k) with skew s>1
+// behaviourally similar to real analytics key popularity. The returned
+// values are element indices.
+func Zipf(rng *rand.Rand, s float64, k uint64, n int) []uint64 {
+	if s <= 1 {
+		s = 1.0001
+	}
+	z := rand.NewZipf(rng, s, 1, k-1)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Uint64()
+	}
+	return out
+}
+
+// WeightedChoice picks an index in weights proportionally to its weight.
+// All weights must be non-negative; a zero total picks uniformly.
+func WeightedChoice(rng *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Histogram is a fixed-bucket histogram over [lo, hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	under   int
+	over    int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.under++
+		return
+	}
+	if x >= h.Hi {
+		h.over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int {
+	t := h.under + h.over
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// OutOfRange returns counts of observations below Lo and at/above Hi.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestSumMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Sum(xs); got != 11 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Fatalf("Max = %v", got)
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if StdDev(nil) != 0 {
+		t.Fatal("StdDev(nil) should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianInterpolates(t *testing.T) {
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Median = %v, want 2.5", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	if s.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestSplitDeterministicAndDistinct(t *testing.T) {
+	a := Split(42, 1)
+	b := Split(42, 1)
+	c := Split(42, 2)
+	if a != b {
+		t.Fatal("Split not deterministic")
+	}
+	if a == c {
+		t.Fatal("adjacent streams should differ")
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	r1, r2 := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if r1.Int63() != r2.Int63() {
+			t.Fatal("same seed should give same stream")
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	rng := NewRand(1)
+	xs := Zipf(rng, 1.5, 1000, 10000)
+	counts := map[uint64]int{}
+	for _, x := range xs {
+		if x >= 1000 {
+			t.Fatalf("out of range: %d", x)
+		}
+		counts[x]++
+	}
+	// Zipf should be heavily skewed toward small indices.
+	if counts[0] < counts[500]*2 {
+		t.Fatalf("expected skew: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	rng := NewRand(3)
+	w := []float64{0, 0, 1}
+	for i := 0; i < 50; i++ {
+		if got := WeightedChoice(rng, w); got != 2 {
+			t.Fatalf("WeightedChoice picked %d with zero weight", got)
+		}
+	}
+	// Zero total falls back to uniform and must stay in range.
+	for i := 0; i < 50; i++ {
+		if got := WeightedChoice(rng, []float64{0, 0}); got < 0 || got > 1 {
+			t.Fatalf("uniform fallback out of range: %d", got)
+		}
+	}
+}
+
+func TestWeightedChoiceProportions(t *testing.T) {
+	rng := NewRand(9)
+	w := []float64{1, 3}
+	n1 := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if WeightedChoice(rng, w) == 1 {
+			n1++
+		}
+	}
+	frac := float64(n1) / trials
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("weight-3 option chosen %.3f of the time, want ~0.75", frac)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("under=%d over=%d", under, over)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Fatalf("bucket0 = %d, want 2", h.Buckets[0])
+	}
+	if h.Buckets[4] != 1 { // 9.99
+		t.Fatalf("bucket4 = %d, want 1", h.Buckets[4])
+	}
+}
+
+func TestHistogramZeroBuckets(t *testing.T) {
+	h := NewHistogram(0, 1, 0)
+	h.Add(0.5)
+	if h.Total() != 1 {
+		t.Fatal("degenerate histogram should still count")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		return v1 <= v2+1e-9 && v1 >= Min(xs)-1e-9 && v2 <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

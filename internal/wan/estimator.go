@@ -1,0 +1,106 @@
+package wan
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// BandwidthEstimator tracks the available bandwidth of every site the way
+// the Bohr prototype does (§7): it periodically observes noisy samples of
+// each link and smooths them, assuming bandwidth is relatively stable at
+// the granularity of minutes. The placement planner consumes the smoothed
+// values rather than the instantaneous truth.
+type BandwidthEstimator struct {
+	mu    sync.Mutex
+	alpha float64 // EWMA smoothing factor in (0, 1]
+	up    []float64
+	down  []float64
+	seen  []bool
+}
+
+// NewBandwidthEstimator creates an estimator for n sites with EWMA factor
+// alpha. alpha=1 means "trust only the latest sample"; small alpha smooths
+// aggressively.
+func NewBandwidthEstimator(n int, alpha float64) (*BandwidthEstimator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("wan: estimator needs at least one site, got %d", n)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("wan: EWMA alpha must be in (0,1], got %v", alpha)
+	}
+	return &BandwidthEstimator{
+		alpha: alpha,
+		up:    make([]float64, n),
+		down:  make([]float64, n),
+		seen:  make([]bool, n),
+	}, nil
+}
+
+// Observe folds one bandwidth measurement for a site into the estimate.
+func (e *BandwidthEstimator) Observe(site SiteID, upMBps, downMBps float64) error {
+	if int(site) < 0 || int(site) >= len(e.up) {
+		return fmt.Errorf("wan: observe: site %d out of range [0,%d)", site, len(e.up))
+	}
+	if upMBps <= 0 || downMBps <= 0 {
+		return fmt.Errorf("wan: observe: non-positive sample for site %d", site)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seen[site] {
+		e.up[site], e.down[site] = upMBps, downMBps
+		e.seen[site] = true
+		return nil
+	}
+	e.up[site] = e.alpha*upMBps + (1-e.alpha)*e.up[site]
+	e.down[site] = e.alpha*downMBps + (1-e.alpha)*e.down[site]
+	return nil
+}
+
+// Estimate returns the current smoothed estimate for a site. ok is false
+// if the site has never been observed.
+func (e *BandwidthEstimator) Estimate(site SiteID) (upMBps, downMBps float64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(site) < 0 || int(site) >= len(e.up) || !e.seen[site] {
+		return 0, 0, false
+	}
+	return e.up[site], e.down[site], true
+}
+
+// Snapshot builds a Topology from the current estimates, falling back to
+// the provided truth for never-observed sites. This is what the planner
+// hands to the LP.
+func (e *BandwidthEstimator) Snapshot(truth *Topology) *Topology {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := &Topology{Sites: make([]Site, truth.N())}
+	for i, s := range truth.Sites {
+		out.Sites[i] = s
+		if i < len(e.seen) && e.seen[i] {
+			out.Sites[i].UpMBps = e.up[i]
+			out.Sites[i].DownMBps = e.down[i]
+		}
+	}
+	return out
+}
+
+// NoisyProbe simulates one round of bandwidth probing against the true
+// topology: each site's capacity is observed with multiplicative noise of
+// relative magnitude jitter (e.g. 0.1 for ±10%). It feeds every sample into
+// the estimator.
+func (e *BandwidthEstimator) NoisyProbe(truth *Topology, jitter float64, rng *rand.Rand) {
+	for _, s := range truth.Sites {
+		f := func() float64 { return 1 + jitter*(2*rng.Float64()-1) }
+		up := s.UpMBps * f()
+		down := s.DownMBps * f()
+		if up <= 0 {
+			up = s.UpMBps * 0.01
+		}
+		if down <= 0 {
+			down = s.DownMBps * 0.01
+		}
+		// Errors impossible here: capacities are positive and site IDs valid.
+		_ = e.Observe(s.ID, up, down)
+	}
+}

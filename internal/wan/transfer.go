@@ -1,0 +1,196 @@
+package wan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transfer is one WAN flow: MB megabytes moving from Src to Dst.
+// (The unit is MB throughout so that MB / MBps = seconds.)
+type Transfer struct {
+	Src, Dst SiteID
+	MB       float64
+}
+
+// Estimate computes the aggregate per-site transfer time under the
+// placement model of §5: each site uploads the sum of its outgoing bytes
+// through its uplink and downloads the sum of its incoming bytes through
+// its downlink, independently. The returned value is the makespan — the
+// maximum over all per-site upload and download times. This is exactly the
+// quantity constraints (3)-(6) of the LP bound.
+func (t *Topology) Estimate(transfers []Transfer) float64 {
+	up, down := t.PerSiteTimes(transfers)
+	var makespan float64
+	for i := range up {
+		if up[i] > makespan {
+			makespan = up[i]
+		}
+		if down[i] > makespan {
+			makespan = down[i]
+		}
+	}
+	return makespan
+}
+
+// PerSiteTimes returns (uploadTime, downloadTime) per site for a transfer
+// set, the per-site decomposition of Estimate.
+func (t *Topology) PerSiteTimes(transfers []Transfer) (up, down []float64) {
+	upB := make([]float64, t.N())
+	downB := make([]float64, t.N())
+	for _, tr := range transfers {
+		if tr.Src == tr.Dst || tr.MB <= 0 {
+			continue
+		}
+		upB[tr.Src] += tr.MB
+		downB[tr.Dst] += tr.MB
+	}
+	up = make([]float64, t.N())
+	down = make([]float64, t.N())
+	for i, s := range t.Sites {
+		up[i] = upB[i] / s.UpMBps
+		down[i] = downB[i] / s.DownMBps
+	}
+	return up, down
+}
+
+// flow is the mutable state of one simulated transfer.
+type flow struct {
+	idx       int
+	src, dst  SiteID
+	remaining float64
+	rate      float64
+	frozen    bool // rate fixed during the current progressive-filling pass
+	done      bool
+}
+
+// FlowResult reports the completion time of one simulated transfer.
+type FlowResult struct {
+	Transfer
+	Finish float64 // seconds from simulation start
+}
+
+// SimResult is the outcome of a fluid simulation.
+type SimResult struct {
+	Flows    []FlowResult
+	Makespan float64
+}
+
+// Simulate runs the transfer set to completion under max-min fair sharing
+// of the per-site uplink and downlink capacities (a fluid model: rates are
+// recomputed by progressive filling at every flow completion event). It
+// returns per-flow completion times and the makespan.
+//
+// The fluid model reflects how parallel shuffle flows actually share access
+// links, and is never faster than Estimate's per-link aggregate bound.
+func (t *Topology) Simulate(transfers []Transfer) SimResult {
+	flows := make([]*flow, 0, len(transfers))
+	results := make([]FlowResult, len(transfers))
+	for i, tr := range transfers {
+		results[i] = FlowResult{Transfer: tr}
+		if tr.Src == tr.Dst || tr.MB <= 0 {
+			continue // local or empty: completes instantly
+		}
+		flows = append(flows, &flow{idx: i, src: tr.Src, dst: tr.Dst, remaining: tr.MB})
+	}
+
+	now := 0.0
+	active := len(flows)
+	for active > 0 {
+		t.fillRates(flows)
+		// Earliest completion among active flows.
+		next := math.Inf(1)
+		for _, f := range flows {
+			if f.done || f.rate <= 0 {
+				continue
+			}
+			if dt := f.remaining / f.rate; dt < next {
+				next = dt
+			}
+		}
+		if math.IsInf(next, 1) {
+			panic(fmt.Sprintf("wan: fluid simulation stalled at t=%.3f with %d active flows", now, active))
+		}
+		now += next
+		for _, f := range flows {
+			if f.done {
+				continue
+			}
+			f.remaining -= f.rate * next
+			if f.remaining <= 1e-9 {
+				f.remaining = 0
+				f.done = true
+				active--
+				results[f.idx].Finish = now
+			}
+		}
+	}
+	return SimResult{Flows: results, Makespan: now}
+}
+
+// fillRates assigns max-min fair rates to active flows via progressive
+// filling: repeatedly find the most contended link (smallest per-flow fair
+// share), freeze its flows at that share, subtract the frozen rates from
+// link capacities, and repeat until every flow is frozen.
+func (t *Topology) fillRates(flows []*flow) {
+	n := t.N()
+	upCap := make([]float64, n)
+	downCap := make([]float64, n)
+	for i, s := range t.Sites {
+		upCap[i] = s.UpMBps
+		downCap[i] = s.DownMBps
+	}
+	unfrozen := 0
+	for _, f := range flows {
+		f.frozen = f.done
+		f.rate = 0
+		if !f.done {
+			unfrozen++
+		}
+	}
+	upCnt := make([]int, n)
+	downCnt := make([]int, n)
+	for unfrozen > 0 {
+		for i := 0; i < n; i++ {
+			upCnt[i], downCnt[i] = 0, 0
+		}
+		for _, f := range flows {
+			if f.frozen {
+				continue
+			}
+			upCnt[f.src]++
+			downCnt[f.dst]++
+		}
+		// Smallest fair share over all loaded links.
+		share := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if upCnt[i] > 0 {
+				if s := upCap[i] / float64(upCnt[i]); s < share {
+					share = s
+				}
+			}
+			if downCnt[i] > 0 {
+				if s := downCap[i] / float64(downCnt[i]); s < share {
+					share = s
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			break
+		}
+		// Freeze flows crossing any link saturated at this share.
+		for _, f := range flows {
+			if f.frozen {
+				continue
+			}
+			srcSat := upCap[f.src]/float64(upCnt[f.src]) <= share+1e-12
+			dstSat := downCap[f.dst]/float64(downCnt[f.dst]) <= share+1e-12
+			if srcSat || dstSat {
+				f.rate = share
+				f.frozen = true
+				unfrozen--
+				upCap[f.src] -= share
+				downCap[f.dst] -= share
+			}
+		}
+	}
+}

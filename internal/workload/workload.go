@@ -1,0 +1,292 @@
+// Package workload generates the three evaluation workloads of the paper
+// (§8.1): the AMPLab big data benchmark (scan / UDF / aggregation over a
+// rankings-style schema), a TPC-DS-flavoured retail star schema, and a
+// Facebook-trace-flavoured job log with a heavy-tailed job mix. The
+// generators synthesize geo-distributed datasets with controllable
+// cross-site key overlap, so the similarity structure Bohr exploits is a
+// tunable input rather than an accident of the generator.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"bohr/internal/engine"
+	"bohr/internal/olap"
+	"bohr/internal/stats"
+)
+
+// Kind selects one of the paper's workloads.
+type Kind int
+
+// The five workload columns of Figures 6, 7 and 10.
+const (
+	BigDataScan Kind = iota
+	BigDataUDF
+	BigDataAggr
+	TPCDS
+	Facebook
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BigDataScan:
+		return "Big data (scan)"
+	case BigDataUDF:
+		return "Big data (UDF)"
+	case BigDataAggr:
+		return "Big data (aggr)"
+	case TPCDS:
+		return "TPC-DS"
+	case Facebook:
+		return "Facebook"
+	}
+	return "unknown"
+}
+
+// Kinds lists all workloads in the paper's figure order.
+func Kinds() []Kind {
+	return []Kind{BigDataScan, BigDataUDF, BigDataAggr, TPCDS, Facebook}
+}
+
+// Config parameterizes generation. The paper uses 400 GB per workload
+// split 40 GB per site over ten sites and 300 datasets; the reproduction
+// scales record counts down while keeping every ratio (per-site split,
+// query-per-dataset distribution, overlap structure).
+type Config struct {
+	// Sites is the number of DCs.
+	Sites int
+	// Datasets is the number of distinct datasets (paper: 300).
+	Datasets int
+	// RowsPerSite is the number of raw rows initially placed at each site
+	// per dataset.
+	RowsPerSite int
+	// Overlap in [0,1] is the fraction of rows drawn from the globally
+	// shared key pool (cross-site similarity); the rest come from
+	// site-local pools.
+	Overlap float64
+	// KeySkew is the Zipf exponent of key popularity (>1).
+	KeySkew float64
+	// KeysPerPool is the number of distinct keys in each pool.
+	KeysPerPool int
+	// LocalityAware places rows at their keys' home sites (the paper's
+	// "locality aware" initial placement); false scatters uniformly.
+	LocalityAware bool
+	// AffinityGroups partitions sites into this many groups that share a
+	// group key pool in addition to the global one: sites in the same
+	// group hold mutually similar data, so picking the RIGHT receiver
+	// requires accurate similarity information — the discrimination
+	// problem probes solve (§4.2). 0 disables grouping.
+	AffinityGroups int
+	// QueriesMin/QueriesMax bound the per-dataset query count, drawn
+	// uniformly (paper: 2–10).
+	QueriesMin, QueriesMax int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration preserving the
+// paper's ratios.
+func DefaultConfig(kind Kind) Config {
+	return Config{
+		Sites:          10,
+		Datasets:       20,
+		RowsPerSite:    2000,
+		Overlap:        0.5,
+		KeySkew:        1.3,
+		KeysPerPool:    400,
+		QueriesMin:     2,
+		QueriesMax:     10,
+		AffinityGroups: 3,
+		Seed:           int64(kind)*1000 + 1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Sites <= 0 || c.Datasets <= 0 || c.RowsPerSite <= 0 {
+		return fmt.Errorf("workload: sites/datasets/rows must be positive, got %d/%d/%d",
+			c.Sites, c.Datasets, c.RowsPerSite)
+	}
+	if c.Overlap < 0 || c.Overlap > 1 {
+		return fmt.Errorf("workload: overlap %v out of [0,1]", c.Overlap)
+	}
+	if c.KeysPerPool <= 0 {
+		return fmt.Errorf("workload: keys per pool must be positive, got %d", c.KeysPerPool)
+	}
+	if c.QueriesMin <= 0 || c.QueriesMax < c.QueriesMin {
+		return fmt.Errorf("workload: bad query count range [%d,%d]", c.QueriesMin, c.QueriesMax)
+	}
+	if c.AffinityGroups < 0 {
+		return fmt.Errorf("workload: negative affinity groups %d", c.AffinityGroups)
+	}
+	return nil
+}
+
+// QuerySpec is one recurring query of a dataset, carrying both the engine
+// query and the attribute set (query type) it accesses.
+type QuerySpec struct {
+	Query engine.Query
+	// Dims are the schema attributes the query combines on.
+	Dims []string
+	// Count is how many recurring queries of this type the dataset sees;
+	// probe budget weights derive from it (§4.2).
+	Count int
+}
+
+// Dataset is one generated geo-distributed dataset: per-site raw rows over
+// a schema, plus its recurring queries.
+type Dataset struct {
+	Name   string
+	Schema *olap.Schema
+	// Rows[i] holds the raw rows initially placed at site i.
+	Rows [][]olap.Row
+	// Queries are the recurring query types over this dataset.
+	Queries []QuerySpec
+}
+
+// TotalQueries sums query counts across types.
+func (d *Dataset) TotalQueries() int {
+	n := 0
+	for _, q := range d.Queries {
+		n += q.Count
+	}
+	return n
+}
+
+// Weights returns per-query-type probe weights: the fraction of the
+// dataset's queries belonging to each type (§4.2).
+func (d *Dataset) Weights() []float64 {
+	total := d.TotalQueries()
+	out := make([]float64, len(d.Queries))
+	if total == 0 {
+		return out
+	}
+	for i, q := range d.Queries {
+		out[i] = float64(q.Count) / float64(total)
+	}
+	return out
+}
+
+// Workload is a full generated workload: many datasets plus the kind that
+// produced it.
+type Workload struct {
+	Kind     Kind
+	Config   Config
+	Datasets []*Dataset
+}
+
+// keySep joins coordinates into engine keys; olap.Row coordinates never
+// contain it.
+const keySep = "\x1f"
+
+// JoinKey builds the engine record key from row coordinates.
+func JoinKey(coords []string) string { return strings.Join(coords, keySep) }
+
+// SplitKey recovers coordinates from an engine key.
+func SplitKey(key string) []string { return strings.Split(key, keySep) }
+
+// Projector returns a function projecting a full engine key down to the
+// given attribute subset of the schema — the dimension-cube view queries
+// combine on.
+func Projector(schema *olap.Schema, dims []string) (func(string) string, error) {
+	idx := make([]int, len(dims))
+	for i, d := range dims {
+		j := schema.Index(d)
+		if j < 0 {
+			return nil, fmt.Errorf("workload: projector: unknown dimension %q", d)
+		}
+		idx[i] = j
+	}
+	nd := schema.NumDims()
+	return func(key string) string {
+		coords := SplitKey(key)
+		if len(coords) != nd {
+			return key // foreign key shape; leave untouched
+		}
+		parts := make([]string, len(idx))
+		for i, j := range idx {
+			parts[i] = coords[j]
+		}
+		return strings.Join(parts, keySep)
+	}, nil
+}
+
+// Generate builds a workload of the given kind.
+func Generate(kind Kind, cfg Config) (*Workload, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w := &Workload{Kind: kind, Config: cfg}
+	for a := 0; a < cfg.Datasets; a++ {
+		seed := stats.Split(cfg.Seed, int64(a))
+		var (
+			ds  *Dataset
+			err error
+		)
+		switch kind {
+		case BigDataScan, BigDataUDF, BigDataAggr:
+			ds, err = generateAMPLab(kind, cfg, a, seed)
+		case TPCDS:
+			ds, err = generateTPCDS(cfg, a, seed)
+		case Facebook:
+			ds, err = generateFacebook(cfg, a, seed)
+		default:
+			err = fmt.Errorf("workload: unknown kind %d", kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		w.Datasets = append(w.Datasets, ds)
+	}
+	return w, nil
+}
+
+// Populate loads every dataset's rows into the cluster as engine records
+// (full-coordinate keys, measure as value). The cluster must have at least
+// cfg.Sites sites.
+func (w *Workload) Populate(c *engine.Cluster) error {
+	if c.N() < w.Config.Sites {
+		return fmt.Errorf("workload: cluster has %d sites, workload needs %d", c.N(), w.Config.Sites)
+	}
+	for _, ds := range w.Datasets {
+		for i, rows := range ds.Rows {
+			recs := make([]engine.KV, len(rows))
+			for r, row := range rows {
+				recs[r] = engine.KV{Key: JoinKey(row.Coords), Val: row.Measure}
+			}
+			c.Data[i].Add(ds.Name, recs...)
+		}
+	}
+	return nil
+}
+
+// CubeSets builds one olap.CubeSet per site for a dataset, with every
+// query type registered — the pre-processing step of §4.1.
+func (d *Dataset) CubeSets() ([]*olap.CubeSet, error) {
+	out := make([]*olap.CubeSet, len(d.Rows))
+	for i, rows := range d.Rows {
+		cs := olap.NewCubeSet(d.Schema)
+		if err := cs.Insert(rows...); err != nil {
+			return nil, fmt.Errorf("workload: dataset %q site %d: %w", d.Name, i, err)
+		}
+		for _, q := range d.Queries {
+			if _, err := cs.RegisterQueryType(q.Dims); err != nil {
+				return nil, fmt.Errorf("workload: dataset %q site %d: %w", d.Name, i, err)
+			}
+		}
+		out[i] = cs
+	}
+	return out, nil
+}
+
+// DominantQuery returns the query type with the largest Count — the view
+// data movement optimizes for when a single projection must be chosen.
+func (d *Dataset) DominantQuery() QuerySpec {
+	best := d.Queries[0]
+	for _, q := range d.Queries[1:] {
+		if q.Count > best.Count {
+			best = q
+		}
+	}
+	return best
+}

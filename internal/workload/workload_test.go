@@ -1,0 +1,409 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"bohr/internal/engine"
+	"bohr/internal/olap"
+	"bohr/internal/similarity"
+	"bohr/internal/wan"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig(BigDataScan)
+	cfg.Sites = 3
+	cfg.Datasets = 2
+	cfg.RowsPerSite = 300
+	cfg.KeysPerPool = 50
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Sites: 3, Datasets: 1, RowsPerSite: 10, Overlap: 2, KeysPerPool: 5, QueriesMin: 1, QueriesMax: 2},
+		{Sites: 3, Datasets: 1, RowsPerSite: 10, KeysPerPool: 0, QueriesMin: 1, QueriesMax: 2},
+		{Sites: 3, Datasets: 1, RowsPerSite: 10, KeysPerPool: 5, QueriesMin: 5, QueriesMax: 2},
+		{Sites: 3, Datasets: 1, RowsPerSite: 10, KeysPerPool: 5, QueriesMin: 0, QueriesMax: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(BigDataScan, cfg); err == nil {
+			t.Fatalf("case %d should error", i)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if len(Kinds()) != 5 {
+		t.Fatal("five workload kinds expected")
+	}
+	for _, k := range Kinds() {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("bad kind should be unknown")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, kind := range Kinds() {
+		cfg := smallConfig()
+		w, err := Generate(kind, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(w.Datasets) != cfg.Datasets {
+			t.Fatalf("%v: datasets = %d", kind, len(w.Datasets))
+		}
+		for _, ds := range w.Datasets {
+			if len(ds.Rows) != cfg.Sites {
+				t.Fatalf("%v/%s: row sites = %d", kind, ds.Name, len(ds.Rows))
+			}
+			total := 0
+			for _, rows := range ds.Rows {
+				total += len(rows)
+			}
+			if total != cfg.Sites*cfg.RowsPerSite {
+				t.Fatalf("%v/%s: total rows = %d, want %d", kind, ds.Name, total, cfg.Sites*cfg.RowsPerSite)
+			}
+			if len(ds.Queries) < 2 {
+				t.Fatalf("%v/%s: only %d query types", kind, ds.Name, len(ds.Queries))
+			}
+			tq := ds.TotalQueries()
+			if tq < cfg.QueriesMin || tq > cfg.QueriesMax {
+				t.Fatalf("%v/%s: %d queries outside [%d,%d]", kind, ds.Name, tq, cfg.QueriesMin, cfg.QueriesMax)
+			}
+			for _, q := range ds.Queries {
+				if err := q.Query.Validate(); err != nil {
+					t.Fatalf("%v/%s: invalid query: %v", kind, ds.Name, err)
+				}
+				for _, d := range q.Dims {
+					if !ds.Schema.Has(d) {
+						t.Fatalf("%v/%s: query dim %q not in schema", kind, ds.Name, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	w1, err := Generate(TPCDS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(TPCDS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range w1.Datasets {
+		for s := range w1.Datasets[d].Rows {
+			r1, r2 := w1.Datasets[d].Rows[s], w2.Datasets[d].Rows[s]
+			if len(r1) != len(r2) {
+				t.Fatal("row counts differ between identical generations")
+			}
+			for i := range r1 {
+				if JoinKey(r1[i].Coords) != JoinKey(r2[i].Coords) || r1[i].Measure != r2[i].Measure {
+					t.Fatal("rows differ between identical generations")
+				}
+			}
+		}
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	w, err := Generate(Facebook, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range w.Datasets {
+		var sum float64
+		for _, wt := range ds.Weights() {
+			sum += wt
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("weights sum to %v", sum)
+		}
+	}
+}
+
+func TestDominantQuery(t *testing.T) {
+	ds := &Dataset{Queries: []QuerySpec{
+		{Count: 2, Dims: []string{"a"}},
+		{Count: 7, Dims: []string{"b"}},
+	}}
+	if got := ds.DominantQuery(); got.Count != 7 {
+		t.Fatalf("dominant = %+v", got)
+	}
+}
+
+func TestLocalityIncreasesSelfSimilarity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RowsPerSite = 1000
+
+	measure := func(locality bool) float64 {
+		c := cfg
+		c.LocalityAware = locality
+		w, err := Generate(BigDataScan, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mean per-site self-similarity on full keys.
+		var total float64
+		var n int
+		for _, ds := range w.Datasets {
+			for _, rows := range ds.Rows {
+				recs := make([]engine.KV, len(rows))
+				for i, r := range rows {
+					recs[i] = engine.KV{Key: JoinKey(r.Coords), Val: r.Measure}
+				}
+				total += engine.SelfSimilarity(recs)
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	local := measure(true)
+	random := measure(false)
+	if local <= random {
+		t.Fatalf("locality-aware placement should raise self-similarity: local=%v random=%v", local, random)
+	}
+}
+
+func TestOverlapIncreasesCrossSiteSimilarity(t *testing.T) {
+	crossSim := func(overlap float64) float64 {
+		cfg := smallConfig()
+		cfg.Overlap = overlap
+		// Locality-aware placement keeps each site's rows where they were
+		// produced, so the shared-pool fraction is what the two sites have
+		// in common. (Under random scatter every site sees the same
+		// mixture and overlap barely matters.)
+		cfg.LocalityAware = true
+		cfg.RowsPerSite = 1000
+		w, err := Generate(BigDataScan, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := w.Datasets[0]
+		keys := func(site int) []string {
+			var out []string
+			for _, r := range ds.Rows[site] {
+				out = append(out, JoinKey(r.Coords))
+			}
+			return out
+		}
+		return similarity.ExactJaccard(keys(0), keys(1))
+	}
+	high := crossSim(0.9)
+	low := crossSim(0.1)
+	if high <= low {
+		t.Fatalf("overlap should raise cross-site similarity: high=%v low=%v", high, low)
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	cfg := smallConfig()
+	w, err := Generate(TPCDS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := wan.NewTopology([]string{"a", "b", "c"}, []float64{1, 1, 1}, []float64{1, 1, 1})
+	c, _ := engine.NewCluster(top, 1, 2, 100)
+	if err := w.Populate(c); err != nil {
+		t.Fatal(err)
+	}
+	names := c.DatasetNames()
+	if len(names) != cfg.Datasets {
+		t.Fatalf("cluster datasets = %v", names)
+	}
+	total := 0
+	for i := 0; i < c.N(); i++ {
+		total += len(c.Data[i].Records(names[0]))
+	}
+	if total != cfg.Sites*cfg.RowsPerSite {
+		t.Fatalf("populated rows = %d", total)
+	}
+	// A too-small cluster errors.
+	top2, _ := wan.NewTopology([]string{"x"}, []float64{1}, []float64{1})
+	c2, _ := engine.NewCluster(top2, 1, 1, 100)
+	if err := w.Populate(c2); err == nil {
+		t.Fatal("small cluster should error")
+	}
+}
+
+func TestPopulatedQueriesRun(t *testing.T) {
+	for _, kind := range Kinds() {
+		cfg := smallConfig()
+		cfg.Datasets = 1
+		w, err := Generate(kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, _ := wan.NewTopology([]string{"a", "b", "c"}, []float64{5, 20, 40}, []float64{5, 20, 40})
+		c, _ := engine.NewCluster(top, 1, 2, 100)
+		if err := w.Populate(c); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range w.Datasets[0].Queries {
+			res, err := c.Run(engine.JobConfig{Query: q.Query})
+			if err != nil {
+				t.Fatalf("%v/%s: %v", kind, q.Query.Name, err)
+			}
+			if len(res.Output) == 0 {
+				t.Fatalf("%v/%s produced no output", kind, q.Query.Name)
+			}
+			if res.QCT <= 0 {
+				t.Fatalf("%v/%s QCT = %v", kind, q.Query.Name, res.QCT)
+			}
+		}
+	}
+}
+
+func TestProjector(t *testing.T) {
+	schema := olap.MustSchema("a", "b", "c")
+	proj, err := Projector(schema, []string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := JoinKey([]string{"x", "y", "z"})
+	if got := proj(key); got != JoinKey([]string{"z", "x"}) {
+		t.Fatalf("projected = %q", got)
+	}
+	// Foreign-shaped keys pass through.
+	if got := proj("just-one-part"); got != "just-one-part" {
+		t.Fatalf("foreign key mangled: %q", got)
+	}
+	if _, err := Projector(schema, []string{"zzz"}); err == nil {
+		t.Fatal("unknown dim should error")
+	}
+}
+
+func TestJoinSplitKeyRoundTrip(t *testing.T) {
+	coords := []string{"a", "b:1", "c/2"}
+	if got := SplitKey(JoinKey(coords)); strings.Join(got, "|") != "a|b:1|c/2" {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+func TestCubeSets(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Datasets = 1
+	w, err := Generate(BigDataAggr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := w.Datasets[0]
+	sets, err := ds.CubeSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != cfg.Sites {
+		t.Fatalf("cube sets = %d", len(sets))
+	}
+	for i, cs := range sets {
+		if cs.Base().NumRows() != len(ds.Rows[i]) {
+			t.Fatalf("site %d cube rows = %d, want %d", i, cs.Base().NumRows(), len(ds.Rows[i]))
+		}
+		if got := len(cs.QueryTypes()); got != len(ds.Queries) {
+			t.Fatalf("site %d registered types = %d, want %d", i, got, len(ds.Queries))
+		}
+	}
+}
+
+func TestGenerateImages(t *testing.T) {
+	cfg := DefaultImageConfig()
+	cfg.Sites = 2
+	cfg.VectorsPerSit = 50
+	cfg.Dim = 16
+	ds, err := GenerateImages("img", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Vectors) != 2 || len(ds.Vectors[0]) != 50 || len(ds.Vectors[0][0]) != 16 {
+		t.Fatalf("shape: %d sites, %d vecs, %d dim", len(ds.Vectors), len(ds.Vectors[0]), len(ds.Vectors[0][0]))
+	}
+	bad := cfg
+	bad.Dim = 0
+	if _, err := GenerateImages("img", bad); err == nil {
+		t.Fatal("dim=0 should error")
+	}
+	bad = cfg
+	bad.Overlap = -1
+	if _, err := GenerateImages("img", bad); err == nil {
+		t.Fatal("overlap<0 should error")
+	}
+}
+
+func TestFeatureCubeClustersClasses(t *testing.T) {
+	cfg := DefaultImageConfig()
+	cfg.Sites = 1
+	cfg.VectorsPerSit = 200
+	cfg.Dim = 32
+	cfg.Classes = 5
+	cfg.Noise = 0.05
+	ds, err := GenerateImages("img", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsh, err := similarity.NewLSH(32, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ds.FeatureCube(0, lsh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 low-noise vectors from ≤10 populated classes must collapse into
+	// far fewer LSH buckets than vectors.
+	if cube.NumCells() >= 100 {
+		t.Fatalf("LSH buckets = %d, expected strong clustering", cube.NumCells())
+	}
+	if cube.TotalCount() != 200 {
+		t.Fatalf("cube rows = %d", cube.TotalCount())
+	}
+	if _, err := ds.FeatureCube(9, lsh); err == nil {
+		t.Fatal("out-of-range site should error")
+	}
+}
+
+func TestAffinityGroupsCreateAsymmetricSimilarity(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Sites = 6
+	cfg.AffinityGroups = 3 // groups: {0,3}, {1,4}, {2,5}
+	cfg.RowsPerSite = 1200
+	cfg.LocalityAware = true
+	w, err := Generate(BigDataScan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := w.Datasets[0]
+	keys := func(site int) []string {
+		var out []string
+		for _, r := range ds.Rows[site] {
+			out = append(out, JoinKey(r.Coords))
+		}
+		return out
+	}
+	sameGroup := similarity.ExactJaccard(keys(0), keys(3))
+	crossGroup := similarity.ExactJaccard(keys(0), keys(1))
+	if sameGroup <= crossGroup {
+		t.Fatalf("same-group similarity %v should exceed cross-group %v", sameGroup, crossGroup)
+	}
+}
+
+func TestAffinityGroupsValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.AffinityGroups = -1
+	if _, err := Generate(BigDataScan, cfg); err == nil {
+		t.Fatal("negative affinity groups should error")
+	}
+	// Zero groups is the ungrouped generator.
+	cfg.AffinityGroups = 0
+	if _, err := Generate(BigDataScan, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
