@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test check vet fmt-check race bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: static checks plus the race detector on the
+# packages with real concurrency (engine's job runner, obs's collector).
+check: vet fmt-check race
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/engine/... ./internal/obs/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

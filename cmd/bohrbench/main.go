@@ -6,15 +6,22 @@
 //
 //	bohrbench -exp all
 //	bohrbench -exp fig6,fig8,tab5 -datasets 12 -runs 5
+//	bohrbench -exp fig6 -json out.json
+//
+// With -json, every scheme run additionally records a phase-span trace and
+// metrics, and the whole invocation is written as one core.Report document
+// (stable schema, byte-identical across runs with the same seed).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"bohr/internal/core"
 	"bohr/internal/experiments"
 )
 
@@ -28,6 +35,7 @@ func main() {
 		probeK   = flag.Int("k", 0, "override probe record budget")
 		seed     = flag.Int64("seed", 0, "override random seed")
 		quick    = flag.Bool("quick", false, "use the small quick setup")
+		jsonOut  = flag.String("json", "", "write the machine-readable core.Report document to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +61,9 @@ func main() {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	if *jsonOut != "" {
+		s.EnableReports()
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -60,6 +71,7 @@ func main() {
 	}
 	all := want["all"]
 	ran := 0
+	var jsonExps []*core.Report
 	run := func(name string, f func() (string, error)) {
 		if !all && !want[name] {
 			return
@@ -73,6 +85,13 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		if reps := s.DrainReports(); len(reps) > 0 {
+			jsonExps = append(jsonExps, &core.Report{
+				SchemaVersion: core.ReportSchemaVersion,
+				Experiment:    name,
+				Children:      reps,
+			})
+		}
 	}
 
 	comparison := []string{"Iridium", "Iridium-C", "Bohr"}
@@ -146,5 +165,25 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "bohrbench: no experiment matched %q (use fig6..fig13, tab2..tab7, overhead, ablation, all)\n", *exp)
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		doc := &core.Report{
+			SchemaVersion: core.ReportSchemaVersion,
+			Experiment:    "bohrbench",
+			Seed:          s.Seed,
+			Children:      jsonExps,
+		}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bohrbench: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bohrbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"bohr/internal/core"
 	"bohr/internal/experiments"
+	"bohr/internal/obs"
 	"bohr/internal/placement"
 	"bohr/internal/sql"
 	"bohr/internal/stats"
@@ -33,10 +35,11 @@ func main() {
 		seed       = flag.Int64("seed", 0, "random seed (0 = default)")
 		sqlText    = flag.String("sql", "", "ad-hoc SQL to run under the chosen scheme")
 		dynamic    = flag.Bool("dynamic", false, "run the §8.6 highly-dynamic-dataset protocol")
+		jsonOut    = flag.Bool("json", false, "emit the machine-readable core.Report JSON (trace + metrics) instead of text; standard runs only")
 	)
 	flag.Parse()
 
-	if err := run(*kindName, *schemeName, *datasets, *rows, *probeK, *locality, *seed, *sqlText, *dynamic); err != nil {
+	if err := run(*kindName, *schemeName, *datasets, *rows, *probeK, *locality, *seed, *sqlText, *dynamic, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)
 		os.Exit(1)
 	}
@@ -67,7 +70,7 @@ func parseScheme(name string) (placement.SchemeID, error) {
 	return 0, fmt.Errorf("unknown scheme %q", name)
 }
 
-func run(kindName, schemeName string, datasets, rows, probeK int, locality bool, seed int64, sqlText string, dynamic bool) error {
+func run(kindName, schemeName string, datasets, rows, probeK int, locality bool, seed int64, sqlText string, dynamic, jsonOut bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -113,7 +116,11 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 	if err != nil {
 		return err
 	}
-	sys, err := core.New(c, w, scheme, s.PlacementOptions(0))
+	opts := s.PlacementOptions(0)
+	if jsonOut {
+		opts = opts.With(placement.WithObs(obs.NewCollector()))
+	}
+	sys, err := core.New(c, w, scheme, opts)
 	if err != nil {
 		return err
 	}
@@ -121,8 +128,10 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %v: moved %.1f MB in %.2fs (lag %.0fs), probe checking %.2fs, LP %.2fs\n",
-		scheme, kind, prep.MovedMB, prep.MoveDuration, s.Lag, prep.CheckTime, prep.LPTime)
+	if !jsonOut {
+		fmt.Printf("%s on %v: moved %.1f MB in %.2fs (lag %.0fs), probe checking %.2fs, LP %.2fs\n",
+			scheme, kind, prep.MovedMB, prep.MoveDuration, s.Lag, prep.CheckTime, prep.LPTime)
+	}
 
 	if sqlText != "" {
 		return runSQL(sys, w, sqlText)
@@ -133,6 +142,17 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 		return err
 	}
 	red := core.DataReduction(vanilla, rep.IntermediateMBPerSite)
+	if jsonOut {
+		r := sys.Report()
+		r.Experiment = "bohrctl"
+		r.DataReductionPct = red
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding report: %w", err)
+		}
+		fmt.Println(string(b))
+		return nil
+	}
 	fmt.Printf("mean QCT %.2fs over %d queries, %.1f MB shuffled, mean data reduction %.1f%%\n",
 		rep.MeanQCT, len(rep.Queries), rep.TotalShuffleMB, stats.Mean(red))
 	top := s.Topology()

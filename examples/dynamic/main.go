@@ -38,17 +38,11 @@ func run() error {
 		}
 
 		// Static reference: all data present up front.
-		static, err := core.New(cluster.Clone(), w, placement.Bohr, s.PlacementOptions(0))
+		staticDoc, err := core.Run(cluster.Clone(), w, placement.Bohr, s.PlacementOptions(0))
 		if err != nil {
 			return err
 		}
-		if _, err := static.Prepare(); err != nil {
-			return err
-		}
-		staticRep, err := static.RunAll()
-		if err != nil {
-			return err
-		}
+		staticRep := staticDoc.Run
 
 		// Dynamic: empty cluster, batches delivered by the runner.
 		empty, err := s.BuildCluster()

@@ -41,21 +41,13 @@ func run() error {
 	fmt.Printf("%-12s %10s %14s %12s\n", "Scheme", "QCT", "Intermediate", "Reduction")
 
 	for _, id := range placement.AllSchemes() {
-		c := cluster.Clone()
-		sys, err := core.New(c, w, id, s.PlacementOptions(0))
+		rep, err := core.Run(cluster.Clone(), w, id, s.PlacementOptions(0))
 		if err != nil {
 			return err
 		}
-		if _, err := sys.Prepare(); err != nil {
-			return err
-		}
-		rep, err := sys.RunAll()
-		if err != nil {
-			return err
-		}
-		red := core.DataReduction(vanilla, rep.IntermediateMBPerSite)
+		red := core.DataReduction(vanilla, rep.Run.IntermediateMBPerSite)
 		fmt.Printf("%-12s %9.2fs %12.1fMB %11.1f%%\n",
-			id, rep.MeanQCT, stats.Sum(rep.IntermediateMBPerSite), stats.Mean(red))
+			id, rep.Run.MeanQCT, stats.Sum(rep.Run.IntermediateMBPerSite), stats.Mean(red))
 	}
 
 	// Show the actual top-ranked pages from a full Bohr run.

@@ -55,21 +55,16 @@ func run() error {
 		if err := w.Populate(cluster); err != nil {
 			return 0, 0, err
 		}
-		sys, err := core.New(cluster, w, id, placement.Options{Lag: 30, ProbeK: 30, Seed: 1})
-		if err != nil {
-			return 0, 0, err
-		}
-		prep, err := sys.Prepare()
+		// One-shot pipeline: Prepare (probes, placement, movement in the
+		// lag) + the full workload run, as one machine-readable report.
+		rep, err := core.Run(cluster, w, id,
+			placement.NewOptions(placement.WithLag(30), placement.WithProbeK(30), placement.WithSeed(1)))
 		if err != nil {
 			return 0, 0, err
 		}
 		fmt.Printf("%-10s moved %.1f MB across the WAN in the %0.fs query lag\n",
-			id, prep.MovedMB, 30.0)
-		rep, err := sys.RunAll()
-		if err != nil {
-			return 0, 0, err
-		}
-		return rep.MeanQCT, stats.Sum(rep.IntermediateMBPerSite), nil
+			id, rep.Prepare.MovedMB, 30.0)
+		return rep.Run.MeanQCT, stats.Sum(rep.Run.IntermediateMBPerSite), nil
 	}
 
 	fmt.Println("Bohr quickstart: one page-score dataset across Tokyo / Oregon / Ireland")

@@ -77,8 +77,13 @@ func TestPrepareAndRunAll(t *testing.T) {
 	if prep.CheckTime <= 0 {
 		t.Fatal("Bohr must spend probe-checking time")
 	}
-	if _, err := sys.Prepare(); err == nil {
-		t.Fatal("double Prepare should error")
+	// Prepare is idempotent: a second call returns the cached report.
+	again, err := sys.Prepare()
+	if err != nil {
+		t.Fatalf("second Prepare should be a no-op, got %v", err)
+	}
+	if again != prep {
+		t.Fatal("second Prepare should return the cached report")
 	}
 	rep, err := sys.RunAll()
 	if err != nil {
@@ -137,12 +142,19 @@ func TestVanillaBaselineAndDataReduction(t *testing.T) {
 }
 
 func TestDataReductionEdgeCases(t *testing.T) {
+	// Zero vanilla with scheme data is an undefined ratio — flagged, not
+	// silently reported as 0 (the old behavior hid the regression).
 	red := DataReduction([]float64{0, 10}, []float64{5, 5})
-	if red[0] != 0 {
-		t.Fatalf("zero vanilla should give 0, got %v", red[0])
+	if red[0] != ReductionUndefined {
+		t.Fatalf("zero vanilla with scheme data should flag ReductionUndefined, got %v", red[0])
 	}
 	if red[1] != 50 {
 		t.Fatalf("expected 50%%, got %v", red[1])
+	}
+	// Zero vanilla AND zero scheme is a true no-op: 0.
+	red = DataReduction([]float64{0}, []float64{0})
+	if red[0] != 0 {
+		t.Fatalf("zero/zero should give 0, got %v", red[0])
 	}
 	// Negative reduction (scheme worse than vanilla) is representable.
 	red = DataReduction([]float64{10}, []float64{12})

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bohr/internal/engine"
+	"bohr/internal/obs"
+	"bohr/internal/placement"
+	"bohr/internal/workload"
+)
+
+// ReportSchemaVersion is bumped whenever the Report JSON schema changes
+// incompatibly, so downstream consumers can detect what they are parsing.
+const ReportSchemaVersion = 1
+
+// Report is the one machine-readable result document of the reproduction:
+// a stable-schema JSON tree subsuming the prepare-phase summary, the
+// run-phase summary, the phase-span trace and the metrics registry.
+// bohrbench -json and bohrctl -json emit it; experiments nest one child
+// per (workload, scheme, repetition) under a per-experiment parent.
+//
+// All numeric content is modeled (deterministic) unless the collector was
+// built with obs.WithWallClock, so serializing the same seeded run twice
+// produces byte-identical output.
+type Report struct {
+	// SchemaVersion identifies the JSON layout (ReportSchemaVersion).
+	SchemaVersion int `json:"schema_version"`
+	// Experiment names the figure/table this report belongs to, when the
+	// report was produced by the experiments driver ("fig6", "table5", …).
+	Experiment string `json:"experiment,omitempty"`
+	// Scheme is the placement scheme's display name ("Bohr", "Iridium", …).
+	Scheme string `json:"scheme,omitempty"`
+	// Workload is the workload kind's display name.
+	Workload string `json:"workload,omitempty"`
+	// Rep is the repetition index (1-based) for multi-run experiments.
+	Rep int `json:"rep,omitempty"`
+	// Seed is the run's master seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Prepare summarizes the offline phase (nil when Prepare never ran).
+	Prepare *PrepareReport `json:"prepare,omitempty"`
+	// Run summarizes workload execution (nil when RunAll never ran).
+	Run *RunReport `json:"run,omitempty"`
+	// DataReductionPct is the per-site data reduction vs the vanilla
+	// baseline (entries ≤ ReductionUndefined flag an undefined ratio).
+	DataReductionPct []float64 `json:"data_reduction_pct,omitempty"`
+	// Trace is the phase-span tree (prepare → probes/lp/move, run →
+	// per-query map/shuffle/reduce); nil without a collector.
+	Trace *obs.Span `json:"trace,omitempty"`
+	// Metrics is the metrics-registry snapshot; nil without a collector.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Children nest sub-reports (per-experiment → per-scheme-run).
+	Children []*Report `json:"children,omitempty"`
+}
+
+// Report assembles the system's machine-readable result document from
+// whatever has run so far: the cached Prepare and RunAll summaries plus,
+// when a collector is attached, the span trace and metrics snapshot.
+func (s *System) Report() *Report {
+	r := &Report{
+		SchemaVersion: ReportSchemaVersion,
+		Scheme:        s.Scheme.String(),
+		Seed:          s.Opts.Seed,
+		Prepare:       s.prepRep,
+		Run:           s.lastRun,
+	}
+	if s.Workload != nil {
+		r.Workload = s.Workload.Kind.String()
+	}
+	r.Trace = s.Obs.Trace()
+	r.Metrics = s.Obs.MetricsSnapshot()
+	return r
+}
+
+// Run is the one-shot pipeline: assemble a System, Prepare it (probes,
+// placement planning, data movement in the lag) and execute the full
+// workload, returning the machine-readable Report. It replaces the
+// hand-rolled New/Prepare/RunAll dance for callers that only want the
+// result document; keep the System form when you need to issue further
+// queries against the prepared cluster.
+func Run(c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID, opts placement.Options) (*Report, error) {
+	sys, err := New(c, w, scheme, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.Prepare(); err != nil {
+		return nil, err
+	}
+	if _, err := sys.RunAll(); err != nil {
+		return nil, err
+	}
+	return sys.Report(), nil
+}

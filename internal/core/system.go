@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"bohr/internal/engine"
+	"bohr/internal/obs"
 	"bohr/internal/placement"
 	"bohr/internal/stats"
 	"bohr/internal/workload"
@@ -22,9 +23,15 @@ type System struct {
 	Workload *workload.Workload
 	Scheme   placement.SchemeID
 	Opts     placement.Options
+	// Obs collects phase spans and metrics for every pipeline stage the
+	// system drives. New seeds it from Opts.Obs; set it before Prepare to
+	// attach a collector. Nil (the default) disables collection at no cost.
+	Obs *obs.Collector
 
-	plan  *placement.Plan
-	moved *engine.MoveResult
+	plan    *placement.Plan
+	moved   *engine.MoveResult
+	prepRep *PrepareReport
+	lastRun *RunReport
 }
 
 // New validates and assembles a system. The cluster must already hold the
@@ -43,31 +50,36 @@ func New(c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID, opt
 			return nil, fmt.Errorf("core: dataset %q has no data in the cluster; call workload.Populate first", ds.Name)
 		}
 	}
-	return &System{Cluster: c, Workload: w, Scheme: scheme, Opts: opts}, nil
+	return &System{Cluster: c, Workload: w, Scheme: scheme, Opts: opts, Obs: opts.Obs}, nil
 }
 
 // PrepareReport summarizes the offline phase.
 type PrepareReport struct {
 	// MovedMB is the total volume moved across the WAN in the lag.
-	MovedMB float64
+	MovedMB float64 `json:"moved_mb"`
 	// MoveDuration is the WAN time the movement took; it must fit in Lag.
-	MoveDuration float64
+	MoveDuration float64 `json:"move_duration_s"`
 	// CheckTime is the modeled probe/similarity-checking time (offline).
-	CheckTime float64
+	CheckTime float64 `json:"check_time_s"`
 	// LPTime is the modeled optimizer time (included in QCT later).
-	LPTime float64
+	LPTime float64 `json:"lp_time_s"`
 	// Moves is the number of movement specs executed.
-	Moves int
+	Moves int `json:"moves"`
 }
 
 // Prepare runs the offline pipeline: similarity checking via probes,
 // placement planning, and data movement. It mutates the cluster's data
-// placement. Calling it twice is an error.
+// placement. Prepare is idempotent: a second call is a no-op returning the
+// cached report of the first.
 func (s *System) Prepare() (*PrepareReport, error) {
 	if s.plan != nil {
-		return nil, fmt.Errorf("core: system already prepared")
+		return s.prepRep, nil
 	}
-	plan, err := placement.PlanScheme(s.Scheme, s.Cluster, s.Workload, s.Opts)
+	opts := s.Opts
+	opts.Obs = s.Obs
+	prep := s.Obs.StartSpan("prepare")
+	defer prep.End()
+	plan, err := placement.PlanScheme(s.Scheme, s.Cluster, s.Workload, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +98,8 @@ func (s *System) Prepare() (*PrepareReport, error) {
 	for _, tr := range moved.Transfers {
 		rep.MovedMB += tr.MB
 	}
+	prep.Add(rep.CheckTime + rep.LPTime + rep.MoveDuration)
+	s.prepRep = rep
 	return rep, nil
 }
 
@@ -97,30 +111,32 @@ func (s *System) RunQuery(q engine.Query) (*engine.RunResult, error) {
 	if s.plan == nil {
 		return nil, fmt.Errorf("core: Prepare must run before queries")
 	}
-	return s.Cluster.Run(s.plan.JobConfigFor(q))
+	cfg := s.plan.JobConfigFor(q)
+	cfg.Obs = s.Obs
+	return s.Cluster.Run(cfg)
 }
 
 // QueryReport is the outcome of one query execution.
 type QueryReport struct {
-	Dataset string
-	Query   string
-	QCT     float64
+	Dataset string  `json:"dataset"`
+	Query   string  `json:"query"`
+	QCT     float64 `json:"qct_s"`
 	// IntermediateMBPerSite is the post-combiner volume per site.
-	IntermediateMBPerSite []float64
-	ShuffleMB             float64
+	IntermediateMBPerSite []float64 `json:"intermediate_mb_per_site"`
+	ShuffleMB             float64   `json:"shuffle_mb"`
 }
 
 // RunReport aggregates a full workload execution.
 type RunReport struct {
-	Scheme  placement.SchemeID
-	Queries []QueryReport
+	Scheme  placement.SchemeID `json:"scheme"`
+	Queries []QueryReport      `json:"queries"`
 	// MeanQCT is the average query completion time (the paper's headline
 	// metric).
-	MeanQCT float64
+	MeanQCT float64 `json:"mean_qct_s"`
 	// IntermediateMBPerSite sums per-site intermediate volumes across
 	// queries.
-	IntermediateMBPerSite []float64
-	TotalShuffleMB        float64
+	IntermediateMBPerSite []float64 `json:"intermediate_mb_per_site"`
+	TotalShuffleMB        float64   `json:"total_shuffle_mb"`
 }
 
 // RunAll executes every dataset's dominant recurring query — concurrently,
@@ -138,8 +154,11 @@ func (s *System) RunAll() (*RunReport, error) {
 	cfgs := make([]engine.JobConfig, len(s.Workload.Datasets))
 	for i, ds := range s.Workload.Datasets {
 		cfgs[i] = s.plan.JobConfigFor(ds.DominantQuery().Query)
+		cfgs[i].Obs = s.Obs
 	}
+	run := s.Obs.StartSpan("run")
 	results, err := s.Cluster.RunConcurrent(cfgs)
+	run.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: concurrent run: %w", err)
 	}
@@ -162,6 +181,18 @@ func (s *System) RunAll() (*RunReport, error) {
 	if len(rep.Queries) > 0 {
 		rep.MeanQCT = qctSum / float64(len(rep.Queries))
 	}
+	// The run stage's modeled span time is the concurrent makespan: the
+	// slowest query's completion time.
+	if s.Obs != nil {
+		var makespan float64
+		for _, res := range results {
+			if res.QCT > makespan {
+				makespan = res.QCT
+			}
+		}
+		run.Add(makespan)
+	}
+	s.lastRun = rep
 	return rep, nil
 }
 
@@ -188,15 +219,29 @@ func VanillaBaseline(c *engine.Cluster, w *workload.Workload) ([]float64, error)
 	return inter, nil
 }
 
+// ReductionUndefined flags a data-reduction entry whose vanilla baseline
+// volume is zero while the scheme DID produce intermediate data there: the
+// ratio is -∞ in the limit, and reporting 0 (as earlier versions did)
+// silently hid that the scheme regressed the site. Consumers should treat
+// entries ≤ ReductionUndefined as "worse than an empty baseline", not as
+// a percentage.
+const ReductionUndefined = -1e9
+
 // DataReduction converts scheme vs vanilla intermediate volumes into the
 // paper's per-site data reduction ratio (%): positive means the scheme
 // produced less intermediate data than in-place processing; negative (as
-// Iridium shows at some sites in Figure 8) means more.
+// Iridium shows at some sites in Figure 8) means more. A site where the
+// vanilla baseline is zero yields 0 when the scheme also produced nothing
+// and ReductionUndefined when it produced data out of nowhere.
 func DataReduction(vanilla, scheme []float64) []float64 {
 	out := make([]float64, len(vanilla))
 	for i := range vanilla {
 		if vanilla[i] <= 0 {
-			out[i] = 0
+			if scheme[i] > 0 {
+				out[i] = ReductionUndefined
+			} else {
+				out[i] = 0
+			}
 			continue
 		}
 		out[i] = 100 * (1 - scheme[i]/vanilla[i])

@@ -4,12 +4,17 @@ import (
 	"fmt"
 	"math"
 
+	"bohr/internal/obs"
 	"bohr/internal/wan"
 )
 
 // JobConfig configures one query execution on a cluster.
 type JobConfig struct {
 	Query Query
+	// Obs optionally collects per-query phase spans (map, assign, shuffle,
+	// reduce) and shuffle metrics. The query span attaches under the
+	// collector's current span. Nil disables collection at no cost.
+	Obs *obs.Collector
 	// TaskFrac is r_i, the fraction of reduce tasks at each site; it must
 	// sum to ~1. nil assigns fractions proportional to uplink bandwidth.
 	TaskFrac []float64
@@ -89,6 +94,9 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 		cube     bool
 		input    [][]KV
 		res      *RunResult
+		// sp is the query's trace span; stage children accumulate via
+		// Child().Add() because concurrent jobs interleave rounds.
+		sp *obs.Span
 	}
 	jobs := make([]*jobState, len(cfgs))
 	maxRounds := 0
@@ -134,6 +142,7 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 			cube:  cfg.CubeInput,
 			input: input,
 			res:   &RunResult{IntermediateMBPerSite: make([]float64, n)},
+			sp:    cfg.Obs.Current().Child(fmt.Sprintf("q%02d:%s", ji, q.Name)),
 		}
 		if r := q.rounds(); r > maxRounds {
 			maxRounds = r
@@ -158,10 +167,14 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 				arriving: make([][]KV, n),
 			}
 			states[ji] = st
+			jobFlowStart := len(flows)
 			for i := 0; i < n; i++ {
-				inter, mapT, assignT, err := c.mapAndCombineOpts(job.input[i], job.q, i, job.assigner, job.ppe, job.cube)
+				inter, raw, mapT, assignT, err := c.mapAndCombineOpts(job.input[i], job.q, i, job.assigner, job.ppe, job.cube)
 				if err != nil {
 					return nil, fmt.Errorf("engine: job %d site %d round %d: %w", ji, i, round, err)
+				}
+				if raw > 0 && job.cfg.Obs != nil {
+					job.cfg.Obs.Observe("combine.reduction.ratio", 1-float64(len(inter))/float64(raw))
 				}
 				if mapT > st.rm.MapTime {
 					st.rm.MapTime = mapT
@@ -187,6 +200,8 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 					}
 				}
 			}
+			wan.RecordFlows(job.cfg.Obs, c.Top, "shuffle", flows[jobFlowStart:])
+			job.cfg.Obs.Count("engine.shuffle.mb", st.rm.ShuffleMB)
 		}
 
 		// One shared shuffle: with many parallel flows the access links
@@ -213,6 +228,10 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 			}
 			job.res.Rounds = append(job.res.Rounds, st.rm)
 			job.res.QCT += st.rm.MapTime + st.rm.AssignOverhead + st.rm.ShuffleTime + st.rm.ReduceTime
+			job.sp.Child("map").Add(st.rm.MapTime)
+			job.sp.Child("assign").Add(st.rm.AssignOverhead)
+			job.sp.Child("shuffle").Add(st.rm.ShuffleTime)
+			job.sp.Child("reduce").Add(st.rm.ReduceTime)
 			job.input = output
 		}
 	}
@@ -220,6 +239,7 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 	out := make([]*RunResult, len(jobs))
 	for ji, job := range jobs {
 		job.res.QCT += job.cfg.ExtraQCT
+		job.sp.Add(job.res.QCT)
 		var all []KV
 		for _, recs := range job.input {
 			all = append(all, recs...)
@@ -236,16 +256,19 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 // across executors — exactly the inefficiency §6's RDD similarity
 // clustering reduces).
 func (c *Cluster) mapAndCombine(records []KV, q Query, site int, assigner Assigner, ppe int) (inter []KV, mapTime, assignOverhead float64, err error) {
-	return c.mapAndCombineOpts(records, q, site, assigner, ppe, false)
+	inter, _, mapTime, assignOverhead, err = c.mapAndCombineOpts(records, q, site, assigner, ppe, false)
+	return inter, mapTime, assignOverhead, err
 }
 
-// mapAndCombineOpts is mapAndCombine with cube-input cost accounting: when
-// cubeInput is set, an executor's map cost is charged per distinct key
-// (pre-aggregated cube cell) instead of per raw record.
-func (c *Cluster) mapAndCombineOpts(records []KV, q Query, site int, assigner Assigner, ppe int, cubeInput bool) (inter []KV, mapTime, assignOverhead float64, err error) {
+// mapAndCombineOpts is mapAndCombine with cube-input cost accounting (when
+// cubeInput is set, an executor's map cost is charged per distinct key —
+// pre-aggregated cube cell — instead of per raw record) and a raw count:
+// the pre-combiner mapped record total, the denominator of the combiner
+// reduction ratio.
+func (c *Cluster) mapAndCombineOpts(records []KV, q Query, site int, assigner Assigner, ppe int, cubeInput bool) (inter []KV, raw int, mapTime, assignOverhead float64, err error) {
 	ex := c.Exec[site]
 	if len(records) == 0 {
-		return nil, 0, 0, nil
+		return nil, 0, 0, 0, nil
 	}
 	perMachine := (len(records) + ex.Machines - 1) / ex.Machines
 	for m := 0; m < ex.Machines; m++ {
@@ -260,14 +283,14 @@ func (c *Cluster) mapAndCombineOpts(records []KV, q Query, site int, assigner As
 		machineRecs := records[lo:hi]
 		parts, perr := PartitionRecords(machineRecs, ex.PerMachine*ppe)
 		if perr != nil {
-			return nil, 0, 0, perr
+			return nil, 0, 0, 0, perr
 		}
 		assignment, overhead, aerr := assigner.Assign(parts, ex.PerMachine)
 		if aerr != nil {
-			return nil, 0, 0, aerr
+			return nil, 0, 0, 0, aerr
 		}
 		if len(assignment) != len(parts) {
-			return nil, 0, 0, fmt.Errorf("assigner returned %d assignments for %d partitions", len(assignment), len(parts))
+			return nil, 0, 0, 0, fmt.Errorf("assigner returned %d assignments for %d partitions", len(assignment), len(parts))
 		}
 		if overhead > assignOverhead {
 			assignOverhead = overhead
@@ -276,7 +299,7 @@ func (c *Cluster) mapAndCombineOpts(records []KV, q Query, site int, assigner As
 		perExec := make([][]KV, ex.PerMachine)
 		for pi, e := range assignment {
 			if e < 0 || e >= ex.PerMachine {
-				return nil, 0, 0, fmt.Errorf("assigner placed partition %d on executor %d of %d", pi, e, ex.PerMachine)
+				return nil, 0, 0, 0, fmt.Errorf("assigner placed partition %d on executor %d of %d", pi, e, ex.PerMachine)
 			}
 			perExec[e] = append(perExec[e], parts[pi].Records...)
 		}
@@ -293,10 +316,11 @@ func (c *Cluster) mapAndCombineOpts(records []KV, q Query, site int, assigner As
 				mapTime = t // machines and executors run in parallel
 			}
 			mapped := q.applyMap(recs)
+			raw += len(mapped)
 			inter = append(inter, Combine(mapped, q.Combine)...)
 		}
 	}
-	return inter, mapTime, assignOverhead, nil
+	return inter, raw, mapTime, assignOverhead, nil
 }
 
 // ProfileIntermediate replays the map+combine stage of one site on the

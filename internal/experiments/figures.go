@@ -5,6 +5,7 @@ import (
 
 	"bohr/internal/core"
 	"bohr/internal/engine"
+	"bohr/internal/obs"
 	"bohr/internal/placement"
 	"bohr/internal/stats"
 	"bohr/internal/wan"
@@ -26,7 +27,11 @@ type SchemeResult struct {
 // baseline computed on the same snapshot.
 func (s Setup) runScheme(id placement.SchemeID, snapshot *coreSnapshot, run int) (*SchemeResult, error) {
 	c := snapshot.cluster.Clone()
-	sys, err := core.New(c, snapshot.workload, id, s.PlacementOptions(run))
+	opts := s.PlacementOptions(run)
+	if s.sink != nil {
+		opts.Obs = obs.NewCollector()
+	}
+	sys, err := core.New(c, snapshot.workload, id, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -37,9 +42,16 @@ func (s Setup) runScheme(id placement.SchemeID, snapshot *coreSnapshot, run int)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %v run: %w", id, err)
 	}
+	reduction := core.DataReduction(snapshot.vanilla, rep.IntermediateMBPerSite)
+	if s.sink != nil {
+		r := sys.Report()
+		r.Rep = run + 1
+		r.DataReductionPct = reduction
+		s.sink.reports = append(s.sink.reports, r)
+	}
 	return &SchemeResult{
 		MeanQCT:          rep.MeanQCT,
-		ReductionPerSite: core.DataReduction(snapshot.vanilla, rep.IntermediateMBPerSite),
+		ReductionPerSite: reduction,
 		IntermediateMB:   rep.IntermediateMBPerSite,
 	}, nil
 }

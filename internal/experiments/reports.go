@@ -1,0 +1,32 @@
+package experiments
+
+import "bohr/internal/core"
+
+// reportSink accumulates the machine-readable per-scheme-run reports an
+// experiment produces. It hangs off Setup by pointer so the value copies
+// the experiment functions pass around all feed the same sink.
+type reportSink struct {
+	reports []*core.Report
+}
+
+// EnableReports switches the setup into report-collecting mode: every
+// runScheme invocation attaches a fresh observability collector and files
+// a core.Report (scheme, workload, repetition, prepare/run summaries,
+// phase-span trace, metrics) into the sink. Off by default — without it
+// experiments run collector-free and pay nothing.
+func (s *Setup) EnableReports() {
+	if s.sink == nil {
+		s.sink = &reportSink{}
+	}
+}
+
+// DrainReports returns the reports accumulated since the last drain and
+// clears the sink. Nil when EnableReports was never called.
+func (s *Setup) DrainReports() []*core.Report {
+	if s.sink == nil {
+		return nil
+	}
+	out := s.sink.reports
+	s.sink.reports = nil
+	return out
+}

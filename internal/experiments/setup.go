@@ -48,6 +48,10 @@ type Setup struct {
 	Runs int
 	// Seed drives everything.
 	Seed int64
+
+	// sink collects machine-readable reports when EnableReports was
+	// called; nil keeps experiments collector-free.
+	sink *reportSink
 }
 
 // DefaultSetup is calibrated so QCTs land in the paper's 1–16 s range and

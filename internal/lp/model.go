@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"time"
+
+	"bohr/internal/obs"
 )
 
 // PlacementInput carries everything the §5 formulation needs. Amounts are
@@ -44,6 +46,9 @@ type PlacementInput struct {
 	// data, which is linear too and is what makes similarity matter per
 	// source site.
 	PaperObjective bool
+	// Obs optionally collects solver metrics (simplex pivots, alternating
+	// rounds). Nil disables collection at no cost.
+	Obs *obs.Collector `json:"-"`
 }
 
 // Validate checks dimensions and value sanity.
@@ -495,6 +500,8 @@ func SolvePlacement(in *PlacementInput) (*PlacementPlan, error) {
 	plan.TaskFrac = r
 	plan.ShuffleTime = in.ShuffleTimeFor(bestMove, r)
 	plan.SolveTime = time.Since(start)
+	in.Obs.Count("lp.pivots", float64(plan.PivotCount))
+	in.Obs.Observe("lp.solve.rounds", float64(plan.Rounds))
 	return plan, nil
 }
 

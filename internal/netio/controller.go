@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bohr/internal/engine"
+	"bohr/internal/obs"
 )
 
 // Controller is the logically centralized coordinator (§2.1): it connects
@@ -16,7 +17,14 @@ import (
 type Controller struct {
 	addrs []string
 	conns []*siteConn
+	obs   *obs.Collector
 }
+
+// SetObs attaches an observability collector: RunQuery records per-query
+// spans and shuffle counters into it. The live path has no simulator
+// clock, so netio span times are measured wall seconds (inherently
+// nondeterministic, unlike the engine's modeled spans). Nil detaches.
+func (c *Controller) SetObs(col *obs.Collector) { c.obs = col }
 
 // siteConn pairs a connection with its own lock so requests to different
 // sites proceed in parallel while each connection stays request/response.
@@ -156,6 +164,8 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 		return nil, fmt.Errorf("netio: task fractions sized %d, want %d", len(taskFrac), n)
 	}
 	start := time.Now()
+	sp := c.obs.StartSpan("netio:" + q.ID)
+	defer sp.End()
 
 	// Map phase: all sites in parallel.
 	type mapOut struct {
@@ -193,6 +203,8 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 			}
 		}
 	}
+	sp.Child("map").Add(time.Since(start).Seconds())
+	reduceStart := time.Now()
 
 	// Reduce phase: all sites in parallel, each waiting for its expected
 	// intermediate records.
@@ -225,6 +237,11 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 	// Reduce outputs own disjoint key sets; merging is concatenation, but
 	// sort for deterministic output.
 	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	sp.Child("reduce").Add(time.Since(reduceStart).Seconds())
+	sp.Add(time.Since(start).Seconds())
+	c.obs.Count("netio.queries", 1)
+	c.obs.Count("netio.shuffle.records", float64(shuffled))
+	c.obs.Observe("netio.query.elapsed_s", time.Since(start).Seconds())
 	return &QueryResult{
 		Output:              all,
 		IntermediatePerSite: interPerSite,

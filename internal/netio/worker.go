@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bohr/internal/engine"
+	"bohr/internal/obs"
 	"bohr/internal/stats"
 )
 
@@ -18,6 +19,7 @@ import (
 type Worker struct {
 	Site int
 	seed int64
+	obs  *obs.Collector
 
 	ln     net.Listener
 	up     *Bucket // uplink shaping for worker→worker pushes
@@ -61,6 +63,12 @@ func NewWorker(site int, addr string, upMBps float64, seed int64) (*Worker, erro
 
 // Addr returns the worker's dial address.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// SetObs attaches an observability collector counting the records this
+// worker pushes to peers (moves and intermediate scatter). Call it before
+// issuing requests; the collector itself is safe for the worker's
+// concurrent connection handlers. Nil detaches.
+func (w *Worker) SetObs(col *obs.Collector) { w.obs = col }
 
 // Close stops the listener. In-flight connections finish naturally.
 func (w *Worker) Close() error {
@@ -290,6 +298,7 @@ func (w *Worker) handleMove(req *Envelope) *Envelope {
 	w.mu.Lock()
 	w.datasets[req.Dataset] = kept
 	w.mu.Unlock()
+	w.obs.Count("netio.move.records", float64(len(moved)))
 	return &Envelope{Type: MsgMoveOK, Count: len(moved)}
 }
 
@@ -370,6 +379,7 @@ func (w *Worker) handleRunMap(req *Envelope) *Envelope {
 		}); err != nil {
 			return errEnv("runmap: scatter to site %d: %v", site, err)
 		}
+		w.obs.Count("netio.scatter.records", float64(len(batch)))
 	}
 	return &Envelope{Type: MsgRunMapOK, Count: len(inter), PerSite: perSite}
 }

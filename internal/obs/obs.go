@@ -1,0 +1,313 @@
+// Package obs is the observability layer of the Bohr reproduction: a
+// deterministic span tracer recording the hierarchy of named phases the
+// paper's QCT decomposition talks about (prepare → probes → lp →
+// calibrate → move, run → per-query map/shuffle/reduce), and a metrics
+// registry of counters, gauges and histograms (records moved, probe
+// bytes, simplex pivots, per-link WAN MB, combiner ratios).
+//
+// Spans carry *modeled* time — the simulator's QCT accounting — so that
+// traces are bit-deterministic for a fixed seed; wall-clock durations are
+// recorded only when the collector is built with WithWallClock, because
+// they break byte-identical report output.
+//
+// A nil *Collector (and the nil *Span it hands out) is a valid no-op:
+// every method checks its receiver, so instrumented code paths cost one
+// pointer comparison when observability is off. All operations are
+// mutex-guarded and safe for concurrent use.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one named phase in the trace tree.
+type Span struct {
+	// Name identifies the phase ("prepare", "probes", "shuffle", …).
+	Name string `json:"name"`
+	// Modeled is the phase's modeled time in seconds — the simulator's
+	// deterministic QCT accounting, not wall-clock.
+	Modeled float64 `json:"modeled_s"`
+	// Wall is the measured wall-clock duration in seconds; zero unless the
+	// collector was built with WithWallClock.
+	Wall float64 `json:"wall_s,omitempty"`
+	// Children are sub-phases in creation order.
+	Children []*Span `json:"children,omitempty"`
+
+	c       *Collector
+	parent  *Span
+	started time.Time
+}
+
+// Collector gathers one run's trace and metrics.
+type Collector struct {
+	mu       sync.Mutex
+	root     *Span
+	cur      *Span
+	wall     bool
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string][]float64
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithWallClock records wall-clock durations on spans in addition to
+// modeled time. Wall times are nondeterministic, so reports produced with
+// this option are not byte-identical across runs.
+func WithWallClock() Option { return func(c *Collector) { c.wall = true } }
+
+// NewCollector creates an empty collector. The trace root span is named
+// "bohr".
+func NewCollector(opts ...Option) *Collector {
+	c := &Collector{
+		counters: map[string]float64{},
+		gauges:   map[string]float64{},
+		hists:    map[string][]float64{},
+	}
+	c.root = &Span{Name: "bohr", c: c}
+	c.cur = c.root
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// StartSpan opens a new child of the current span and makes it current.
+// Close it with End. Nil-safe: a nil collector returns a nil span.
+func (c *Collector) StartSpan(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp := &Span{Name: name, c: c, parent: c.cur}
+	if c.wall {
+		sp.started = time.Now()
+	}
+	c.cur.Children = append(c.cur.Children, sp)
+	c.cur = sp
+	return sp
+}
+
+// Current returns the innermost open span (the trace root when nothing is
+// open). Nil-safe.
+func (c *Collector) Current() *Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// End closes the span: the collector's current span returns to the
+// parent. Ending a span that has already been popped (or that is an
+// ancestor of the current span) pops everything above it too, so span
+// leaks from early returns stay contained.
+func (s *Span) End() {
+	if s == nil || s.c == nil {
+		return
+	}
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.wall && !s.started.IsZero() && s.Wall == 0 {
+		s.Wall = time.Since(s.started).Seconds()
+	}
+	for cur := c.cur; cur != nil; cur = cur.parent {
+		if cur == s {
+			c.cur = s.parent
+			if c.cur == nil {
+				c.cur = c.root
+			}
+			return
+		}
+	}
+}
+
+// Add accumulates modeled seconds onto the span. Nil-safe.
+func (s *Span) Add(dt float64) {
+	if s == nil {
+		return
+	}
+	if s.c != nil {
+		s.c.mu.Lock()
+		defer s.c.mu.Unlock()
+	}
+	s.Modeled += dt
+}
+
+// Child finds or creates a direct child by name WITHOUT making it
+// current — the accumulation form used where strict stack discipline does
+// not hold (e.g. per-query stage times interleaved across concurrent
+// jobs). Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.c != nil {
+		s.c.mu.Lock()
+		defer s.c.mu.Unlock()
+	}
+	for _, ch := range s.Children {
+		if ch.Name == name {
+			return ch
+		}
+	}
+	ch := &Span{Name: name, c: s.c, parent: s}
+	s.Children = append(s.Children, ch)
+	return ch
+}
+
+// Count adds delta to a named counter. Nil-safe.
+func (c *Collector) Count(name string, delta float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counters[name] += delta
+}
+
+// Gauge sets a named gauge to the given value. Nil-safe.
+func (c *Collector) Gauge(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gauges[name] = v
+}
+
+// Observe records one observation into a named histogram. Nil-safe.
+func (c *Collector) Observe(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hists[name] = append(c.hists[name], v)
+}
+
+// HistogramStats summarizes a histogram's observations. Percentiles use
+// the nearest-rank method on the sorted observations.
+type HistogramStats struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of the metrics registry with a stable
+// JSON encoding (map keys marshal sorted).
+type Snapshot struct {
+	Counters   map[string]float64        `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
+}
+
+// summarize computes HistogramStats for one observation series.
+func summarize(vals []float64) HistogramStats {
+	st := HistogramStats{Count: len(vals)}
+	if len(vals) == 0 {
+		return st
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	st.Min = sorted[0]
+	st.Max = sorted[len(sorted)-1]
+	for _, v := range sorted {
+		st.Sum += v
+	}
+	rank := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	st.P50 = rank(0.50)
+	st.P90 = rank(0.90)
+	st.P99 = rank(0.99)
+	return st
+}
+
+// MetricsSnapshot copies the current metric values. Nil-safe: a nil
+// collector returns nil.
+func (c *Collector) MetricsSnapshot() *Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := &Snapshot{}
+	if len(c.counters) > 0 {
+		snap.Counters = make(map[string]float64, len(c.counters))
+		for k, v := range c.counters {
+			snap.Counters[k] = v
+		}
+	}
+	if len(c.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(c.gauges))
+		for k, v := range c.gauges {
+			snap.Gauges[k] = v
+		}
+	}
+	if len(c.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramStats, len(c.hists))
+		for k, vals := range c.hists {
+			snap.Histograms[k] = summarize(vals)
+		}
+	}
+	return snap
+}
+
+// Trace returns a deep copy of the trace tree, detached from the
+// collector so later spans do not mutate it. Nil-safe: returns nil on a
+// nil collector.
+func (c *Collector) Trace() *Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return copySpan(c.root)
+}
+
+func copySpan(s *Span) *Span {
+	out := &Span{Name: s.Name, Modeled: s.Modeled, Wall: s.Wall}
+	for _, ch := range s.Children {
+		out.Children = append(out.Children, copySpan(ch))
+	}
+	return out
+}
+
+// Find returns the descendant span reached by following the named path
+// from this span (nil if any step is missing). Convenience for tests and
+// report consumers.
+func (s *Span) Find(path ...string) *Span {
+	cur := s
+	for _, name := range path {
+		if cur == nil {
+			return nil
+		}
+		var next *Span
+		for _, ch := range cur.Children {
+			if ch.Name == name {
+				next = ch
+				break
+			}
+		}
+		cur = next
+	}
+	return cur
+}

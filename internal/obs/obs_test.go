@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	c := NewCollector()
+	prep := c.StartSpan("prepare")
+	probes := c.StartSpan("probes")
+	probes.Add(1.5)
+	probes.End()
+	lp := c.StartSpan("lp")
+	lp.Child("calibrate").Add(0.25)
+	lp.Add(2)
+	lp.End()
+	prep.Add(3.5)
+	prep.End()
+	run := c.StartSpan("run")
+	run.Add(7)
+	run.End()
+
+	tr := c.Trace()
+	if tr.Name != "bohr" {
+		t.Fatalf("root = %q", tr.Name)
+	}
+	if got := tr.Find("prepare", "probes"); got == nil || got.Modeled != 1.5 {
+		t.Fatalf("probes span = %+v", got)
+	}
+	if got := tr.Find("prepare", "lp", "calibrate"); got == nil || got.Modeled != 0.25 {
+		t.Fatalf("calibrate span = %+v", got)
+	}
+	if got := tr.Find("run"); got == nil || got.Modeled != 7 {
+		t.Fatalf("run span = %+v", got)
+	}
+	if got := tr.Find("prepare", "missing"); got != nil {
+		t.Fatalf("Find on missing path = %+v", got)
+	}
+	// Sibling order is creation order.
+	if len(tr.Children) != 2 || tr.Children[0].Name != "prepare" || tr.Children[1].Name != "run" {
+		t.Fatalf("root children = %+v", tr.Children)
+	}
+}
+
+func TestSpanEndPopsLeakedChildren(t *testing.T) {
+	c := NewCollector()
+	outer := c.StartSpan("outer")
+	c.StartSpan("leaked") // never ended
+	outer.End()
+	if cur := c.Current(); cur.Name != "bohr" {
+		t.Fatalf("ending an ancestor should pop leaked children, current = %q", cur.Name)
+	}
+	// Ending an already-popped span is harmless.
+	outer.End()
+	if cur := c.Current(); cur.Name != "bohr" {
+		t.Fatalf("double End moved current to %q", cur.Name)
+	}
+}
+
+func TestChildFindOrCreate(t *testing.T) {
+	c := NewCollector()
+	q := c.Current().Child("q00:scan")
+	q.Child("map").Add(1)
+	q.Child("map").Add(2)
+	q.Child("shuffle").Add(5)
+	if got := c.Trace().Find("q00:scan", "map"); got.Modeled != 3 {
+		t.Fatalf("map accumulated %v, want 3", got.Modeled)
+	}
+	if n := len(c.Trace().Find("q00:scan").Children); n != 2 {
+		t.Fatalf("children = %d, want 2 (map, shuffle)", n)
+	}
+	// Child must not change the collector's current span.
+	if cur := c.Current(); cur.Name != "bohr" {
+		t.Fatalf("Child made %q current", cur.Name)
+	}
+}
+
+func TestNilCollectorNoOps(t *testing.T) {
+	var c *Collector
+	sp := c.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil collector should hand out nil spans")
+	}
+	sp.Add(1)
+	sp.End()
+	if ch := sp.Child("y"); ch != nil {
+		t.Fatal("nil span Child should be nil")
+	}
+	c.Count("a", 1)
+	c.Gauge("b", 2)
+	c.Observe("c", 3)
+	if c.Current() != nil || c.Trace() != nil || c.MetricsSnapshot() != nil {
+		t.Fatal("nil collector accessors should return nil")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	c := NewCollector()
+	c.Count("records", 10)
+	c.Count("records", 5)
+	c.Gauge("sites", 4)
+	c.Gauge("sites", 10)
+	snap := c.MetricsSnapshot()
+	if snap.Counters["records"] != 15 {
+		t.Fatalf("counter = %v", snap.Counters["records"])
+	}
+	if snap.Gauges["sites"] != 10 {
+		t.Fatalf("gauge should keep last value, got %v", snap.Gauges["sites"])
+	}
+	// Snapshot is a copy: later writes must not leak into it.
+	c.Count("records", 100)
+	if snap.Counters["records"] != 15 {
+		t.Fatal("snapshot mutated by later Count")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c.Observe("lat", float64(i))
+	}
+	st := c.MetricsSnapshot().Histograms["lat"]
+	if st.Count != 100 || st.Min != 1 || st.Max != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Sum != 5050 {
+		t.Fatalf("sum = %v", st.Sum)
+	}
+	// Nearest-rank on 1..100: P50 = 50th value, P90 = 90th, P99 = 99th.
+	if st.P50 != 50 || st.P90 != 90 || st.P99 != 99 {
+		t.Fatalf("percentiles = %v/%v/%v", st.P50, st.P90, st.P99)
+	}
+
+	// Single observation: every percentile is that value.
+	c.Observe("one", 7)
+	one := c.MetricsSnapshot().Histograms["one"]
+	if one.P50 != 7 || one.P90 != 7 || one.P99 != 7 {
+		t.Fatalf("single-obs percentiles = %+v", one)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := NewCollector()
+	root := c.Current()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sp := root.Child("worker")
+			for i := 0; i < 100; i++ {
+				sp.Add(1)
+				c.Count("ops", 1)
+				c.Observe("lat", float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Trace().Find("worker").Modeled; got != 800 {
+		t.Fatalf("modeled = %v, want 800", got)
+	}
+	if got := c.MetricsSnapshot().Counters["ops"]; got != 800 {
+		t.Fatalf("ops = %v, want 800", got)
+	}
+}
+
+func TestSnapshotJSONStable(t *testing.T) {
+	mk := func() ([]byte, error) {
+		c := NewCollector()
+		c.StartSpan("prepare").End()
+		c.Count("z.last", 1)
+		c.Count("a.first", 2)
+		c.Observe("h", 1)
+		c.Observe("h", 3)
+		doc := struct {
+			Trace   *Span     `json:"trace"`
+			Metrics *Snapshot `json:"metrics"`
+		}{c.Trace(), c.MetricsSnapshot()}
+		return json.Marshal(doc)
+	}
+	a, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("identical collectors marshal differently:\n%s\n%s", a, b)
+	}
+}

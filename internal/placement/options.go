@@ -1,0 +1,53 @@
+package placement
+
+import "bohr/internal/obs"
+
+// Option is a functional configuration knob for planning. Options build on
+// the plain Options struct — both forms work, and NewOptions/With bridge
+// them: NewOptions(WithLag(60)) and Options{Lag: 60} are equivalent.
+type Option func(*Options)
+
+// NewOptions builds an Options value from functional options. Unset fields
+// keep their zero values and are filled with defaults by PlanScheme.
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// With returns a copy of the receiver with the given options applied on
+// top — the bridge from struct-literal to functional style.
+func (o Options) With(opts ...Option) Options {
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithLag sets T, the time between recurring query arrivals (seconds).
+func WithLag(t float64) Option { return func(o *Options) { o.Lag = t } }
+
+// WithProbeK sets the total probe record budget per dataset.
+func WithProbeK(k int) Option { return func(o *Options) { o.ProbeK = k } }
+
+// WithSeed sets the seed driving random record selection.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithPaperObjective makes the joint LP use the literal Eq. (1) objective:
+// incoming moved data combines at the destination's own rate instead of
+// the pairwise probe rate.
+func WithPaperObjective() Option { return func(o *Options) { o.PaperObjective = true } }
+
+// WithoutCalibration skips the profiled re-solve loop of the joint
+// planner (ablation knob).
+func WithoutCalibration() Option { return func(o *Options) { o.DisableCalibration = true } }
+
+// WithBandwidthJitter makes the planner consume estimated bandwidth with
+// the given relative noise instead of ground truth (§7 periodic probing).
+func WithBandwidthJitter(rel float64) Option { return func(o *Options) { o.BandwidthJitter = rel } }
+
+// WithObs attaches an observability collector that gathers planning phase
+// spans (probes, lp, calibrate, move) and metrics.
+func WithObs(c *obs.Collector) Option { return func(o *Options) { o.Obs = c } }

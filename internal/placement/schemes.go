@@ -1,11 +1,13 @@
 package placement
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
 	"bohr/internal/engine"
 	"bohr/internal/lp"
+	"bohr/internal/obs"
 	"bohr/internal/rdd"
 	"bohr/internal/stats"
 	"bohr/internal/wan"
@@ -46,6 +48,25 @@ func (s SchemeID) String() string {
 // AllSchemes lists the schemes in the paper's figure order.
 func AllSchemes() []SchemeID {
 	return []SchemeID{Iridium, IridiumC, BohrSim, BohrJoint, BohrRDD, Bohr}
+}
+
+// MarshalJSON encodes the scheme by display name, so reports stay readable
+// and stable even if the internal iota order ever changes.
+func (s SchemeID) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a scheme display name.
+func (s *SchemeID) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for _, id := range AllSchemes() {
+		if id.String() == name {
+			*s = id
+			return nil
+		}
+	}
+	return fmt.Errorf("placement: unknown scheme %q", name)
 }
 
 // usesCubes: every scheme except plain Iridium stores data in OLAP cubes.
@@ -97,6 +118,9 @@ type Options struct {
 	// links (§7): the true capacities are observed several times with this
 	// relative noise and EWMA-smoothed before planning.
 	BandwidthJitter float64
+	// Obs optionally collects planning phase spans (probes, lp, calibrate,
+	// move) and metrics. Nil disables collection at no cost.
+	Obs *obs.Collector
 }
 
 // withDefaults fills zero fields.
@@ -130,6 +154,10 @@ type Plan struct {
 	CheckTime float64
 	// Stats are the planner inputs, retained for reporting.
 	Stats []*DatasetStats
+	// obs is the collector the plan was made under (from Options.Obs);
+	// Execute reports the move span and WAN metrics to it. Scratch plans
+	// built during profiling carry nil so replays never pollute metrics.
+	obs *obs.Collector
 }
 
 // UseRandomMovers replaces every dataset's record-selection policy with
@@ -183,6 +211,7 @@ func (p *Plan) Execute(c *engine.Cluster, seed int64) (*engine.MoveResult, error
 		}
 		byDataset[sp.Dataset] = append(byDataset[sp.Dataset], sp)
 	}
+	sp := p.obs.StartSpan("move")
 	for _, name := range order {
 		res, err := c.ApplyMoves(byDataset[name], p.MoverFor(name), rng)
 		if err != nil {
@@ -192,6 +221,10 @@ func (p *Plan) Execute(c *engine.Cluster, seed int64) (*engine.MoveResult, error
 		agg.Transfers = append(agg.Transfers, res.Transfers...)
 	}
 	agg.Duration = c.Top.Simulate(agg.Transfers).Makespan
+	sp.Add(agg.Duration)
+	sp.End()
+	p.obs.Count("engine.records.moved", float64(agg.Records))
+	wan.RecordFlows(p.obs, c.Top, "move", agg.Transfers)
 	return agg, nil
 }
 
@@ -203,15 +236,24 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 	if err != nil {
 		return nil, err
 	}
+	probes := opts.Obs.StartSpan("probes")
 	allStats, err := ComputeAllStats(c, w, opts.ProbeK)
 	if err != nil {
+		probes.End()
 		return nil, err
+	}
+	n := len(c.Top.Sites)
+	for _, st := range allStats {
+		opts.Obs.Count("probe.records", float64(st.ProbeShare*(n-1)))
+		opts.Obs.Count("probe.bytes", c.MB(st.ProbeShare*(n-1))*1e6)
+		opts.Obs.Count("cube.cells", float64(st.CubeCells))
 	}
 	plan := &Plan{
 		Scheme:   id,
 		UseCubes: id.usesCubes(),
 		movers:   map[string]engine.Mover{},
 		Stats:    allStats,
+		obs:      opts.Obs,
 	}
 	for i, st := range allStats {
 		if id.usesSimilarity() {
@@ -230,7 +272,11 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 			plan.movers[st.Name] = engine.RandomMover{}
 		}
 	}
+	probes.Add(plan.CheckTime)
+	probes.End()
 
+	lpSpan := opts.Obs.StartSpan("lp")
+	defer lpSpan.End()
 	in := buildLPInput(planTop, len(c.Top.Sites), allStats, opts, id)
 	if id.usesJointLP() {
 		// The joint LP's volume predictions are calibrated against a
@@ -257,6 +303,8 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 			if err != nil {
 				return nil, err
 			}
+			opts.Obs.Count("placement.calibration.rounds", 1)
+			lpSpan.Child("calibrate")
 			if !calibrateIncoming(in, allStats, sol.Move, fReal) {
 				break // predictions already match
 			}
@@ -295,6 +343,8 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 	}
 	plan.TaskFrac = frac
 	plan.LPTime += float64(pivots) * lpPivotCost
+	opts.Obs.Count("lp.pivots", float64(pivots))
+	lpSpan.Add(plan.LPTime)
 
 	if id.usesRDD() {
 		plan.Assigner = rdd.NewAssigner(stats.Split(opts.Seed, 77))
@@ -437,6 +487,7 @@ func buildLPInput(planTop *wan.Topology, n int, allStats []*DatasetStats, opts O
 		Lag:               opts.Lag,
 		IncomingInflation: incomingInflation,
 		PaperObjective:    opts.PaperObjective,
+		Obs:               opts.Obs,
 	}
 	for _, st := range allStats {
 		in.Input = append(in.Input, st.InputMB)

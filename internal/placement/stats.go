@@ -47,6 +47,9 @@ type DatasetStats struct {
 	CheckTime float64
 	// NumDims is the dataset's schema width (Table 2 reports it).
 	NumDims int
+	// CubeCells is the total dimension-cube cell count across sites that
+	// similarity checking touched (the cost basis of CheckTime).
+	CubeCells int
 	// ProbeShare is the dominant query type's share of the probe budget:
 	// the number of destination cells a source knows when selecting
 	// records to move.
@@ -108,6 +111,7 @@ func ComputeStats(c *engine.Cluster, ds *workload.Dataset, probeK int) (*Dataset
 		Queries:      ds.TotalQueries(),
 		DominantDims: dom.Dims,
 		NumDims:      ds.Schema.NumDims(),
+		CubeCells:    totalCells,
 		ProbeShare:   domShare,
 	}
 	st.Reduction = profileReduction(c, ds.Name, dom.Query)

@@ -1,0 +1,22 @@
+package wan
+
+import "bohr/internal/obs"
+
+// RecordFlows accounts a transfer set's per-link WAN volume into the
+// collector's metrics under the given phase ("shuffle", "move", …):
+// one counter per directed site pair, "wan.<phase>.<src>-><dst>.mb",
+// plus the phase aggregate "wan.<phase>.mb". Nil-safe and free when col
+// is nil.
+func RecordFlows(col *obs.Collector, t *Topology, phase string, flows []Transfer) {
+	if col == nil {
+		return
+	}
+	for _, tr := range flows {
+		if tr.Src == tr.Dst || tr.MB <= 0 {
+			continue
+		}
+		link := "wan." + phase + "." + t.Sites[tr.Src].Name + "->" + t.Sites[tr.Dst].Name + ".mb"
+		col.Count(link, tr.MB)
+		col.Count("wan."+phase+".mb", tr.MB)
+	}
+}
