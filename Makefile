@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt-check race bench
+.PHONY: all build test check vet fmt-check race determinism bench
 
 all: build
 
@@ -10,9 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: static checks plus the race detector on the
-# packages with real concurrency (engine's job runner, obs's collector).
-check: vet fmt-check race
+# check is the CI gate: static checks, the race detector on the packages
+# with real concurrency (engine's job runner, obs's collector, the live
+# netio path and fault injector), and the report determinism check.
+check: vet fmt-check race determinism
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +25,23 @@ fmt-check:
 	fi
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/obs/...
+	$(GO) test -race ./internal/engine/... ./internal/obs/... \
+		./internal/netio/... ./internal/faults/...
+
+# determinism: two bohrctl runs with the same seed and fault schedule
+# must emit byte-identical JSON reports.
+determinism:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	args="-workload bigdata-scan -scheme bohr -seed 7 -json -faults crash:site=2,start=40,end=70;degrade:site=0,start=0,end=120,factor=0.3"; \
+	$(GO) run ./cmd/bohrctl $$args > "$$tmp/a.json"; \
+	$(GO) run ./cmd/bohrctl $$args > "$$tmp/b.json"; \
+	if ! cmp -s "$$tmp/a.json" "$$tmp/b.json"; then \
+		echo "determinism: reports differ across identical runs"; \
+		diff "$$tmp/a.json" "$$tmp/b.json" | head; exit 1; \
+	fi; \
+	grep -q '"fault_events"' "$$tmp/a.json" || \
+		{ echo "determinism: report missing fault_events"; exit 1; }; \
+	echo "determinism: OK (byte-identical faulted reports)"
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

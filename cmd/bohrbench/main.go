@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: fig6..fig13, tab2..tab7, overhead, ablation, or all")
+		exp      = flag.String("exp", "all", "comma-separated experiments: fig6..fig13, tab2..tab7, overhead, ablation, faults, or all")
 		sites    = flag.Int("sites", 0, "override number of sites")
 		datasets = flag.Int("datasets", 0, "override datasets per workload")
 		rows     = flag.Int("rows", 0, "override rows per site per dataset")
@@ -161,9 +161,13 @@ func main() {
 		rows, err := experiments.AblationPlacement(s)
 		return experiments.FormatAblation(rows), err
 	})
+	run("faults", func() (string, error) {
+		rows, err := experiments.FaultSweep(s)
+		return experiments.FormatFaultSweep(rows, comparison), err
+	})
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "bohrbench: no experiment matched %q (use fig6..fig13, tab2..tab7, overhead, ablation, all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "bohrbench: no experiment matched %q (use fig6..fig13, tab2..tab7, overhead, ablation, faults, all)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -6,6 +6,7 @@
 //	bohrctl -workload tpcds -scheme bohr
 //	bohrctl -workload bigdata-scan -scheme iridium-c -datasets 12 -locality
 //	bohrctl -workload facebook -sql "SELECT jobclass, COUNT(*) FROM facebook-000 GROUP BY jobclass"
+//	bohrctl -workload tpcds -scheme bohr -faults "crash:site=2,start=40,end=70;degrade:site=0,start=0,end=120,factor=0.3"
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"bohr/internal/core"
 	"bohr/internal/experiments"
+	"bohr/internal/faults"
 	"bohr/internal/obs"
 	"bohr/internal/placement"
 	"bohr/internal/sql"
@@ -36,10 +38,11 @@ func main() {
 		sqlText    = flag.String("sql", "", "ad-hoc SQL to run under the chosen scheme")
 		dynamic    = flag.Bool("dynamic", false, "run the §8.6 highly-dynamic-dataset protocol")
 		jsonOut    = flag.Bool("json", false, "emit the machine-readable core.Report JSON (trace + metrics) instead of text; standard runs only")
+		faultSpec  = flag.String("faults", "", `fault schedule, e.g. "crash:site=2,start=40,end=70;degrade:site=0,start=0,end=120,factor=0.3"`)
 	)
 	flag.Parse()
 
-	if err := run(*kindName, *schemeName, *datasets, *rows, *probeK, *locality, *seed, *sqlText, *dynamic, *jsonOut); err != nil {
+	if err := run(*kindName, *schemeName, *datasets, *rows, *probeK, *locality, *seed, *sqlText, *faultSpec, *dynamic, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)
 		os.Exit(1)
 	}
@@ -70,7 +73,7 @@ func parseScheme(name string) (placement.SchemeID, error) {
 	return 0, fmt.Errorf("unknown scheme %q", name)
 }
 
-func run(kindName, schemeName string, datasets, rows, probeK int, locality bool, seed int64, sqlText string, dynamic, jsonOut bool) error {
+func run(kindName, schemeName string, datasets, rows, probeK int, locality bool, seed int64, sqlText, faultSpec string, dynamic, jsonOut bool) error {
 	kind, err := parseKind(kindName)
 	if err != nil {
 		return err
@@ -91,6 +94,14 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 	}
 	if seed != 0 {
 		s.Seed = seed
+	}
+	if faultSpec != "" {
+		sched, err := faults.Parse(faultSpec)
+		if err != nil {
+			return err
+		}
+		sched.Seed = s.Seed
+		s.Faults = sched
 	}
 
 	c, w, err := s.Populated(kind, locality, 0)
@@ -131,6 +142,9 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 	if !jsonOut {
 		fmt.Printf("%s on %v: moved %.1f MB in %.2fs (lag %.0fs), probe checking %.2fs, LP %.2fs\n",
 			scheme, kind, prep.MovedMB, prep.MoveDuration, s.Lag, prep.CheckTime, prep.LPTime)
+		if s.Faults != nil {
+			fmt.Printf("faults: %d scheduled events (%s)\n", len(s.Faults.Events), s.Faults)
+		}
 	}
 
 	if sqlText != "" {

@@ -9,7 +9,23 @@ import (
 
 // ReportSchemaVersion is bumped whenever the Report JSON schema changes
 // incompatibly, so downstream consumers can detect what they are parsing.
-const ReportSchemaVersion = 1
+// v2 added the resilience section (fault-event list + retry/timeout
+// counters) emitted by fault-injected runs.
+const ReportSchemaVersion = 2
+
+// ResilienceReport captures a run's failure handling: the fault events
+// that fired on the modeled timeline and the resilience machinery's
+// counters. Present (non-nil, possibly all-zero) exactly when a fault
+// schedule was attached to the run.
+type ResilienceReport struct {
+	// Retries counts controller-side request retries (live substrate).
+	Retries int `json:"retries"`
+	// Timeouts counts requests that exhausted their deadline.
+	Timeouts int `json:"timeouts"`
+	// FaultEvents is the run's event timeline in deterministic order:
+	// the injected schedule, plus any live-path occurrences.
+	FaultEvents []obs.Event `json:"fault_events"`
+}
 
 // Report is the one machine-readable result document of the reproduction:
 // a stable-schema JSON tree subsuming the prepare-phase summary, the
@@ -41,6 +57,9 @@ type Report struct {
 	// DataReductionPct is the per-site data reduction vs the vanilla
 	// baseline (entries ≤ ReductionUndefined flag an undefined ratio).
 	DataReductionPct []float64 `json:"data_reduction_pct,omitempty"`
+	// Resilience reports fault events and retry/timeout counters; nil
+	// unless the run carried a fault schedule.
+	Resilience *ResilienceReport `json:"resilience,omitempty"`
 	// Trace is the phase-span tree (prepare → probes/lp/move, run →
 	// per-query map/shuffle/reduce); nil without a collector.
 	Trace *obs.Span `json:"trace,omitempty"`
@@ -66,6 +85,17 @@ func (s *System) Report() *Report {
 	}
 	r.Trace = s.Obs.Trace()
 	r.Metrics = s.Obs.MetricsSnapshot()
+	if s.Opts.Faults != nil {
+		res := &ResilienceReport{FaultEvents: s.Obs.EventLog()}
+		if res.FaultEvents == nil {
+			res.FaultEvents = []obs.Event{}
+		}
+		if r.Metrics != nil {
+			res.Retries = int(r.Metrics.Counters["netio.retries"])
+			res.Timeouts = int(r.Metrics.Counters["netio.timeouts"])
+		}
+		r.Resilience = res
+	}
 	return r
 }
 

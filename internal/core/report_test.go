@@ -27,6 +27,14 @@ func TestReportJSONRoundTrip(t *testing.T) {
 			TotalShuffleMB:        3,
 		},
 		DataReductionPct: []float64{10, -5},
+		Resilience: &ResilienceReport{
+			Retries:  3,
+			Timeouts: 1,
+			FaultEvents: []obs.Event{
+				{T: 10, Kind: "crash", Site: 2, Detail: "end=20s"},
+				{T: 40.5, Kind: "retry", Site: 1, Detail: "attempt=2"},
+			},
+		},
 		Trace: &obs.Span{Name: "bohr", Children: []*obs.Span{
 			{Name: "prepare", Modeled: 5.5, Children: []*obs.Span{{Name: "probes", Modeled: 1.5}}},
 		}},

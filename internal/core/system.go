@@ -77,6 +77,24 @@ func (s *System) Prepare() (*PrepareReport, error) {
 	}
 	opts := s.Opts
 	opts.Obs = s.Obs
+	// Log the fault schedule onto the run's event timeline up front, in
+	// schedule order, so reports carry the injected faults even when no
+	// live-path machinery fires.
+	if f := opts.Faults; f != nil {
+		for _, e := range f.Events {
+			detail := fmt.Sprintf("end=%gs", e.End)
+			if e.Factor != 0 {
+				detail += fmt.Sprintf(" factor=%g", e.Factor)
+			}
+			if e.Prob != 0 {
+				detail += fmt.Sprintf(" prob=%g", e.Prob)
+			}
+			if e.DelayMs != 0 {
+				detail += fmt.Sprintf(" delay_ms=%g", e.DelayMs)
+			}
+			s.Obs.RecordEvent(obs.Event{T: e.Start, Kind: e.Kind.String(), Site: e.Site, Detail: detail})
+		}
+	}
 	prep := s.Obs.StartSpan("prepare")
 	defer prep.End()
 	plan, err := placement.PlanScheme(s.Scheme, s.Cluster, s.Workload, opts)
@@ -151,10 +169,17 @@ func (s *System) RunAll() (*RunReport, error) {
 		Scheme:                s.Scheme,
 		IntermediateMBPerSite: make([]float64, s.Cluster.N()),
 	}
+	// Recurring queries start at the lag boundary on the fault timeline
+	// (moves occupied [0, Lag)); keep the placement default in sync.
+	lag := s.Opts.Lag
+	if lag <= 0 {
+		lag = 30
+	}
 	cfgs := make([]engine.JobConfig, len(s.Workload.Datasets))
 	for i, ds := range s.Workload.Datasets {
 		cfgs[i] = s.plan.JobConfigFor(ds.DominantQuery().Query)
 		cfgs[i].Obs = s.Obs
+		cfgs[i].FaultClock = lag
 	}
 	run := s.Obs.StartSpan("run")
 	results, err := s.Cluster.RunConcurrent(cfgs)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"bohr/internal/faults"
 	"bohr/internal/obs"
 	"bohr/internal/wan"
 )
@@ -35,6 +36,16 @@ type JobConfig struct {
 	// Data volume semantics are unchanged — only scan cost drops, and it
 	// drops more for duplicate-heavy (similar) data.
 	CubeInput bool
+	// Faults is an optional fault schedule applied in modeled time:
+	// straggler windows scale per-site map and reduce times, and
+	// degraded/blacked-out links slow the shared shuffle via the fluid
+	// fault model. Concurrent jobs share the schedule of the first config
+	// that sets one (they share the WAN, so they must share its faults).
+	Faults *faults.Schedule
+	// FaultClock is the modeled time at which this execution starts on
+	// the schedule's timeline (queries launched after the lag window
+	// start at t = Lag).
+	FaultClock float64
 }
 
 // RoundMetrics reports one map-shuffle-reduce round.
@@ -149,6 +160,20 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 		}
 	}
 
+	// Concurrent jobs share the WAN, so they share one fault schedule
+	// and one modeled clock: the first config that sets a schedule
+	// governs the batch. The clock advances stage by stage so fault
+	// windows hit the stages that are actually running when they fire.
+	var fs *faults.Schedule
+	var clock float64
+	for _, cfg := range cfgs {
+		if cfg.Faults != nil {
+			fs = cfg.Faults
+			clock = cfg.FaultClock
+			break
+		}
+	}
+
 	for round := 0; round < maxRounds; round++ {
 		var flows []wan.Transfer
 		type roundState struct {
@@ -176,6 +201,7 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 				if raw > 0 && job.cfg.Obs != nil {
 					job.cfg.Obs.Observe("combine.reduction.ratio", 1-float64(len(inter))/float64(raw))
 				}
+				mapT *= fs.ComputeFactor(i, clock)
 				if mapT > st.rm.MapTime {
 					st.rm.MapTime = mapT
 				}
@@ -204,12 +230,31 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 			job.cfg.Obs.Count("engine.shuffle.mb", st.rm.ShuffleMB)
 		}
 
+		// The shuffle starts when the slowest job's map+assign finishes.
+		mapEnd := clock
+		for _, st := range states {
+			if st == nil {
+				continue
+			}
+			if end := clock + st.rm.MapTime + st.rm.AssignOverhead; end > mapEnd {
+				mapEnd = end
+			}
+		}
+
 		// One shared shuffle: with many parallel flows the access links
 		// saturate, so the stage time is the paper's per-link aggregate
-		// model (Eqs. 3-4) over the union of all jobs' flows.
-		shuffleTime := c.Top.Estimate(flows)
+		// model (Eqs. 3-4) over the union of all jobs' flows — drained
+		// through fault-scaled link capacities when a schedule is set.
+		var shuffleTime float64
+		if fs == nil {
+			shuffleTime = c.Top.Estimate(flows)
+		} else {
+			shuffleTime = c.Top.EstimateFaults(flows, fs, mapEnd)
+		}
+		reduceStart := mapEnd + shuffleTime
 
 		// Reduce per job.
+		var maxReduce float64
 		for ji, job := range jobs {
 			st := states[ji]
 			if st == nil {
@@ -222,9 +267,13 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 				output[j] = CombinePartials(st.arriving[j], job.q.Combine)
 				execs := c.Exec[j].Total()
 				t := float64(len(st.arriving[j])) * job.q.ReduceCost / float64(execs)
+				t *= fs.ComputeFactor(j, reduceStart)
 				if t > st.rm.ReduceTime {
 					st.rm.ReduceTime = t
 				}
+			}
+			if st.rm.ReduceTime > maxReduce {
+				maxReduce = st.rm.ReduceTime
 			}
 			job.res.Rounds = append(job.res.Rounds, st.rm)
 			job.res.QCT += st.rm.MapTime + st.rm.AssignOverhead + st.rm.ShuffleTime + st.rm.ReduceTime
@@ -234,6 +283,7 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 			job.sp.Child("reduce").Add(st.rm.ReduceTime)
 			job.input = output
 		}
+		clock = reduceStart + maxReduce
 	}
 
 	out := make([]*RunResult, len(jobs))

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bohr/internal/faults"
+	"bohr/internal/placement"
+	"bohr/internal/stats"
+	"bohr/internal/workload"
+)
+
+// FaultIntensities is the x-axis of the fault sweep: the fraction of
+// sites hit by seeded degrade/crash/straggler events (0 = clean run).
+var FaultIntensities = []float64{0, 0.15, 0.3, 0.45, 0.6}
+
+// FaultSweepRow is one x-axis point of the fault sweep: mean QCT per
+// scheme at one fault intensity, plus the number of injected events.
+type FaultSweepRow struct {
+	Intensity float64
+	Events    int
+	QCT       map[string]float64
+}
+
+// FaultSweep measures QCT versus fault intensity on the big data scan
+// workload: at each intensity a seeded random fault schedule (link
+// degrades, site crashes, stragglers) spans the movement window and the
+// query run, and Iridium, Iridium-C and Bohr re-plan against the degraded
+// view before executing under it. The schedule at each intensity is a
+// deterministic function of the setup seed, so the sweep is byte-stable
+// across invocations.
+func FaultSweep(s Setup) ([]FaultSweepRow, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	schemes := []placement.SchemeID{placement.Iridium, placement.IridiumC, placement.Bohr}
+	// Horizon covers the movement lag plus the query window the modeled
+	// runs actually occupy at this scale.
+	horizon := s.Lag + 60
+	var rows []FaultSweepRow
+	for i, intensity := range FaultIntensities {
+		sched := faults.Random(stats.Split(s.Seed, int64(7700+i)), s.Sites, intensity, horizon)
+		sf := s
+		if !sched.Empty() {
+			sf.Faults = sched
+		}
+		row := FaultSweepRow{Intensity: intensity, Events: len(sched.Events), QCT: map[string]float64{}}
+		sums := make(map[string]float64, len(schemes))
+		for run := 0; run < s.Runs; run++ {
+			snap, err := sf.snapshot(workload.BigDataScan, false, run)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range schemes {
+				res, err := sf.runScheme(id, snap, run)
+				if err != nil {
+					return nil, err
+				}
+				sums[id.String()] += res.MeanQCT
+			}
+		}
+		for name, sum := range sums {
+			row.QCT[name] = sum / float64(s.Runs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFaultSweep renders fault sweep rows as an aligned text table.
+func FormatFaultSweep(rows []FaultSweepRow, schemes []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault sweep: QCT vs fault intensity (big data scan)\n")
+	fmt.Fprintf(&b, "%-10s %7s", "Intensity", "Events")
+	for _, s := range schemes {
+		fmt.Fprintf(&b, "%12s", s)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10.2f %7d", r.Intensity, r.Events)
+		for _, s := range schemes {
+			fmt.Fprintf(&b, "%11.2fs", r.QCT[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

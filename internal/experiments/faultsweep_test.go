@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepShape(t *testing.T) {
+	s := QuickSetup()
+	rows, err := FaultSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FaultIntensities) {
+		t.Fatalf("%d rows, want %d", len(rows), len(FaultIntensities))
+	}
+	for i, r := range rows {
+		if r.Intensity != FaultIntensities[i] {
+			t.Fatalf("row %d intensity %v, want %v", i, r.Intensity, FaultIntensities[i])
+		}
+		for _, scheme := range []string{"Iridium", "Iridium-C", "Bohr"} {
+			if r.QCT[scheme] <= 0 {
+				t.Fatalf("row %d missing %s QCT: %+v", i, scheme, r.QCT)
+			}
+		}
+	}
+	if rows[0].Events != 0 {
+		t.Fatalf("zero intensity injected %d events", rows[0].Events)
+	}
+	if last := rows[len(rows)-1]; last.Events == 0 {
+		t.Fatalf("max intensity injected no events")
+	}
+	// Faults cannot make Bohr faster than its own clean run.
+	if rows[len(rows)-1].QCT["Bohr"] < rows[0].QCT["Bohr"] {
+		t.Fatalf("QCT fell under max faults: clean %v, faulted %v",
+			rows[0].QCT["Bohr"], rows[len(rows)-1].QCT["Bohr"])
+	}
+	out := FormatFaultSweep(rows, []string{"Iridium", "Iridium-C", "Bohr"})
+	if !strings.Contains(out, "Fault sweep") || !strings.Contains(out, "Bohr") {
+		t.Fatalf("formatter output:\n%s", out)
+	}
+}
+
+func TestFaultSweepDeterministic(t *testing.T) {
+	s := QuickSetup()
+	a, err := FaultSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for scheme, qct := range a[i].QCT {
+			if b[i].QCT[scheme] != qct {
+				t.Fatalf("row %d %s: %v vs %v across identical sweeps", i, scheme, qct, b[i].QCT[scheme])
+			}
+		}
+	}
+}

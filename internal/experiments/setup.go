@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"bohr/internal/engine"
+	"bohr/internal/faults"
 	"bohr/internal/placement"
 	"bohr/internal/stats"
 	"bohr/internal/wan"
@@ -48,6 +49,9 @@ type Setup struct {
 	Runs int
 	// Seed drives everything.
 	Seed int64
+	// Faults optionally injects a deterministic fault schedule into every
+	// run: degraded planning plus faulty modeled execution (nil = clean).
+	Faults *faults.Schedule
 
 	// sink collects machine-readable reports when EnableReports was
 	// called; nil keeps experiments collector-free.
@@ -141,6 +145,7 @@ func (s Setup) PlacementOptions(run int) placement.Options {
 		Lag:    s.Lag,
 		ProbeK: s.ProbeK,
 		Seed:   stats.Split(s.Seed, int64(9000+run)),
+		Faults: s.Faults,
 	}
 }
 

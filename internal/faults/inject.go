@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bohr/internal/stats"
+)
+
+// Injector applies a Schedule to one live netio site. Fault windows are
+// evaluated against wall time elapsed since the anchor, so the same
+// schedule drives modeled and live runs on the same axis. Drop coins
+// come from a seeded per-site stream (Split(schedule seed, site)), so
+// the coin sequence — though not wall-clock interleaving — is
+// reproducible. Safe for concurrent use.
+type Injector struct {
+	s      *Schedule
+	site   int
+	anchor time.Time
+
+	mu  sync.Mutex
+	rng interface{ Float64() float64 }
+}
+
+// Injector builds the live-path injector for one site, with fault time
+// zero at anchor. A nil schedule yields a nil injector, which is a
+// valid no-op everywhere.
+func (s *Schedule) Injector(site int, anchor time.Time) *Injector {
+	if s == nil {
+		return nil
+	}
+	return &Injector{
+		s: s, site: site, anchor: anchor,
+		rng: stats.NewRand(stats.Split(s.Seed, int64(site))),
+	}
+}
+
+// now returns seconds of fault time.
+func (in *Injector) now() float64 { return time.Since(in.anchor).Seconds() }
+
+// SiteDown reports whether the injector's site is inside a crash window
+// right now. Nil-safe.
+func (in *Injector) SiteDown() bool {
+	if in == nil {
+		return false
+	}
+	return in.s.SiteDown(in.site, in.now())
+}
+
+// WrapConn wraps a live connection with the site's fault behavior:
+// writes fail while the site is crashed or when a drop coin fires
+// (closing the conn, as a real network fault would), and are delayed by
+// active delay windows. Nil-safe: a nil injector returns c unchanged.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &faultConn{Conn: c, in: in}
+}
+
+type faultConn struct {
+	net.Conn
+	in *Injector
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	in := fc.in
+	t := in.now()
+	if in.s.SiteDown(in.site, t) {
+		fc.Conn.Close()
+		return 0, fmt.Errorf("faults: site %d crashed (t=%.1fs): %w", in.site, t, net.ErrClosed)
+	}
+	if p := in.s.DropProb(in.site, t); p > 0 {
+		in.mu.Lock()
+		coin := in.rng.Float64()
+		in.mu.Unlock()
+		if coin < p {
+			fc.Conn.Close()
+			return 0, fmt.Errorf("faults: site %d dropped message (t=%.1fs): %w", in.site, t, net.ErrClosed)
+		}
+	}
+	if d := in.s.MsgDelay(in.site, t); d > 0 {
+		time.Sleep(d)
+	}
+	return fc.Conn.Write(p)
+}

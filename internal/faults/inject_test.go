@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"bohr/internal/wan"
+)
+
+func TestInjectorWrapConn(t *testing.T) {
+	s := &Schedule{Seed: 1, Events: []Event{
+		{Kind: KindSiteCrash, Site: 0, Start: 0, End: 3600},
+		{Kind: KindMsgDrop, Site: 1, Start: 0, End: 3600, Prob: 1},
+	}}
+	pipe := func() (net.Conn, net.Conn) { return net.Pipe() }
+
+	// Crashed site: writes fail and the conn is closed.
+	a, b := pipe()
+	defer b.Close()
+	fc := s.Injector(0, time.Now()).WrapConn(a)
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write on crashed site succeeded")
+	}
+
+	// Certain drop: writes fail too.
+	a2, b2 := pipe()
+	defer b2.Close()
+	fc2 := s.Injector(1, time.Now()).WrapConn(a2)
+	if _, err := fc2.Write([]byte("x")); err == nil {
+		t.Fatal("write with drop prob 1 succeeded")
+	}
+
+	// Healthy site: write passes through untouched.
+	a3, b3 := pipe()
+	defer b3.Close()
+	go func() {
+		buf := make([]byte, 1)
+		b3.Read(buf)
+	}()
+	fc3 := s.Injector(2, time.Now()).WrapConn(a3)
+	if _, err := fc3.Write([]byte("x")); err != nil {
+		t.Fatalf("healthy write failed: %v", err)
+	}
+	fc3.Close()
+
+	// Nil injector and nil schedule are pass-throughs.
+	var nilS *Schedule
+	if nilS.Injector(0, time.Now()) != nil {
+		t.Error("nil schedule should build nil injector")
+	}
+	a4, b4 := pipe()
+	if got := (*Injector)(nil).WrapConn(a4); got != a4 {
+		t.Error("nil injector must return conn unchanged")
+	}
+	a4.Close()
+	b4.Close()
+}
+
+func TestPlannerViewDemotesDeadSite(t *testing.T) {
+	truth, err := wan.NewTopology(
+		[]string{"a", "b", "c"},
+		[]float64{100, 100, 100},
+		[]float64{100, 100, 100},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{Events: []Event{
+		{Kind: KindSiteCrash, Site: 1, Start: 0, End: 3600},
+		{Kind: KindLinkDegrade, Site: 2, Start: 0, End: 3600, Factor: 0.5},
+	}}
+	view := PlannerView(truth, s, 30, 6)
+	if view.Sites[0].UpMBps != 100 {
+		t.Errorf("healthy site capacity changed: %v", view.Sites[0].UpMBps)
+	}
+	if view.Sites[1].UpMBps > 1 {
+		t.Errorf("dead site kept capacity %v, want epsilon", view.Sites[1].UpMBps)
+	}
+	if view.Sites[1].UpMBps <= 0 {
+		t.Errorf("dead site capacity must stay positive for the LP, got %v", view.Sites[1].UpMBps)
+	}
+	got := view.Sites[2].UpMBps
+	if got < 40 || got > 60 {
+		t.Errorf("degraded site estimate %v, want ≈50", got)
+	}
+	// A schedule whose faults have all ended by planning time restores
+	// the full view through smoothing.
+	past := &Schedule{Events: []Event{{Kind: KindSiteCrash, Site: 1, Start: 0, End: 5}}}
+	view2 := PlannerView(truth, past, 30, 6)
+	if view2.Sites[1].UpMBps < 99 {
+		t.Errorf("recovered site still demoted: %v", view2.Sites[1].UpMBps)
+	}
+	// Empty schedule: truth passes through.
+	if PlannerView(truth, nil, 30, 6) != truth {
+		t.Error("nil schedule should return truth unchanged")
+	}
+}

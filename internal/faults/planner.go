@@ -1,0 +1,60 @@
+package faults
+
+import (
+	"bohr/internal/wan"
+)
+
+// deadSiteScale is the capacity multiplier applied to sites the planner
+// decides are unreachable. The LP handles arbitrary positive
+// capacities, so an epsilon link (rather than a removed site) keeps the
+// formulation square while pushing essentially all data and tasks off
+// the dead site.
+const deadSiteScale = 1e-3
+
+// PlannerView builds the topology a fault-aware planner should hand to
+// the LP at modeled planning time planT: it replays `rounds` bandwidth
+// probing rounds (1 s apart, ending at planT) against the schedule —
+// sites inside a crash or blackout window simply produce no sample,
+// degraded links are observed at their scaled capacity — smooths them
+// through a wan.BandwidthEstimator, and then demotes sites that look
+// dead (down at planT, or never heard from during probing) to epsilon
+// capacity so the LP re-solves around them. Deterministic: no noise
+// beyond the schedule itself.
+func PlannerView(truth *wan.Topology, s *Schedule, planT float64, rounds int) *wan.Topology {
+	if s.Empty() {
+		return truth
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	est, err := wan.NewBandwidthEstimator(truth.N(), 0.3)
+	if err != nil {
+		return truth // unreachable for a valid topology
+	}
+	for r := 0; r < rounds; r++ {
+		tm := planT - float64(rounds-1-r)
+		if tm < 0 {
+			tm = 0
+		}
+		est.BeginRound()
+		for i, site := range truth.Sites {
+			upF, downF := s.UpFactor(i, tm), s.DownFactor(i, tm)
+			if s.SiteDown(i, tm) || upF <= 0 || downF <= 0 {
+				continue // dropout: a dead site/link yields no sample
+			}
+			_ = est.Observe(site.ID, site.UpMBps*upF, site.DownMBps*downF)
+		}
+	}
+	out := est.Snapshot(truth)
+	stale := make(map[wan.SiteID]bool)
+	for _, id := range est.StaleSites(rounds) { // only never-observed sites exceed this age
+		stale[id] = true
+	}
+	for i := range out.Sites {
+		if s.SiteDown(i, planT) || s.linkFactor(i, planT) <= 0 || stale[wan.SiteID(i)] {
+			out.Sites[i].UpMBps *= deadSiteScale
+			out.Sites[i].DownMBps *= deadSiteScale
+		}
+	}
+	return out
+}

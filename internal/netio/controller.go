@@ -1,7 +1,9 @@
 package netio
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -9,79 +11,257 @@ import (
 
 	"bohr/internal/engine"
 	"bohr/internal/obs"
+	"bohr/internal/stats"
 )
+
+// Config tunes the controller's resilience machinery. The zero value
+// takes every default, so Dial(addrs) behaves sensibly out of the box.
+type Config struct {
+	// DialTimeout bounds one TCP connect (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout is the per-request I/O deadline covering the whole
+	// round trip on the site connection (default 30s).
+	RequestTimeout time.Duration
+	// ReduceTimeout is the extra server-side wait a reducer is granted
+	// for intermediate records, carried to the worker in Envelope.TimeoutS
+	// (default 10s).
+	ReduceTimeout time.Duration
+	// Retries is the per-request retry budget for idempotent requests;
+	// 0 means the default of 3, negative disables retries.
+	Retries int
+	// QueryRetries bounds whole-query re-executions inside RunQuery;
+	// 0 means the default of 1, negative disables.
+	QueryRetries int
+	// RetryBase is the first backoff step (default 50ms); successive
+	// retries double it up to RetryCap (default 2s), each scaled by a
+	// seeded jitter factor in [0.5, 1).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Seed drives the jitter stream, keeping the backoff schedule
+	// reproducible for a fixed configuration.
+	Seed int64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.ReduceTimeout <= 0 {
+		cfg.ReduceTimeout = 10 * time.Second
+	}
+	switch {
+	case cfg.Retries == 0:
+		cfg.Retries = 3
+	case cfg.Retries < 0:
+		cfg.Retries = 0
+	}
+	switch {
+	case cfg.QueryRetries == 0:
+		cfg.QueryRetries = 1
+	case cfg.QueryRetries < 0:
+		cfg.QueryRetries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 50 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 2 * time.Second
+	}
+	return cfg
+}
 
 // Controller is the logically centralized coordinator (§2.1): it connects
 // to every site worker, loads data, exchanges probes, directs similarity-
 // aware movement, and drives distributed query execution over real TCP.
+// Failed connections are redialed transparently and idempotent requests
+// are retried with exponential backoff.
 type Controller struct {
 	addrs []string
+	cfg   Config
 	conns []*siteConn
 	obs   *obs.Collector
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // SetObs attaches an observability collector: RunQuery records per-query
-// spans and shuffle counters into it. The live path has no simulator
-// clock, so netio span times are measured wall seconds (inherently
+// spans and shuffle counters into it, and the retry machinery counts
+// netio.retries / netio.timeouts. The live path has no simulator clock,
+// so netio span times are measured wall seconds (inherently
 // nondeterministic, unlike the engine's modeled spans). Nil detaches.
 func (c *Controller) SetObs(col *obs.Collector) { c.obs = col }
 
 // siteConn pairs a connection with its own lock so requests to different
 // sites proceed in parallel while each connection stays request/response.
+// conn is nil after a failure until the next attempt redials.
 type siteConn struct {
 	mu   sync.Mutex
 	conn net.Conn
 }
 
-// Dial connects to the workers at the given addresses (index = site ID).
+// Dial connects to the workers at the given addresses (index = site ID)
+// with the default Config.
 func Dial(addrs []string) (*Controller, error) {
+	return DialConfig(addrs, Config{})
+}
+
+// DialConfig is Dial with explicit resilience tuning.
+func DialConfig(addrs []string, cfg Config) (*Controller, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("netio: controller needs at least one worker")
 	}
-	c := &Controller{addrs: append([]string(nil), addrs...)}
-	for site, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		addrs: append([]string(nil), addrs...),
+		cfg:   cfg,
+		rng:   stats.NewRand(stats.Split(cfg.Seed, 0x5e71)),
+	}
+	for site := range addrs {
+		conn, err := c.dialSite(site)
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("netio: dial worker %d at %s: %w", site, addr, err)
-		}
-		resp, err := call(conn, &Envelope{Type: MsgHello})
-		if err != nil {
-			conn.Close()
-			c.Close()
-			return nil, fmt.Errorf("netio: hello to worker %d: %w", site, err)
-		}
-		if resp.Site != site {
-			conn.Close()
-			c.Close()
-			return nil, fmt.Errorf("netio: worker at %s identifies as site %d, want %d", addr, resp.Site, site)
+			return nil, err
 		}
 		c.conns = append(c.conns, &siteConn{conn: conn})
 	}
 	return c, nil
 }
 
+// dialSite opens one worker connection and verifies its identity.
+func (c *Controller) dialSite(site int) (net.Conn, error) {
+	addr := c.addrs[site]
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netio: dial worker %d at %s: %w", site, addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	resp, err := call(conn, &Envelope{Type: MsgHello})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netio: hello to worker %d: %w", site, err)
+	}
+	if resp.Site != site {
+		conn.Close()
+		return nil, fmt.Errorf("netio: worker at %s identifies as site %d, want %d", addr, resp.Site, site)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, nil
+}
+
 // Close tears down all connections.
 func (c *Controller) Close() {
 	for _, sc := range c.conns {
-		if sc != nil && sc.conn != nil {
-			sc.conn.Close()
+		if sc == nil {
+			continue
 		}
+		sc.mu.Lock()
+		if sc.conn != nil {
+			sc.conn.Close()
+			sc.conn = nil
+		}
+		sc.mu.Unlock()
 	}
 }
 
 // N returns the number of sites.
 func (c *Controller) N() int { return len(c.addrs) }
 
-// rpc issues one request to a site, serialized per controller.
+// idempotent reports whether a request type can be re-sent safely after a
+// failure. Put, Move, and Transfer mutate worker state per delivery, so a
+// retry could double-apply them (documented at-least-once hazard); RunMap
+// re-scatter is safe because reducers replace per-source batches.
+func idempotent(t MsgType) bool {
+	switch t {
+	case MsgHello, MsgStats, MsgScore, MsgRunMap, MsgReduce:
+		return true
+	}
+	return false
+}
+
+// backoff is exponential from RetryBase, capped at RetryCap, scaled by a
+// seeded jitter factor in [0.5, 1): deterministic for a fixed Config.Seed.
+func (c *Controller) backoff(attempt int) time.Duration {
+	d := c.cfg.RetryBase << uint(attempt)
+	if d <= 0 || d > c.cfg.RetryCap {
+		d = c.cfg.RetryCap
+	}
+	c.rngMu.Lock()
+	f := 0.5 + 0.5*c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// rpc issues one request to a site, retrying idempotent request types on
+// transient failures with exponential backoff.
 func (c *Controller) rpc(site int, req *Envelope) (*Envelope, error) {
 	if site < 0 || site >= len(c.conns) {
 		return nil, fmt.Errorf("netio: site %d out of range", site)
 	}
+	budget := 0
+	if idempotent(req.Type) {
+		budget = c.cfg.Retries
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(site, req)
+		if err == nil {
+			return resp, nil
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			c.obs.Count("netio.timeouts", 1)
+		}
+		if attempt >= budget || !IsRetryable(err) {
+			return nil, err
+		}
+		c.obs.Count("netio.retries", 1)
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// attempt issues one request over the site's connection, redialing first
+// if an earlier failure tore the connection down. The connection deadline
+// bounds the whole round trip; reduce requests get extra room for the
+// server-side intermediate wait and carry that wait in TimeoutS so worker
+// and controller agree on it.
+func (c *Controller) attempt(site int, req *Envelope) (*Envelope, error) {
 	sc := c.conns[site]
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	return call(sc.conn, req)
+	if sc.conn == nil {
+		conn, err := c.dialSite(site)
+		if err != nil {
+			return nil, err
+		}
+		sc.conn = conn
+	}
+	deadline := c.cfg.RequestTimeout
+	if req.Type == MsgReduce {
+		deadline += c.cfg.ReduceTimeout
+		if req.TimeoutS == 0 {
+			req.TimeoutS = c.cfg.ReduceTimeout.Seconds()
+		}
+	}
+	sc.conn.SetDeadline(time.Now().Add(deadline))
+	resp, err := call(sc.conn, req)
+	if err != nil {
+		// A typed MsgErr leaves the stream aligned; anything else may
+		// have left a partial frame, so drop the connection and let the
+		// next attempt start clean.
+		var re *RemoteError
+		if errors.As(err, &re) {
+			sc.conn.SetDeadline(time.Time{})
+		} else {
+			sc.conn.Close()
+			sc.conn = nil
+		}
+		return nil, err
+	}
+	sc.conn.SetDeadline(time.Time{})
+	return resp, nil
 }
 
 // Put stores records for a dataset at a site, registering its schema.
@@ -148,7 +328,10 @@ type QueryResult struct {
 // RunQuery executes one projection/combine query across all sites: every
 // worker maps and combines its local records and scatters intermediate
 // records to their reduce owners (weighted by taskFrac); then each site
-// reduces what it received and the controller merges the outputs.
+// reduces what it received and the controller merges the outputs. On a
+// retryable failure the whole query is re-executed up to QueryRetries
+// times — safe because reducers key intermediate batches by source site,
+// so a re-scatter replaces rather than double-counts.
 func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, error) {
 	n := c.N()
 	if q.ID == "" {
@@ -163,6 +346,21 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 	if len(taskFrac) != n {
 		return nil, fmt.Errorf("netio: task fractions sized %d, want %d", len(taskFrac), n)
 	}
+	for attempt := 0; ; attempt++ {
+		res, err := c.runQueryOnce(q, taskFrac)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= c.cfg.QueryRetries || !IsRetryable(err) {
+			return nil, err
+		}
+		c.obs.Count("netio.retries", 1)
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult, error) {
+	n := c.N()
 	start := time.Now()
 	sp := c.obs.StartSpan("netio:" + q.ID)
 	defer sp.End()
@@ -190,10 +388,14 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 	expected := make([]int, n)
 	interPerSite := make([]int, n)
 	shuffled := 0
+	var mapErr error
 	for i := 0; i < n; i++ {
 		o := <-outs
 		if o.err != nil {
-			return nil, fmt.Errorf("netio: map at site %d: %w", o.site, o.err)
+			if mapErr == nil {
+				mapErr = fmt.Errorf("netio: map at site %d: %w", o.site, o.err)
+			}
+			continue
 		}
 		interPerSite[o.site] = o.inter
 		for dst, cnt := range o.perSite {
@@ -202,6 +404,9 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 				shuffled += cnt
 			}
 		}
+	}
+	if mapErr != nil {
+		return nil, mapErr
 	}
 	sp.Child("map").Add(time.Since(start).Seconds())
 	reduceStart := time.Now()
@@ -227,12 +432,19 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 		}(site)
 	}
 	var all []engine.KV
+	var redErr error
 	for i := 0; i < n; i++ {
 		o := <-reds
 		if o.err != nil {
-			return nil, fmt.Errorf("netio: reduce at site %d: %w", o.site, o.err)
+			if redErr == nil {
+				redErr = fmt.Errorf("netio: reduce at site %d: %w", o.site, o.err)
+			}
+			continue
 		}
 		all = append(all, o.records...)
+	}
+	if redErr != nil {
+		return nil, redErr
 	}
 	// Reduce outputs own disjoint key sets; merging is concatenation, but
 	// sort for deterministic output.

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 
 	"bohr/internal/engine"
 )
@@ -36,6 +38,70 @@ const (
 	MsgReduceOK
 	MsgErr
 )
+
+// ErrCode classifies a worker-reported error so callers can tell transient
+// failures (worth retrying) from requests that can never succeed.
+type ErrCode uint8
+
+const (
+	// CodeUnknown is the zero value: an unclassified error.
+	CodeUnknown ErrCode = iota
+	// CodeBadRequest marks a malformed request (unknown message type,
+	// inconsistent fields). Resending the same bytes cannot help.
+	CodeBadRequest
+	// CodeNotFound marks a request naming a dataset, schema, or dimension
+	// the worker does not hold. Fatal for this request.
+	CodeNotFound
+	// CodeUnavailable marks a transient dependency failure: a peer push
+	// failed, intermediates have not arrived, the worker is shutting
+	// down. Retrying later may succeed.
+	CodeUnavailable
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeNotFound:
+		return "not-found"
+	case CodeUnavailable:
+		return "unavailable"
+	default:
+		return "unknown"
+	}
+}
+
+// RemoteError is a typed error from a worker: which site failed, which
+// request it was serving, and whether a retry can help.
+type RemoteError struct {
+	Site int
+	Req  MsgType
+	Code ErrCode
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("netio: site %d (req=%d, %s): %s", e.Site, e.Req, e.Code, e.Msg)
+}
+
+// Retryable reports whether the same request could succeed later.
+func (e *RemoteError) Retryable() bool { return e.Code == CodeUnavailable }
+
+// IsRetryable reports whether err is worth retrying: an unavailable
+// RemoteError, or any transport-level failure (timeouts, refused or reset
+// connections, mid-stream EOF — the peer may come back).
+func IsRetryable(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Retryable()
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
 
 // QueryDTO is the wire form of a query: functions cannot travel over gob,
 // so live queries are restricted to projection + combine (the scan /
@@ -90,6 +156,11 @@ type Envelope struct {
 	PerSite []int
 	// Err carries the error text for MsgErr.
 	Err string
+	// Code classifies MsgErr responses (see ErrCode).
+	Code ErrCode
+	// TimeoutS bounds the server-side wait for MsgReduce, in seconds.
+	// Zero keeps the worker's default.
+	TimeoutS float64
 }
 
 // maxMsgBytes bounds a single message to keep a misbehaving peer from
@@ -147,7 +218,7 @@ func call(rw io.ReadWriter, req *Envelope) (*Envelope, error) {
 		return nil, err
 	}
 	if resp.Type == MsgErr {
-		return nil, fmt.Errorf("netio: remote error: %s", resp.Err)
+		return nil, &RemoteError{Site: resp.Site, Req: req.Type, Code: resp.Code, Msg: resp.Err}
 	}
 	return resp, nil
 }

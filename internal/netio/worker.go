@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bohr/internal/engine"
+	"bohr/internal/faults"
 	"bohr/internal/obs"
 	"bohr/internal/stats"
 )
@@ -20,17 +21,28 @@ type Worker struct {
 	Site int
 	seed int64
 	obs  *obs.Collector
+	inj  *faults.Injector
 
-	ln     net.Listener
-	up     *Bucket // uplink shaping for worker→worker pushes
+	ln net.Listener
+	up *Bucket // uplink shaping for worker→worker pushes
+
+	// idleTimeout bounds how long a connection may sit between requests;
+	// writeTimeout bounds one response write. Guarded by quitMu.
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+
 	quitMu sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{} // live connections, force-closed on Close
+	wg     sync.WaitGroup        // serve loop + per-connection handlers
 
 	mu       sync.Mutex
 	schemas  map[string][]string    // dataset → dimension names
 	datasets map[string][]engine.KV // dataset → records
-	inter    map[string][]engine.KV // query id → received intermediate
-	interN   map[string]int         // query id → received record count
+	// inter keys received intermediate batches by (query, source site) so
+	// a re-scattered batch after a map retry REPLACES the earlier copy
+	// instead of double-counting it.
+	inter map[string]map[int][]engine.KV
 }
 
 // NewWorker starts a worker listening on addr ("127.0.0.1:0" for an
@@ -42,13 +54,15 @@ func NewWorker(site int, addr string, upMBps float64, seed int64) (*Worker, erro
 		return nil, fmt.Errorf("netio: worker %d listen: %w", site, err)
 	}
 	w := &Worker{
-		Site:     site,
-		seed:     seed,
-		ln:       ln,
-		schemas:  map[string][]string{},
-		datasets: map[string][]engine.KV{},
-		inter:    map[string][]engine.KV{},
-		interN:   map[string]int{},
+		Site:         site,
+		seed:         seed,
+		ln:           ln,
+		idleTimeout:  2 * time.Minute,
+		writeTimeout: 30 * time.Second,
+		conns:        map[net.Conn]struct{}{},
+		schemas:      map[string][]string{},
+		datasets:     map[string][]engine.KV{},
+		inter:        map[string]map[int][]engine.KV{},
 	}
 	if upMBps > 0 {
 		b, err := NewBucket(upMBps*1e6, upMBps*1e6/4)
@@ -57,6 +71,7 @@ func NewWorker(site int, addr string, upMBps float64, seed int64) (*Worker, erro
 		}
 		w.up = b
 	}
+	w.wg.Add(1)
 	go w.serve()
 	return w, nil
 }
@@ -70,43 +85,112 @@ func (w *Worker) Addr() string { return w.ln.Addr().String() }
 // concurrent connection handlers. Nil detaches.
 func (w *Worker) SetObs(col *obs.Collector) { w.obs = col }
 
-// Close stops the listener. In-flight connections finish naturally.
-func (w *Worker) Close() error {
+// SetInjector attaches a fault injector: connections accepted and peer
+// pushes dialed from now on go through its fault-wrapping conn, so crash
+// windows and message drops hit the live byte stream. Safe to call while
+// the worker is serving; nil detaches.
+func (w *Worker) SetInjector(inj *faults.Injector) {
+	w.quitMu.Lock()
+	w.inj = inj
+	w.quitMu.Unlock()
+}
+
+func (w *Worker) injector() *faults.Injector {
 	w.quitMu.Lock()
 	defer w.quitMu.Unlock()
+	return w.inj
+}
+
+// SetTimeouts overrides the per-connection idle (read) and response write
+// deadlines. Non-positive values keep the current setting. Safe to call
+// while the worker is serving.
+func (w *Worker) SetTimeouts(idle, write time.Duration) {
+	w.quitMu.Lock()
+	if idle > 0 {
+		w.idleTimeout = idle
+	}
+	if write > 0 {
+		w.writeTimeout = write
+	}
+	w.quitMu.Unlock()
+}
+
+func (w *Worker) timeouts() (idle, write time.Duration) {
+	w.quitMu.Lock()
+	defer w.quitMu.Unlock()
+	return w.idleTimeout, w.writeTimeout
+}
+
+// Close stops the listener, force-closes every live connection, and waits
+// for all connection handlers to exit: no goroutines survive Close.
+func (w *Worker) Close() error {
+	w.quitMu.Lock()
 	if w.closed {
+		w.quitMu.Unlock()
 		return nil
 	}
 	w.closed = true
-	return w.ln.Close()
+	err := w.ln.Close()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.quitMu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+func (w *Worker) isClosed() bool {
+	w.quitMu.Lock()
+	defer w.quitMu.Unlock()
+	return w.closed
 }
 
 func (w *Worker) serve() {
+	defer w.wg.Done()
 	for {
 		conn, err := w.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
+		conn = w.injector().WrapConn(conn)
+		w.quitMu.Lock()
+		if w.closed {
+			w.quitMu.Unlock()
+			conn.Close()
+			return
+		}
+		w.conns[conn] = struct{}{}
+		w.wg.Add(1)
+		w.quitMu.Unlock()
 		go w.handleConn(conn)
 	}
 }
 
 func (w *Worker) handleConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		w.quitMu.Lock()
+		delete(w.conns, conn)
+		w.quitMu.Unlock()
+		w.wg.Done()
+	}()
 	for {
+		idle, write := w.timeouts()
+		conn.SetReadDeadline(time.Now().Add(idle))
 		req, err := ReadMsg(conn)
 		if err != nil {
 			return
 		}
 		resp := w.dispatch(req)
+		conn.SetWriteDeadline(time.Now().Add(write))
 		if err := WriteMsg(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-func errEnv(format string, args ...any) *Envelope {
-	return &Envelope{Type: MsgErr, Err: fmt.Sprintf(format, args...)}
+func (w *Worker) errEnv(code ErrCode, format string, args ...any) *Envelope {
+	return &Envelope{Type: MsgErr, Site: w.Site, Code: code, Err: fmt.Sprintf(format, args...)}
 }
 
 func (w *Worker) dispatch(req *Envelope) *Envelope {
@@ -130,13 +214,13 @@ func (w *Worker) dispatch(req *Envelope) *Envelope {
 	case MsgReduce:
 		return w.handleReduce(req)
 	default:
-		return errEnv("worker %d: unknown message type %d", w.Site, req.Type)
+		return w.errEnv(CodeBadRequest, "unknown message type %d", req.Type)
 	}
 }
 
 func (w *Worker) handlePut(req *Envelope) *Envelope {
 	if req.Dataset == "" {
-		return errEnv("put: missing dataset")
+		return w.errEnv(CodeBadRequest, "put: missing dataset")
 	}
 	w.mu.Lock()
 	if len(req.Schema) > 0 {
@@ -188,7 +272,7 @@ func (w *Worker) projector(dataset string, dims []string) (func(string) string, 
 func (w *Worker) handleStats(req *Envelope) *Envelope {
 	proj, err := w.projector(req.Dataset, req.Dims)
 	if err != nil {
-		return errEnv("stats: %v", err)
+		return w.errEnv(CodeNotFound, "stats: %v", err)
 	}
 	w.mu.Lock()
 	recs := w.datasets[req.Dataset]
@@ -225,7 +309,7 @@ func (w *Worker) handleStats(req *Envelope) *Envelope {
 func (w *Worker) handleScore(req *Envelope) *Envelope {
 	proj, err := w.projector(req.Dataset, req.Dims)
 	if err != nil {
-		return errEnv("score: %v", err)
+		return w.errEnv(CodeNotFound, "score: %v", err)
 	}
 	w.mu.Lock()
 	recs := w.datasets[req.Dataset]
@@ -293,7 +377,7 @@ func (w *Worker) handleMove(req *Envelope) *Envelope {
 		Type: MsgTransfer, Dataset: req.Dataset, Records: moved,
 		Schema: w.schemaOf(req.Dataset),
 	}); err != nil {
-		return errEnv("move: push to %s: %v", req.Dst, err)
+		return w.errEnv(CodeUnavailable, "move: push to %s: %v", req.Dst, err)
 	}
 	w.mu.Lock()
 	w.datasets[req.Dataset] = kept
@@ -316,9 +400,11 @@ func (w *Worker) push(addr string, env *Envelope) error {
 		return err
 	}
 	defer conn.Close()
-	var rw net.Conn = conn
+	idle, write := w.timeouts()
+	conn.SetDeadline(time.Now().Add(idle + write))
+	rw := w.injector().WrapConn(conn)
 	if w.up != nil {
-		rw = Shape(conn, w.up, nil)
+		rw = Shape(rw, w.up, nil)
 	}
 	_, err = call(rw, env)
 	return err
@@ -339,12 +425,13 @@ func (w *Worker) handleTransfer(req *Envelope) *Envelope {
 // shaped uplink, delivering the local share directly. The response carries
 // the total intermediate count in Count and the per-destination record
 // counts in PerSite, which the controller aggregates into each reducer's
-// expected arrival count.
+// expected arrival count. Re-running the same query is safe: reducers key
+// batches by source site and replace.
 func (w *Worker) handleRunMap(req *Envelope) *Envelope {
 	q := req.Query
 	proj, err := w.projector(q.Dataset, q.Dims)
 	if err != nil {
-		return errEnv("runmap: %v", err)
+		return w.errEnv(CodeNotFound, "runmap: %v", err)
 	}
 	w.mu.Lock()
 	recs := w.datasets[q.Dataset]
@@ -357,7 +444,7 @@ func (w *Worker) handleRunMap(req *Envelope) *Envelope {
 
 	// Scatter by reduce ownership.
 	if len(req.TaskFrac) != len(req.Peers) {
-		return errEnv("runmap: %d task fractions for %d peers", len(req.TaskFrac), len(req.Peers))
+		return w.errEnv(CodeBadRequest, "runmap: %d task fractions for %d peers", len(req.TaskFrac), len(req.Peers))
 	}
 	buckets := make([][]engine.KV, len(req.Peers))
 	for _, kv := range inter {
@@ -371,51 +458,83 @@ func (w *Worker) handleRunMap(req *Envelope) *Envelope {
 			continue
 		}
 		if site == w.Site {
-			w.acceptIntermediate(q.ID, batch)
+			w.acceptIntermediate(q.ID, w.Site, batch)
 			continue
 		}
 		if err := w.push(req.Peers[site], &Envelope{
-			Type: MsgIntermediate, Query: QueryDTO{ID: q.ID}, Records: batch,
+			Type: MsgIntermediate, Site: w.Site, Query: QueryDTO{ID: q.ID}, Records: batch,
 		}); err != nil {
-			return errEnv("runmap: scatter to site %d: %v", site, err)
+			return w.errEnv(CodeUnavailable, "runmap: scatter to site %d: %v", site, err)
 		}
 		w.obs.Count("netio.scatter.records", float64(len(batch)))
 	}
 	return &Envelope{Type: MsgRunMapOK, Count: len(inter), PerSite: perSite}
 }
 
-func (w *Worker) acceptIntermediate(queryID string, recs []engine.KV) {
+// acceptIntermediate records one source site's intermediate batch for a
+// query, replacing any earlier batch from the same source (idempotent
+// re-scatter after retries).
+func (w *Worker) acceptIntermediate(queryID string, src int, recs []engine.KV) {
 	w.mu.Lock()
-	w.inter[queryID] = append(w.inter[queryID], recs...)
-	w.interN[queryID] += len(recs)
+	m := w.inter[queryID]
+	if m == nil {
+		m = map[int][]engine.KV{}
+		w.inter[queryID] = m
+	}
+	m[src] = recs
 	w.mu.Unlock()
 }
 
+func (w *Worker) interCount(queryID string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, recs := range w.inter[queryID] {
+		n += len(recs)
+	}
+	return n
+}
+
 func (w *Worker) handleIntermediate(req *Envelope) *Envelope {
-	w.acceptIntermediate(req.Query.ID, req.Records)
+	w.acceptIntermediate(req.Query.ID, req.Site, req.Records)
 	return &Envelope{Type: MsgIntermediateOK, Count: len(req.Records)}
 }
 
 // handleReduce waits until the expected number of intermediate records has
-// arrived, combines them, and returns the reduce output.
+// arrived, combines them, and returns the reduce output. The wait is
+// bounded by the request's TimeoutS (falling back to 10 s) and aborts
+// promptly when the worker is closing so Close never deadlocks on a
+// starved reducer.
 func (w *Worker) handleReduce(req *Envelope) *Envelope {
-	deadline := time.Now().Add(10 * time.Second)
+	wait := 10 * time.Second
+	if req.TimeoutS > 0 {
+		wait = time.Duration(req.TimeoutS * float64(time.Second))
+	}
+	deadline := time.Now().Add(wait)
 	for {
-		w.mu.Lock()
-		n := w.interN[req.Query.ID]
-		w.mu.Unlock()
+		n := w.interCount(req.Query.ID)
 		if n >= req.Expected {
 			break
 		}
+		if w.isClosed() {
+			return w.errEnv(CodeUnavailable, "reduce: worker shutting down")
+		}
 		if time.Now().After(deadline) {
-			return errEnv("reduce: received %d of %d intermediate records for %q", n, req.Expected, req.Query.ID)
+			return w.errEnv(CodeUnavailable, "reduce: received %d of %d intermediate records for %q", n, req.Expected, req.Query.ID)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	w.mu.Lock()
-	recs := w.inter[req.Query.ID]
+	srcs := make([]int, 0, len(w.inter[req.Query.ID]))
+	for s := range w.inter[req.Query.ID] {
+		srcs = append(srcs, s)
+	}
+	sort.Ints(srcs)
+	var recs []engine.KV
+	for _, s := range srcs {
+		recs = append(recs, w.inter[req.Query.ID][s]...)
+	}
 	delete(w.inter, req.Query.ID)
-	delete(w.interN, req.Query.ID)
 	w.mu.Unlock()
 	out := engine.CombinePartials(recs, req.Query.Combine)
 	return &Envelope{Type: MsgReduceOK, Records: out}

@@ -40,6 +40,16 @@ type Span struct {
 	started time.Time
 }
 
+// Event is one discrete occurrence on the run's modeled timeline — a
+// fault firing, a retry, a site coming back — recorded in arrival order.
+// T is modeled seconds, so event logs stay byte-deterministic.
+type Event struct {
+	T      float64 `json:"t_s"`
+	Kind   string  `json:"kind"`
+	Site   int     `json:"site"`
+	Detail string  `json:"detail,omitempty"`
+}
+
 // Collector gathers one run's trace and metrics.
 type Collector struct {
 	mu       sync.Mutex
@@ -49,6 +59,7 @@ type Collector struct {
 	counters map[string]float64
 	gauges   map[string]float64
 	hists    map[string][]float64
+	events   []Event
 }
 
 // Option configures a Collector.
@@ -190,6 +201,30 @@ func (c *Collector) Observe(name string, v float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hists[name] = append(c.hists[name], v)
+}
+
+// RecordEvent appends one timeline event. Nil-safe.
+func (c *Collector) RecordEvent(ev Event) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+// EventLog copies the recorded timeline events in arrival order.
+// Nil-safe: a nil collector (or no events) returns nil.
+func (c *Collector) EventLog() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) == 0 {
+		return nil
+	}
+	return append([]Event(nil), c.events...)
 }
 
 // HistogramStats summarizes a histogram's observations. Percentiles use

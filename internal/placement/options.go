@@ -1,6 +1,9 @@
 package placement
 
-import "bohr/internal/obs"
+import (
+	"bohr/internal/faults"
+	"bohr/internal/obs"
+)
 
 // Option is a functional configuration knob for planning. Options build on
 // the plain Options struct — both forms work, and NewOptions/With bridge
@@ -51,3 +54,8 @@ func WithBandwidthJitter(rel float64) Option { return func(o *Options) { o.Bandw
 // WithObs attaches an observability collector that gathers planning phase
 // spans (probes, lp, calibrate, move) and metrics.
 func WithObs(c *obs.Collector) Option { return func(o *Options) { o.Obs = c } }
+
+// WithFaults attaches a fault schedule: the planner consumes the degraded
+// bandwidth view it implies, and the modeled run applies its events in
+// modeled time.
+func WithFaults(s *faults.Schedule) Option { return func(o *Options) { o.Faults = s } }

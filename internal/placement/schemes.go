@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"bohr/internal/engine"
+	"bohr/internal/faults"
 	"bohr/internal/lp"
 	"bohr/internal/obs"
 	"bohr/internal/rdd"
@@ -118,6 +119,12 @@ type Options struct {
 	// links (§7): the true capacities are observed several times with this
 	// relative noise and EWMA-smoothed before planning.
 	BandwidthJitter float64
+	// Faults is an optional fault schedule. The planner consumes the
+	// degraded bandwidth view it implies (sites dead at query start are
+	// demoted to epsilon capacity so the LP re-solves around them), data
+	// moves drain through fault-scaled links, and the engine applies the
+	// schedule to map/shuffle/reduce in modeled time.
+	Faults *faults.Schedule
 	// Obs optionally collects planning phase spans (probes, lp, calibrate,
 	// move) and metrics. Nil disables collection at no cost.
 	Obs *obs.Collector
@@ -158,6 +165,12 @@ type Plan struct {
 	// Execute reports the move span and WAN metrics to it. Scratch plans
 	// built during profiling carry nil so replays never pollute metrics.
 	obs *obs.Collector
+	// faults is the schedule the plan was made under (from
+	// Options.Faults); Execute drains moves through fault-scaled links
+	// and JobConfigFor forwards it to the engine. Scratch plans built
+	// during profiling carry nil — the planner profiles the clean
+	// network, it cannot foresee faults record by record.
+	faults *faults.Schedule
 }
 
 // UseRandomMovers replaces every dataset's record-selection policy with
@@ -191,6 +204,7 @@ func (p *Plan) JobConfigFor(q engine.Query) engine.JobConfig {
 		TaskFrac: p.TaskFrac,
 		Assigner: p.Assigner,
 		ExtraQCT: lpShare,
+		Faults:   p.faults,
 	}
 	// Cube-backed schemes scan pre-aggregated cells rather than raw rows
 	// (the Iridium-C gain of §8.2).
@@ -220,7 +234,13 @@ func (p *Plan) Execute(c *engine.Cluster, seed int64) (*engine.MoveResult, error
 		agg.Records += res.Records
 		agg.Transfers = append(agg.Transfers, res.Transfers...)
 	}
-	agg.Duration = c.Top.Simulate(agg.Transfers).Makespan
+	// Moves occupy [0, Lag) on the fault timeline, so they drain from
+	// t = 0 through whatever link faults are active then.
+	if p.faults != nil {
+		agg.Duration = c.Top.SimulateFaults(agg.Transfers, p.faults, 0).Makespan
+	} else {
+		agg.Duration = c.Top.Simulate(agg.Transfers).Makespan
+	}
 	sp.Add(agg.Duration)
 	sp.End()
 	p.obs.Count("engine.records.moved", float64(agg.Records))
@@ -254,6 +274,7 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 		movers:   map[string]engine.Mover{},
 		Stats:    allStats,
 		obs:      opts.Obs,
+		faults:   opts.Faults,
 	}
 	for i, st := range allStats {
 		if id.usesSimilarity() {
@@ -458,21 +479,30 @@ func calibrateIncoming(in *lp.PlacementInput, allStats []*DatasetStats, tensor [
 }
 
 // plannerTopology returns what the planner believes the WAN looks like:
-// the truth, or an EWMA-smoothed noisy estimate of it when jitter is on
-// (the §7 periodic bandwidth probing).
+// the truth, an EWMA-smoothed noisy estimate of it when jitter is on
+// (the §7 periodic bandwidth probing), and — when a fault schedule is
+// set — the degraded view the schedule implies at the start of the
+// query window (t = Lag): probing rounds skip dead sites, degraded
+// links sample at their scaled capacity, and sites that look dead at
+// planning time are demoted to epsilon capacity so the LP re-solves
+// around them.
 func plannerTopology(truth *wan.Topology, opts Options) (*wan.Topology, error) {
-	if opts.BandwidthJitter <= 0 {
-		return truth, nil
+	top := truth
+	if opts.BandwidthJitter > 0 {
+		est, err := wan.NewBandwidthEstimator(truth.N(), 0.3)
+		if err != nil {
+			return nil, err
+		}
+		rng := stats.NewRand(stats.Split(opts.Seed, 4242))
+		for i := 0; i < 6; i++ {
+			est.NoisyProbe(truth, opts.BandwidthJitter, rng)
+		}
+		top = est.Snapshot(truth)
 	}
-	est, err := wan.NewBandwidthEstimator(truth.N(), 0.3)
-	if err != nil {
-		return nil, err
+	if !opts.Faults.Empty() {
+		top = faults.PlannerView(top, opts.Faults, opts.Lag, 6)
 	}
-	rng := stats.NewRand(stats.Split(opts.Seed, 4242))
-	for i := 0; i < 6; i++ {
-		est.NoisyProbe(truth, opts.BandwidthJitter, rng)
-	}
-	return est.Snapshot(truth), nil
+	return top, nil
 }
 
 // buildLPInput assembles the §5 placement input. Similarity-agnostic

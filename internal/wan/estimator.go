@@ -17,6 +17,11 @@ type BandwidthEstimator struct {
 	up    []float64
 	down  []float64
 	seen  []bool
+	// round counts probing rounds (BeginRound calls); lastRound records
+	// the round of each site's latest sample so the planner can spot
+	// sites that stopped reporting.
+	round     int
+	lastRound []int
 }
 
 // NewBandwidthEstimator creates an estimator for n sites with EWMA factor
@@ -29,12 +34,25 @@ func NewBandwidthEstimator(n int, alpha float64) (*BandwidthEstimator, error) {
 	if alpha <= 0 || alpha > 1 {
 		return nil, fmt.Errorf("wan: EWMA alpha must be in (0,1], got %v", alpha)
 	}
-	return &BandwidthEstimator{
-		alpha: alpha,
-		up:    make([]float64, n),
-		down:  make([]float64, n),
-		seen:  make([]bool, n),
-	}, nil
+	e := &BandwidthEstimator{
+		alpha:     alpha,
+		up:        make([]float64, n),
+		down:      make([]float64, n),
+		seen:      make([]bool, n),
+		lastRound: make([]int, n),
+	}
+	for i := range e.lastRound {
+		e.lastRound[i] = -1
+	}
+	return e, nil
+}
+
+// BeginRound marks the start of one probing round. Observations that
+// follow are stamped with this round for staleness accounting.
+func (e *BandwidthEstimator) BeginRound() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.round++
 }
 
 // Observe folds one bandwidth measurement for a site into the estimate.
@@ -47,6 +65,7 @@ func (e *BandwidthEstimator) Observe(site SiteID, upMBps, downMBps float64) erro
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastRound[site] = e.round
 	if !e.seen[site] {
 		e.up[site], e.down[site] = upMBps, downMBps
 		e.seen[site] = true
@@ -55,6 +74,33 @@ func (e *BandwidthEstimator) Observe(site SiteID, upMBps, downMBps float64) erro
 	e.up[site] = e.alpha*upMBps + (1-e.alpha)*e.up[site]
 	e.down[site] = e.alpha*downMBps + (1-e.alpha)*e.down[site]
 	return nil
+}
+
+// Staleness returns how many rounds have passed since the site's last
+// sample (0 = observed this round). ok is false if the site has never
+// been observed or is out of range.
+func (e *BandwidthEstimator) Staleness(site SiteID) (rounds int, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if int(site) < 0 || int(site) >= len(e.lastRound) || e.lastRound[site] < 0 {
+		return 0, false
+	}
+	return e.round - e.lastRound[site], true
+}
+
+// StaleSites lists sites whose latest sample is older than maxAge
+// rounds — including sites never observed at all. These are the sites a
+// degraded-mode planner should treat as unreachable.
+func (e *BandwidthEstimator) StaleSites(maxAge int) []SiteID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []SiteID
+	for i := range e.lastRound {
+		if e.lastRound[i] < 0 || e.round-e.lastRound[i] > maxAge {
+			out = append(out, SiteID(i))
+		}
+	}
+	return out
 }
 
 // Estimate returns the current smoothed estimate for a site. ok is false
@@ -90,6 +136,7 @@ func (e *BandwidthEstimator) Snapshot(truth *Topology) *Topology {
 // relative magnitude jitter (e.g. 0.1 for ±10%). It feeds every sample into
 // the estimator.
 func (e *BandwidthEstimator) NoisyProbe(truth *Topology, jitter float64, rng *rand.Rand) {
+	e.BeginRound()
 	for _, s := range truth.Sites {
 		f := func() float64 { return 1 + jitter*(2*rng.Float64()-1) }
 		up := s.UpMBps * f()

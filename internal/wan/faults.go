@@ -1,0 +1,156 @@
+package wan
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkFaults is the fluid model's view of a fault schedule: a
+// piecewise-constant multiplier on each site's uplink and downlink
+// capacity over modeled time, with NextBoundary exposing the instants
+// where any multiplier changes. faults.Schedule satisfies it; wan
+// deliberately does not import the faults package so the dependency
+// points one way.
+type LinkFaults interface {
+	UpFactor(site int, t float64) float64
+	DownFactor(site int, t float64) float64
+	NextBoundary(after float64) (float64, bool)
+}
+
+// EstimateFaults is Estimate under a fault schedule: each site drains
+// its aggregate upload and download bytes through a capacity that is
+// scaled by the schedule's piecewise-constant factors, starting at
+// modeled time start. The returned makespan is the duration (seconds
+// after start) until the last site finishes. With a nil schedule it
+// equals Estimate.
+func (t *Topology) EstimateFaults(transfers []Transfer, f LinkFaults, start float64) float64 {
+	if f == nil {
+		return t.Estimate(transfers)
+	}
+	upB := make([]float64, t.N())
+	downB := make([]float64, t.N())
+	for _, tr := range transfers {
+		if tr.Src == tr.Dst || tr.MB <= 0 {
+			continue
+		}
+		upB[tr.Src] += tr.MB
+		downB[tr.Dst] += tr.MB
+	}
+	var makespan float64
+	for i, s := range t.Sites {
+		up := drainTime(upB[i], s.UpMBps, func(tm float64) float64 { return f.UpFactor(i, tm) }, f, start)
+		down := drainTime(downB[i], s.DownMBps, func(tm float64) float64 { return f.DownFactor(i, tm) }, f, start)
+		if up > makespan {
+			makespan = up
+		}
+		if down > makespan {
+			makespan = down
+		}
+	}
+	return makespan
+}
+
+// drainTime integrates mb megabytes through a link whose rate is
+// cap·factor(t), piecewise-constant between fault boundaries, starting
+// at modeled time start. Returns the drain duration.
+func drainTime(mb, cap float64, factor func(float64) float64, f LinkFaults, start float64) float64 {
+	if mb <= 0 {
+		return 0
+	}
+	// Elapsed accumulates separately from the absolute clock so that a
+	// schedule with no active windows yields bit-identical arithmetic to
+	// the fault-free mb/cap division.
+	var elapsed float64
+	now := start
+	for {
+		rate := cap * factor(now)
+		b, ok := f.NextBoundary(now)
+		if !ok {
+			// No boundaries remain: the factor is constant forever. Fault
+			// windows are finite, so a zero rate here means a malformed
+			// schedule rather than a transient.
+			if rate <= 0 {
+				panic(fmt.Sprintf("wan: link permanently dead at t=%.3f with %.3f MB left", now, mb))
+			}
+			return elapsed + mb/rate
+		}
+		if rate > 0 {
+			if dt := mb / rate; dt <= b-now {
+				return elapsed + dt
+			}
+			mb -= rate * (b - now)
+		}
+		elapsed += b - now
+		now = b
+	}
+}
+
+// SimulateFaults is Simulate under a fault schedule: the max-min fair
+// fluid model recomputes rates at every flow completion AND every fault
+// boundary, with per-site capacities scaled by the schedule's factors
+// at the current modeled time. Flow Finish times and the makespan are
+// reported relative to start. With a nil schedule it equals Simulate.
+func (t *Topology) SimulateFaults(transfers []Transfer, f LinkFaults, start float64) SimResult {
+	if f == nil {
+		return t.Simulate(transfers)
+	}
+	flows := make([]*flow, 0, len(transfers))
+	results := make([]FlowResult, len(transfers))
+	for i, tr := range transfers {
+		results[i] = FlowResult{Transfer: tr}
+		if tr.Src == tr.Dst || tr.MB <= 0 {
+			continue
+		}
+		flows = append(flows, &flow{idx: i, src: tr.Src, dst: tr.Dst, remaining: tr.MB})
+	}
+
+	n := t.N()
+	upCap := make([]float64, n)
+	downCap := make([]float64, n)
+	now := start
+	active := len(flows)
+	for active > 0 {
+		for i, s := range t.Sites {
+			upCap[i] = s.UpMBps * f.UpFactor(i, now)
+			downCap[i] = s.DownMBps * f.DownFactor(i, now)
+		}
+		fillRatesCaps(flows, upCap, downCap)
+		next := math.Inf(1)
+		for _, fl := range flows {
+			if fl.done || fl.rate <= 0 {
+				continue
+			}
+			if dt := fl.remaining / fl.rate; dt < next {
+				next = dt
+			}
+		}
+		b, haveB := f.NextBoundary(now)
+		if math.IsInf(next, 1) {
+			// Every remaining flow is blacked out; jump to the next fault
+			// boundary and retry. No boundary left means a permanent outage.
+			if !haveB {
+				panic(fmt.Sprintf("wan: faulty fluid simulation stalled at t=%.3f with %d active flows", now, active))
+			}
+			now = b
+			continue
+		}
+		step := next
+		if haveB && b-now < step {
+			step = b - now
+		}
+		for _, fl := range flows {
+			if fl.done {
+				continue
+			}
+			fl.remaining -= fl.rate * step
+			if fl.remaining <= 1e-9 {
+				fl.remaining = 0
+				fl.done = true
+				active--
+				results[fl.idx].Finish = now + step - start
+			}
+		}
+		now += step
+	}
+	return SimResult{Flows: results, Makespan: now - start}
+}

@@ -139,6 +139,15 @@ func (t *Topology) fillRates(flows []*flow) {
 		upCap[i] = s.UpMBps
 		downCap[i] = s.DownMBps
 	}
+	fillRatesCaps(flows, upCap, downCap)
+}
+
+// fillRatesCaps is fillRates on explicit capacity arrays, so the faulty
+// simulator can pass capacities already scaled by the active fault
+// factors. Capacities are consumed (mutated) during filling. A zero
+// capacity leaves its flows at rate 0.
+func fillRatesCaps(flows []*flow, upCap, downCap []float64) {
+	n := len(upCap)
 	unfrozen := 0
 	for _, f := range flows {
 		f.frozen = f.done
