@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt-check race determinism bench
+.PHONY: all build test check vet fmt-check race determinism bench bench-snapshot
 
 all: build
 
@@ -11,8 +11,10 @@ test:
 	$(GO) test ./...
 
 # check is the CI gate: static checks, the race detector on the packages
-# with real concurrency (engine's job runner, obs's collector, the live
-# netio path and fault injector), and the report determinism check.
+# with real concurrency (engine's job runner, obs's collector plus its
+# export/critpath subpackages — covered by the ./internal/obs/... wildcard
+# — the live netio path and fault injector), and the report determinism
+# check.
 check: vet fmt-check race determinism
 
 vet:
@@ -45,3 +47,8 @@ determinism:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-snapshot appends to the perf trajectory: one JSON document of
+# benchmark measurements per PR (BENCH_<tag>.json at the repo root).
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -tag pr3

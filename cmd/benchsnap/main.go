@@ -1,0 +1,165 @@
+// Command benchsnap snapshots the repository's performance trajectory:
+// it runs a fixed set of benchmarks through testing.Benchmark and writes
+// one machine-readable JSON document (BENCH_<tag>.json at the repo root
+// by convention), so successive PRs accumulate comparable numbers.
+//
+//	go run ./cmd/benchsnap -tag pr3
+//	make bench-snapshot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bohr/internal/experiments"
+	"bohr/internal/obs"
+	"bohr/internal/obs/critpath"
+	"bohr/internal/obs/export"
+)
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	SecondsPerOp float64 `json:"s_per_op"`
+}
+
+// Snapshot is the document benchsnap writes.
+type Snapshot struct {
+	Tag        string        `json:"tag"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	TakenAt    string        `json:"taken_at"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// benchSetup mirrors the reduced setup of the repo-level bench_test.go so
+// snapshot numbers stay comparable with `make bench`.
+func benchSetup() experiments.Setup {
+	s := experiments.DefaultSetup()
+	s.Datasets = 4
+	s.RowsPerSite = 1500
+	s.KeysPerPool = 250
+	s.Runs = 1
+	return s
+}
+
+func benchExperiment[T any](fn func(experiments.Setup) (T, error)) func(*testing.B) {
+	return func(b *testing.B) {
+		s := benchSetup()
+		for i := 0; i < b.N; i++ {
+			if _, err := fn(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// syntheticTrace builds a deterministic many-query span tree for the
+// analyzer and exporter micro-benchmarks.
+func syntheticTrace(queries int) *obs.Span {
+	run := &obs.Span{Name: "run"}
+	for i := 0; i < queries; i++ {
+		q := &obs.Span{Name: fmt.Sprintf("q%02d:bench", i), Modeled: 10, Children: []*obs.Span{
+			{Name: "map", Modeled: 3, Children: []*obs.Span{
+				{Name: "site-0", Modeled: 3}, {Name: "site-1", Modeled: 1.5},
+			}},
+			{Name: "assign", Modeled: 0.2},
+			{Name: "shuffle", Modeled: 5},
+			{Name: "reduce", Modeled: 1.5, Children: []*obs.Span{
+				{Name: "site-0", Modeled: 1.1}, {Name: "site-1", Modeled: 1.5},
+			}},
+		}}
+		run.Children = append(run.Children, q)
+	}
+	return &obs.Span{Name: "bohr", Children: []*obs.Span{run}}
+}
+
+func main() {
+	tag := flag.String("tag", "pr3", "snapshot tag; output defaults to BENCH_<tag>.json")
+	out := flag.String("out", "", "output path (overrides -tag naming)")
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *tag)
+	}
+
+	trace := syntheticTrace(64)
+	snap := &obs.Snapshot{Counters: map[string]float64{
+		"wan.shuffle.site-0->site-1.mb": 120,
+		"wan.shuffle.site-1->site-0.mb": 480,
+	}}
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"Figure6QCTRandomPlacement", benchExperiment(experiments.Figure6)},
+		{"Figure8ReductionRandomPlacement", benchExperiment(experiments.Figure8)},
+		{"Table3SimilarityCheckingTime", benchExperiment(experiments.Table3)},
+		{"Table5LPSolvingTime", benchExperiment(experiments.Table5)},
+		{"ObsCollectorObserve", func(b *testing.B) {
+			col := obs.NewCollector()
+			for i := 0; i < b.N; i++ {
+				col.Observe("bench.series", float64(i))
+			}
+		}},
+		{"CritpathAnalyze64Queries", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := critpath.Analyze(trace, snap); len(got) != 64 {
+					b.Fatalf("paths = %d", len(got))
+				}
+			}
+		}},
+		{"ChromeTraceRender64Queries", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := export.ChromeTrace(trace); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	doc := &Snapshot{
+		Tag:       *tag,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		TakenAt:   time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, bm := range benches {
+		fmt.Fprintf(os.Stderr, "benchsnap: %s...", bm.name)
+		r := testing.Benchmark(bm.fn)
+		res := BenchResult{
+			Name:         bm.name,
+			Iterations:   r.N,
+			NsPerOp:      r.NsPerOp(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			SecondsPerOp: float64(r.NsPerOp()) / 1e9,
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, " %d iters, %.4fs/op\n", res.Iterations, res.SecondsPerOp)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: wrote %s (%d benchmarks)\n", path, len(doc.Benchmarks))
+}

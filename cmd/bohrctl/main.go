@@ -20,29 +20,45 @@ import (
 	"bohr/internal/experiments"
 	"bohr/internal/faults"
 	"bohr/internal/obs"
+	"bohr/internal/obs/critpath"
+	"bohr/internal/obs/export"
 	"bohr/internal/placement"
 	"bohr/internal/sql"
 	"bohr/internal/stats"
 	"bohr/internal/workload"
 )
 
+// cliOpts carries the parsed command line into run.
+type cliOpts struct {
+	kindName, schemeName    string
+	datasets, rows, probeK  int
+	locality, dynamic       bool
+	seed                    int64
+	sqlText, faultSpec      string
+	jsonOut                 bool
+	critPath                bool
+	traceOut, telemetryAddr string
+}
+
 func main() {
-	var (
-		kindName   = flag.String("workload", "bigdata-scan", "bigdata-scan | bigdata-udf | bigdata-aggr | tpcds | facebook")
-		schemeName = flag.String("scheme", "bohr", "iridium | iridium-c | bohr-sim | bohr-joint | bohr-rdd | bohr")
-		datasets   = flag.Int("datasets", 0, "datasets per workload (0 = default)")
-		rows       = flag.Int("rows", 0, "rows per site per dataset (0 = default)")
-		probeK     = flag.Int("k", 0, "probe budget (0 = default 30)")
-		locality   = flag.Bool("locality", false, "locality-aware initial placement")
-		seed       = flag.Int64("seed", 0, "random seed (0 = default)")
-		sqlText    = flag.String("sql", "", "ad-hoc SQL to run under the chosen scheme")
-		dynamic    = flag.Bool("dynamic", false, "run the §8.6 highly-dynamic-dataset protocol")
-		jsonOut    = flag.Bool("json", false, "emit the machine-readable core.Report JSON (trace + metrics) instead of text; standard runs only")
-		faultSpec  = flag.String("faults", "", `fault schedule, e.g. "crash:site=2,start=40,end=70;degrade:site=0,start=0,end=120,factor=0.3"`)
-	)
+	var o cliOpts
+	flag.StringVar(&o.kindName, "workload", "bigdata-scan", "bigdata-scan | bigdata-udf | bigdata-aggr | tpcds | facebook")
+	flag.StringVar(&o.schemeName, "scheme", "bohr", "iridium | iridium-c | bohr-sim | bohr-joint | bohr-rdd | bohr")
+	flag.IntVar(&o.datasets, "datasets", 0, "datasets per workload (0 = default)")
+	flag.IntVar(&o.rows, "rows", 0, "rows per site per dataset (0 = default)")
+	flag.IntVar(&o.probeK, "k", 0, "probe budget (0 = default 30)")
+	flag.BoolVar(&o.locality, "locality", false, "locality-aware initial placement")
+	flag.Int64Var(&o.seed, "seed", 0, "random seed (0 = default)")
+	flag.StringVar(&o.sqlText, "sql", "", "ad-hoc SQL to run under the chosen scheme")
+	flag.BoolVar(&o.dynamic, "dynamic", false, "run the §8.6 highly-dynamic-dataset protocol")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the machine-readable core.Report JSON (trace + metrics) instead of text; standard runs only")
+	flag.StringVar(&o.faultSpec, "faults", "", `fault schedule, e.g. "crash:site=2,start=40,end=70;degrade:site=0,start=0,end=120,factor=0.3"`)
+	flag.BoolVar(&o.critPath, "critpath", false, "print each query's critical-path decomposition after the run")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's trace as Chrome trace-event JSON (chrome://tracing) to this file")
+	flag.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run (e.g. 127.0.0.1:9100)")
 	flag.Parse()
 
-	if err := run(*kindName, *schemeName, *datasets, *rows, *probeK, *locality, *seed, *sqlText, *faultSpec, *dynamic, *jsonOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)
 		os.Exit(1)
 	}
@@ -73,30 +89,30 @@ func parseScheme(name string) (placement.SchemeID, error) {
 	return 0, fmt.Errorf("unknown scheme %q", name)
 }
 
-func run(kindName, schemeName string, datasets, rows, probeK int, locality bool, seed int64, sqlText, faultSpec string, dynamic, jsonOut bool) error {
-	kind, err := parseKind(kindName)
+func run(o cliOpts) error {
+	kind, err := parseKind(o.kindName)
 	if err != nil {
 		return err
 	}
-	scheme, err := parseScheme(schemeName)
+	scheme, err := parseScheme(o.schemeName)
 	if err != nil {
 		return err
 	}
 	s := experiments.DefaultSetup()
-	if datasets > 0 {
-		s.Datasets = datasets
+	if o.datasets > 0 {
+		s.Datasets = o.datasets
 	}
-	if rows > 0 {
-		s.RowsPerSite = rows
+	if o.rows > 0 {
+		s.RowsPerSite = o.rows
 	}
-	if probeK > 0 {
-		s.ProbeK = probeK
+	if o.probeK > 0 {
+		s.ProbeK = o.probeK
 	}
-	if seed != 0 {
-		s.Seed = seed
+	if o.seed != 0 {
+		s.Seed = o.seed
 	}
-	if faultSpec != "" {
-		sched, err := faults.Parse(faultSpec)
+	if o.faultSpec != "" {
+		sched, err := faults.Parse(o.faultSpec)
 		if err != nil {
 			return err
 		}
@@ -104,12 +120,12 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 		s.Faults = sched
 	}
 
-	c, w, err := s.Populated(kind, locality, 0)
+	c, w, err := s.Populated(kind, o.locality, 0)
 	if err != nil {
 		return err
 	}
 
-	if dynamic {
+	if o.dynamic {
 		empty, err := s.BuildCluster()
 		if err != nil {
 			return err
@@ -128,8 +144,20 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 		return err
 	}
 	opts := s.PlacementOptions(0)
-	if jsonOut {
-		opts = opts.With(placement.WithObs(obs.NewCollector()))
+	needObs := o.jsonOut || o.critPath || o.traceOut != "" || o.telemetryAddr != ""
+	var col *obs.Collector
+	if needObs {
+		col = obs.NewCollector()
+		opts = opts.With(placement.WithObs(col))
+	}
+	if o.telemetryAddr != "" {
+		srv := export.New(col)
+		addr, err := srv.Start(o.telemetryAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bohrctl: telemetry on http://%s/metrics\n", addr)
 	}
 	sys, err := core.New(c, w, scheme, opts)
 	if err != nil {
@@ -139,7 +167,7 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 	if err != nil {
 		return err
 	}
-	if !jsonOut {
+	if !o.jsonOut {
 		fmt.Printf("%s on %v: moved %.1f MB in %.2fs (lag %.0fs), probe checking %.2fs, LP %.2fs\n",
 			scheme, kind, prep.MovedMB, prep.MoveDuration, s.Lag, prep.CheckTime, prep.LPTime)
 		if s.Faults != nil {
@@ -147,8 +175,8 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 		}
 	}
 
-	if sqlText != "" {
-		return runSQL(sys, w, sqlText)
+	if o.sqlText != "" {
+		return runSQL(sys, w, o.sqlText)
 	}
 
 	rep, err := sys.RunAll()
@@ -156,15 +184,34 @@ func run(kindName, schemeName string, datasets, rows, probeK int, locality bool,
 		return err
 	}
 	red := core.DataReduction(vanilla, rep.IntermediateMBPerSite)
-	if jsonOut {
-		r := sys.Report()
-		r.Experiment = "bohrctl"
-		r.DataReductionPct = red
-		b, err := json.MarshalIndent(r, "", "  ")
+	var report *core.Report
+	if needObs {
+		report = sys.Report()
+		report.Experiment = "bohrctl"
+		report.DataReductionPct = red
+	}
+	if o.traceOut != "" {
+		b, err := export.ChromeTrace(report.Trace)
+		if err != nil {
+			return fmt.Errorf("encoding trace: %w", err)
+		}
+		if err := os.WriteFile(o.traceOut, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bohrctl: wrote Chrome trace to %s\n", o.traceOut)
+	}
+	if o.critPath {
+		fmt.Print(critpath.Format(report.CritPaths))
+	}
+	if o.jsonOut {
+		b, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return fmt.Errorf("encoding report: %w", err)
 		}
 		fmt.Println(string(b))
+		return nil
+	}
+	if o.critPath {
 		return nil
 	}
 	fmt.Printf("mean QCT %.2fs over %d queries, %.1f MB shuffled, mean data reduction %.1f%%\n",

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +26,12 @@ import (
 	"strconv"
 	"strings"
 
+	"bohr/internal/core"
 	"bohr/internal/engine"
 	"bohr/internal/netio"
+	"bohr/internal/obs"
+	"bohr/internal/obs/critpath"
+	"bohr/internal/obs/export"
 )
 
 func main() {
@@ -43,17 +48,19 @@ func main() {
 		dims    = flag.String("dims", "", "comma-separated projection dimensions (query)")
 		agg     = flag.String("agg", "sum", "sum | count | max | min (query)")
 		queryID = flag.String("id", "q", "query identifier (query)")
+		telAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (worker, query)")
+		jsonOut = flag.Bool("json", false, "emit a core.Report JSON (stitched trace + metrics + critical path) instead of rows (query)")
 	)
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "worker":
-		err = runWorker(*site, *listen, *up, *seed)
+		err = runWorker(*site, *listen, *up, *seed, *telAddr)
 	case "load":
 		err = runLoad(splitCSV(*workers), *site, *dataset, splitCSV(*schema), *file)
 	case "query":
-		err = runQuery(splitCSV(*workers), *dataset, splitCSV(*dims), *agg, *queryID)
+		err = runQuery(splitCSV(*workers), *dataset, splitCSV(*dims), *agg, *queryID, *telAddr, *jsonOut)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -74,10 +81,21 @@ func splitCSV(s string) []string {
 	return parts
 }
 
-func runWorker(site int, listen string, up float64, seed int64) error {
+func runWorker(site int, listen string, up float64, seed int64, telAddr string) error {
 	w, err := netio.NewWorker(site, listen, up, seed)
 	if err != nil {
 		return err
+	}
+	if telAddr != "" {
+		srv := export.New(w.Obs())
+		srv.GaugeFunc("netio.live_conns", func() float64 { return float64(w.LiveConns()) })
+		addr, err := srv.Start(telAddr)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("bohrd: site %d telemetry on http://%s/metrics\n", site, addr)
 	}
 	fmt.Printf("bohrd: site %d listening on %s (uplink %s)\n",
 		site, w.Addr(), shapeDesc(up))
@@ -145,7 +163,7 @@ func runLoad(addrs []string, site int, dataset string, schema []string, file str
 	return nil
 }
 
-func runQuery(addrs []string, dataset string, dims []string, agg, id string) error {
+func runQuery(addrs []string, dataset string, dims []string, agg, id, telAddr string, jsonOut bool) error {
 	if dataset == "" {
 		return fmt.Errorf("query mode needs -dataset")
 	}
@@ -167,11 +185,40 @@ func runQuery(addrs []string, dataset string, dims []string, agg, id string) err
 		return err
 	}
 	defer ctl.Close()
+	// Live runs have no simulator clock: collect wall-clock spans, and
+	// carry the trace context so workers ship their subtrees back.
+	col := obs.NewCollector(obs.WithWallClock())
+	ctl.SetObs(col)
+	if telAddr != "" {
+		srv := export.New(col)
+		srv.GaugeFunc("netio.inflight_queries", func() float64 { return float64(ctl.InflightQueries()) })
+		addr, err := srv.Start(telAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bohrd: telemetry on http://%s/metrics\n", addr)
+	}
 	res, err := ctl.RunQuery(netio.QueryDTO{
 		ID: id, Dataset: dataset, Dims: dims, Combine: op,
 	}, nil)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		r := &core.Report{
+			SchemaVersion: core.ReportSchemaVersion,
+			Experiment:    "bohrd",
+			Trace:         col.Trace(),
+			Metrics:       col.MetricsSnapshot(),
+		}
+		r.CritPaths = critpath.Analyze(r.Trace, r.Metrics)
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encoding report: %w", err)
+		}
+		fmt.Println(string(b))
+		return nil
 	}
 	fmt.Printf("bohrd: query %q finished in %v, %d cross-site records, per-site intermediate %v\n",
 		id, res.Elapsed, res.ShuffledRecords, res.IntermediatePerSite)

@@ -3,6 +3,7 @@ package core
 import (
 	"bohr/internal/engine"
 	"bohr/internal/obs"
+	"bohr/internal/obs/critpath"
 	"bohr/internal/placement"
 	"bohr/internal/workload"
 )
@@ -10,8 +11,10 @@ import (
 // ReportSchemaVersion is bumped whenever the Report JSON schema changes
 // incompatibly, so downstream consumers can detect what they are parsing.
 // v2 added the resilience section (fault-event list + retry/timeout
-// counters) emitted by fault-injected runs.
-const ReportSchemaVersion = 2
+// counters) emitted by fault-injected runs. v3 added per-site children
+// under the trace's map/reduce stage spans and the crit_paths section
+// (per-query critical-path decomposition).
+const ReportSchemaVersion = 3
 
 // ResilienceReport captures a run's failure handling: the fault events
 // that fired on the modeled timeline and the resilience machinery's
@@ -65,6 +68,10 @@ type Report struct {
 	Trace *obs.Span `json:"trace,omitempty"`
 	// Metrics is the metrics-registry snapshot; nil without a collector.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// CritPaths decomposes each query's QCT into its dominant chain
+	// (slowest map site → bottleneck link → slowest reducer), derived
+	// from Trace + Metrics; nil without a collector.
+	CritPaths []critpath.QueryPath `json:"crit_paths,omitempty"`
 	// Children nest sub-reports (per-experiment → per-scheme-run).
 	Children []*Report `json:"children,omitempty"`
 }
@@ -85,6 +92,7 @@ func (s *System) Report() *Report {
 	}
 	r.Trace = s.Obs.Trace()
 	r.Metrics = s.Obs.MetricsSnapshot()
+	r.CritPaths = critpath.Analyze(r.Trace, r.Metrics)
 	if s.Opts.Faults != nil {
 		res := &ResilienceReport{FaultEvents: s.Obs.EventLog()}
 		if res.FaultEvents == nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"bohr/internal/obs"
+	"bohr/internal/obs/critpath"
 	"bohr/internal/placement"
 	"bohr/internal/workload"
 )
@@ -42,6 +43,13 @@ func TestReportJSONRoundTrip(t *testing.T) {
 			Counters:   map[string]float64{"lp.pivots": 12},
 			Histograms: map[string]obs.HistogramStats{"h": {Count: 1, Sum: 2, Min: 2, Max: 2, P50: 2, P90: 2, P99: 2}},
 		},
+		CritPaths: []critpath.QueryPath{{
+			Query: "q00:scan", QCT: 5.5, CoveragePct: 100,
+			Components: []critpath.Component{
+				{Stage: "map", Name: "map@site-1", Seconds: 2.5, PctQCT: 45.5},
+				{Stage: "shuffle", Name: "shuffle site-1->site-0", Seconds: 3, PctQCT: 54.5},
+			},
+		}},
 		Children: []*Report{{SchemaVersion: ReportSchemaVersion, Scheme: "Iridium"}},
 	}
 	b, err := json.Marshal(r)

@@ -179,6 +179,10 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 		type roundState struct {
 			rm       RoundMetrics
 			arriving [][]KV
+			// mapSite / reduceSite hold per-site stage times for the
+			// trace's per-site child spans (critical-path attribution).
+			mapSite    []float64
+			reduceSite []float64
 		}
 		states := make([]*roundState, len(jobs))
 
@@ -188,8 +192,10 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 				continue
 			}
 			st := &roundState{
-				rm:       RoundMetrics{IntermediateMB: make([]float64, n)},
-				arriving: make([][]KV, n),
+				rm:         RoundMetrics{IntermediateMB: make([]float64, n)},
+				arriving:   make([][]KV, n),
+				mapSite:    make([]float64, n),
+				reduceSite: make([]float64, n),
 			}
 			states[ji] = st
 			jobFlowStart := len(flows)
@@ -202,6 +208,7 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 					job.cfg.Obs.Observe("combine.reduction.ratio", 1-float64(len(inter))/float64(raw))
 				}
 				mapT *= fs.ComputeFactor(i, clock)
+				st.mapSite[i] = mapT
 				if mapT > st.rm.MapTime {
 					st.rm.MapTime = mapT
 				}
@@ -268,6 +275,7 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 				execs := c.Exec[j].Total()
 				t := float64(len(st.arriving[j])) * job.q.ReduceCost / float64(execs)
 				t *= fs.ComputeFactor(j, reduceStart)
+				st.reduceSite[j] = t
 				if t > st.rm.ReduceTime {
 					st.rm.ReduceTime = t
 				}
@@ -277,10 +285,22 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 			}
 			job.res.Rounds = append(job.res.Rounds, st.rm)
 			job.res.QCT += st.rm.MapTime + st.rm.AssignOverhead + st.rm.ShuffleTime + st.rm.ReduceTime
-			job.sp.Child("map").Add(st.rm.MapTime)
+			ms := job.sp.Child("map")
+			ms.Add(st.rm.MapTime)
+			for i, mt := range st.mapSite {
+				if mt > 0 {
+					ms.Child(c.Top.Sites[i].Name).Add(mt)
+				}
+			}
 			job.sp.Child("assign").Add(st.rm.AssignOverhead)
 			job.sp.Child("shuffle").Add(st.rm.ShuffleTime)
-			job.sp.Child("reduce").Add(st.rm.ReduceTime)
+			rs := job.sp.Child("reduce")
+			rs.Add(st.rm.ReduceTime)
+			for j, rt := range st.reduceSite {
+				if rt > 0 {
+					rs.Child(c.Top.Sites[j].Name).Add(rt)
+				}
+			}
 			job.input = output
 		}
 		clock = reduceStart + maxReduce

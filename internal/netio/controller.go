@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bohr/internal/engine"
@@ -84,6 +85,9 @@ type Controller struct {
 	conns []*siteConn
 	obs   *obs.Collector
 
+	start    time.Time // dial time; event timestamps are seconds since it
+	inflight int64     // queries currently inside RunQuery (atomic)
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 }
@@ -118,6 +122,7 @@ func DialConfig(addrs []string, cfg Config) (*Controller, error) {
 	c := &Controller{
 		addrs: append([]string(nil), addrs...),
 		cfg:   cfg,
+		start: time.Now(),
 		rng:   stats.NewRand(stats.Split(cfg.Seed, 0x5e71)),
 	}
 	for site := range addrs {
@@ -170,6 +175,33 @@ func (c *Controller) Close() {
 // N returns the number of sites.
 func (c *Controller) N() int { return len(c.addrs) }
 
+// InflightQueries reports how many queries are currently inside RunQuery,
+// for the live-telemetry gauges.
+func (c *Controller) InflightQueries() int { return int(atomic.LoadInt64(&c.inflight)) }
+
+// event records a discrete controller-side occurrence (retry, timeout) on
+// the collector's event log, timestamped in wall seconds since dial.
+func (c *Controller) event(kind string, site int, detail string) {
+	if c.obs == nil {
+		return
+	}
+	c.obs.RecordEvent(obs.Event{
+		T: time.Since(c.start).Seconds(), Kind: kind, Site: site, Detail: detail,
+	})
+}
+
+// traceCtx stamps the distributed-trace context onto an outgoing request
+// when a collector is attached, so the worker ships its span subtree and
+// metric snapshot back with the response.
+func (c *Controller) traceCtx(req *Envelope, traceID, parent string) {
+	if c.obs == nil {
+		return
+	}
+	req.TraceID = traceID
+	req.ParentSpan = parent
+	req.TraceWall = c.obs.WallClock()
+}
+
 // idempotent reports whether a request type can be re-sent safely after a
 // failure. Put, Move, and Transfer mutate worker state per delivery, so a
 // retry could double-apply them (documented at-least-once hazard); RunMap
@@ -213,11 +245,13 @@ func (c *Controller) rpc(site int, req *Envelope) (*Envelope, error) {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
 			c.obs.Count("netio.timeouts", 1)
+			c.event("timeout", site, fmt.Sprintf("req=%d: %v", req.Type, err))
 		}
 		if attempt >= budget || !IsRetryable(err) {
 			return nil, err
 		}
 		c.obs.Count("netio.retries", 1)
+		c.event("retry", site, fmt.Sprintf("req=%d attempt=%d: %v", req.Type, attempt+1, err))
 		time.Sleep(c.backoff(attempt))
 	}
 }
@@ -304,13 +338,20 @@ func (c *Controller) Move(src, dst int, dataset string, count int, similar bool,
 	if dst < 0 || dst >= len(c.addrs) {
 		return 0, fmt.Errorf("netio: destination %d out of range", dst)
 	}
-	resp, err := c.rpc(src, &Envelope{
+	req := &Envelope{
 		Type: MsgMove, Dataset: dataset, Count: count,
 		Dst: c.addrs[dst], Similar: similar, Cells: dstCells,
-	})
+	}
+	name := fmt.Sprintf("netio:move:%d->%d", src, dst)
+	c.traceCtx(req, name, name)
+	sp := c.obs.StartSpan(name)
+	resp, err := c.rpc(src, req)
+	sp.End()
 	if err != nil {
 		return 0, err
 	}
+	sp.Attach(resp.Trace)
+	c.obs.MergeSnapshot(resp.Metrics)
 	return resp.Count, nil
 }
 
@@ -346,6 +387,10 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 	if len(taskFrac) != n {
 		return nil, fmt.Errorf("netio: task fractions sized %d, want %d", len(taskFrac), n)
 	}
+	c.obs.Gauge("netio.inflight_queries", float64(atomic.AddInt64(&c.inflight, 1)))
+	defer func() {
+		c.obs.Gauge("netio.inflight_queries", float64(atomic.AddInt64(&c.inflight, -1)))
+	}()
 	for attempt := 0; ; attempt++ {
 		res, err := c.runQueryOnce(q, taskFrac)
 		if err == nil {
@@ -365,28 +410,40 @@ func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult,
 	sp := c.obs.StartSpan("netio:" + q.ID)
 	defer sp.End()
 
-	// Map phase: all sites in parallel.
+	// Map phase: all sites in parallel. Worker span subtrees and metric
+	// snapshots ride back on the responses; they are grafted under the
+	// query span in site order after the phase so stitched traces have a
+	// stable shape regardless of completion order.
 	type mapOut struct {
 		site    int
 		perSite []int
 		inter   int
+		trace   *obs.Span
+		metrics *obs.Snapshot
 		err     error
 	}
 	outs := make(chan mapOut, n)
 	for site := 0; site < n; site++ {
 		go func(site int) {
-			resp, err := c.rpc(site, &Envelope{
+			req := &Envelope{
 				Type: MsgRunMap, Query: q, TaskFrac: taskFrac, Peers: c.addrs,
-			})
+			}
+			c.traceCtx(req, q.ID, "netio:"+q.ID)
+			resp, err := c.rpc(site, req)
 			if err != nil {
 				outs <- mapOut{site: site, err: err}
 				return
 			}
-			outs <- mapOut{site: site, perSite: resp.PerSite, inter: resp.Count}
+			outs <- mapOut{
+				site: site, perSite: resp.PerSite, inter: resp.Count,
+				trace: resp.Trace, metrics: resp.Metrics,
+			}
 		}(site)
 	}
 	expected := make([]int, n)
 	interPerSite := make([]int, n)
+	mapTraces := make([]*obs.Span, n)
+	mapMetrics := make([]*obs.Snapshot, n)
 	shuffled := 0
 	var mapErr error
 	for i := 0; i < n; i++ {
@@ -398,6 +455,8 @@ func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult,
 			continue
 		}
 		interPerSite[o.site] = o.inter
+		mapTraces[o.site] = o.trace
+		mapMetrics[o.site] = o.metrics
 		for dst, cnt := range o.perSite {
 			expected[dst] += cnt
 			if dst != o.site {
@@ -408,6 +467,10 @@ func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult,
 	if mapErr != nil {
 		return nil, mapErr
 	}
+	for site := 0; site < n; site++ {
+		sp.Attach(mapTraces[site])
+		c.obs.MergeSnapshot(mapMetrics[site])
+	}
 	sp.Child("map").Add(time.Since(start).Seconds())
 	reduceStart := time.Now()
 
@@ -416,22 +479,28 @@ func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult,
 	type redOut struct {
 		site    int
 		records []engine.KV
+		trace   *obs.Span
+		metrics *obs.Snapshot
 		err     error
 	}
 	reds := make(chan redOut, n)
 	for site := 0; site < n; site++ {
 		go func(site int) {
-			resp, err := c.rpc(site, &Envelope{
+			req := &Envelope{
 				Type: MsgReduce, Query: q, Expected: expected[site],
-			})
+			}
+			c.traceCtx(req, q.ID, "netio:"+q.ID)
+			resp, err := c.rpc(site, req)
 			if err != nil {
 				reds <- redOut{site: site, err: err}
 				return
 			}
-			reds <- redOut{site: site, records: resp.Records}
+			reds <- redOut{site: site, records: resp.Records, trace: resp.Trace, metrics: resp.Metrics}
 		}(site)
 	}
 	var all []engine.KV
+	redTraces := make([]*obs.Span, n)
+	redMetrics := make([]*obs.Snapshot, n)
 	var redErr error
 	for i := 0; i < n; i++ {
 		o := <-reds
@@ -441,10 +510,16 @@ func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult,
 			}
 			continue
 		}
+		redTraces[o.site] = o.trace
+		redMetrics[o.site] = o.metrics
 		all = append(all, o.records...)
 	}
 	if redErr != nil {
 		return nil, redErr
+	}
+	for site := 0; site < n; site++ {
+		sp.Attach(redTraces[site])
+		c.obs.MergeSnapshot(redMetrics[site])
 	}
 	// Reduce outputs own disjoint key sets; merging is concatenation, but
 	// sort for deterministic output.

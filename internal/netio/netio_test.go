@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bohr/internal/engine"
+	"bohr/internal/obs"
 )
 
 func TestBucketValidation(t *testing.T) {
@@ -264,6 +265,76 @@ func TestTaskFracRoutesReduceWork(t *testing.T) {
 	}
 	if res.ShuffledRecords != 2 {
 		t.Fatalf("shuffled = %d, want 2", res.ShuffledRecords)
+	}
+}
+
+// TestStitchedDistributedTrace is the tentpole acceptance check: one live
+// two-worker query must leave a single stitched trace on the controller's
+// collector, with worker-side map/reduce span subtrees grafted under the
+// per-query controller span, wall durations stamped (WithWallClock), and
+// worker byte/record counter deltas folded into the controller registry.
+func TestStitchedDistributedTrace(t *testing.T) {
+	ctl, workers := liveCluster(t, 2, 0)
+	col := obs.NewCollector(obs.WithWallClock())
+	ctl.SetObs(col)
+	for site := 0; site < 2; site++ {
+		var recs []engine.KV
+		for i := 0; i < 50; i++ {
+			recs = append(recs, engine.KV{Key: fmt.Sprintf("k%02d", i%10), Val: 1})
+		}
+		if err := ctl.Put(site, "d", []string{"k"}, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ctl.RunQuery(QueryDTO{ID: "q1", Dataset: "d", Combine: engine.OpSum}, nil); err != nil {
+		t.Fatal(err)
+	}
+	q := col.Trace().Find("netio:q1")
+	if q == nil {
+		t.Fatal("no per-query controller span in trace")
+	}
+	for _, path := range [][]string{
+		{"map@site0", "deserialize"},
+		{"map@site0", "map"}, {"map@site0", "combine"}, {"map@site0", "scatter"},
+		{"map@site1", "map"},
+		{"reduce@site0", "gather"}, {"reduce@site0", "reduce"},
+		{"reduce@site1", "reduce"},
+	} {
+		if q.Find(path...) == nil {
+			t.Errorf("stitched trace missing %v", path)
+		}
+	}
+	// WithWallClock must stamp wall durations on worker-side spans.
+	if s := q.Find("map@site0", "map"); s != nil && s.Wall <= 0 {
+		t.Errorf("map@site0/map wall = %v, want > 0", s.Wall)
+	}
+	if s := q.Find("reduce@site1", "reduce"); s != nil && s.Wall <= 0 {
+		t.Errorf("reduce@site1/reduce wall = %v, want > 0", s.Wall)
+	}
+	// Three-hop stitch: a mapper's scatter push grafts the receiving
+	// peer's recv@ subtree under the per-peer span.
+	hop3 := false
+	for src := 0; src < 2; src++ {
+		dst := 1 - src
+		if q.Find(fmt.Sprintf("map@site%d", src), "scatter",
+			fmt.Sprintf("->site%d", dst), fmt.Sprintf("recv@site%d", dst)) != nil {
+			hop3 = true
+		}
+	}
+	if !hop3 {
+		t.Error("no scatter push carried the receiver's recv@ subtree")
+	}
+	// Worker metric deltas fold into the controller registry; workers also
+	// keep their own cumulative registries for live export.
+	snap := col.MetricsSnapshot()
+	if got := snap.Counters["netio.map.records"]; got != 100 {
+		t.Errorf("netio.map.records = %v, want 100", got)
+	}
+	if got := snap.Counters["netio.scatter.bytes"]; got <= 0 {
+		t.Errorf("netio.scatter.bytes = %v, want > 0", got)
+	}
+	if got := workers[0].Obs().MetricsSnapshot().Counters["netio.map.records"]; got != 50 {
+		t.Errorf("worker 0 cumulative map.records = %v, want 50", got)
 	}
 }
 

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"bohr/internal/engine"
+	"bohr/internal/obs"
 )
 
 // MsgType discriminates wire messages.
@@ -161,6 +163,29 @@ type Envelope struct {
 	// TimeoutS bounds the server-side wait for MsgReduce, in seconds.
 	// Zero keeps the worker's default.
 	TimeoutS float64
+
+	// TraceID propagates the distributed trace context (requests): a
+	// non-empty TraceID asks the worker to record a span subtree and a
+	// per-request metric snapshot for this request and ship both back in
+	// its response. Workers forward the context on the peer pushes a
+	// request triggers (scatter, move transfer), so a response subtree
+	// can itself contain grafted peer subtrees.
+	TraceID string
+	// ParentSpan names the requester-side span the response subtree will
+	// be grafted under (diagnostic context carried with the trace).
+	ParentSpan string
+	// TraceWall asks the worker to stamp wall-clock durations on its
+	// spans; set when the requesting collector was built with
+	// obs.WithWallClock. Without it the shipped subtree carries structure
+	// and byte/record metrics only, keeping traced runs deterministic.
+	TraceWall bool
+	// Trace is the worker's finished span subtree for this request
+	// (responses to traced requests).
+	Trace *obs.Span
+	// Metrics is the worker's per-request metric snapshot — bytes moved
+	// per peer, record counts — merged into the requester's collector
+	// (responses to traced requests).
+	Metrics *obs.Snapshot
 }
 
 // maxMsgBytes bounds a single message to keep a misbehaving peer from
@@ -189,23 +214,32 @@ func WriteMsg(w io.Writer, env *Envelope) error {
 
 // ReadMsg reads one length-prefixed envelope.
 func ReadMsg(r io.Reader) (*Envelope, error) {
+	env, _, err := readMsgTimed(r)
+	return env, err
+}
+
+// readMsgTimed is ReadMsg plus the gob-decode duration, measured apart
+// from the socket read so workers can attribute a "deserialize" span to
+// traced requests without charging it the idle wait for the frame.
+func readMsgTimed(r io.Reader) (*Envelope, time.Duration, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err // io.EOF propagates cleanly for connection close
+		return nil, 0, err // io.EOF propagates cleanly for connection close
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxMsgBytes {
-		return nil, fmt.Errorf("netio: message of %d bytes exceeds limit", n)
+		return nil, 0, fmt.Errorf("netio: message of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("netio: read body: %w", err)
+		return nil, 0, fmt.Errorf("netio: read body: %w", err)
 	}
 	env := &Envelope{}
+	start := time.Now()
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(env); err != nil {
-		return nil, fmt.Errorf("netio: decode: %w", err)
+		return nil, 0, fmt.Errorf("netio: decode: %w", err)
 	}
-	return env, nil
+	return env, time.Since(start), nil
 }
 
 // call sends a request and reads the single response, translating MsgErr.

@@ -2,6 +2,7 @@ package netio
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"strings"
@@ -47,7 +48,10 @@ type Worker struct {
 
 // NewWorker starts a worker listening on addr ("127.0.0.1:0" for an
 // ephemeral port). upMBps shapes all outgoing record pushes; <= 0 leaves
-// the uplink unshaped.
+// the uplink unshaped. The worker runs its own observability collector
+// (swap it with SetObs): request handlers count records and bytes into
+// it, so a telemetry endpoint (internal/obs/export) can serve live
+// worker metrics.
 func NewWorker(site int, addr string, upMBps float64, seed int64) (*Worker, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -56,6 +60,7 @@ func NewWorker(site int, addr string, upMBps float64, seed int64) (*Worker, erro
 	w := &Worker{
 		Site:         site,
 		seed:         seed,
+		obs:          obs.NewCollector(),
 		ln:           ln,
 		idleTimeout:  2 * time.Minute,
 		writeTimeout: 30 * time.Second,
@@ -79,11 +84,23 @@ func NewWorker(site int, addr string, upMBps float64, seed int64) (*Worker, erro
 // Addr returns the worker's dial address.
 func (w *Worker) Addr() string { return w.ln.Addr().String() }
 
-// SetObs attaches an observability collector counting the records this
-// worker pushes to peers (moves and intermediate scatter). Call it before
-// issuing requests; the collector itself is safe for the worker's
-// concurrent connection handlers. Nil detaches.
+// SetObs replaces the worker's observability collector (the one NewWorker
+// created) with the caller's. Call it before issuing requests; the
+// collector itself is safe for the worker's concurrent connection
+// handlers. Nil detaches collection entirely.
 func (w *Worker) SetObs(col *obs.Collector) { w.obs = col }
+
+// Obs returns the worker's collector, the feed for a live telemetry
+// endpoint (internal/obs/export).
+func (w *Worker) Obs() *obs.Collector { return w.obs }
+
+// LiveConns reports the number of currently open inbound connections —
+// a liveness gauge for the telemetry endpoint.
+func (w *Worker) LiveConns() int {
+	w.quitMu.Lock()
+	defer w.quitMu.Unlock()
+	return len(w.conns)
+}
 
 // SetInjector attaches a fault injector: connections accepted and peer
 // pushes dialed from now on go through its fault-wrapping conn, so crash
@@ -177,11 +194,11 @@ func (w *Worker) handleConn(conn net.Conn) {
 	for {
 		idle, write := w.timeouts()
 		conn.SetReadDeadline(time.Now().Add(idle))
-		req, err := ReadMsg(conn)
+		req, decode, err := readMsgTimed(conn)
 		if err != nil {
 			return
 		}
-		resp := w.dispatch(req)
+		resp := w.dispatch(req, decode)
 		conn.SetWriteDeadline(time.Now().Add(write))
 		if err := WriteMsg(conn, resp); err != nil {
 			return
@@ -189,11 +206,64 @@ func (w *Worker) handleConn(conn net.Conn) {
 	}
 }
 
+// beginTrace opens the per-request trace collector for a traced request
+// (nil, a valid no-op collector, otherwise). The gob-decode time of the
+// request is attributed to a "deserialize" span when wall timing was
+// asked for; without TraceWall the subtree carries structure and metrics
+// only, so traced runs stay deterministic.
+func (w *Worker) beginTrace(req *Envelope, decode time.Duration) *obs.Collector {
+	if req.TraceID == "" {
+		return nil
+	}
+	var col *obs.Collector
+	if req.TraceWall {
+		col = obs.NewCollector(obs.WithWallClock())
+		if decode > 0 {
+			col.Current().Attach(&obs.Span{Name: "deserialize", Wall: decode.Seconds()})
+		}
+	} else {
+		col = obs.NewCollector()
+		if decode > 0 {
+			col.Current().Attach(&obs.Span{Name: "deserialize"})
+		}
+	}
+	return col
+}
+
+// finishTrace seals the per-request trace into the response: the span
+// subtree (renamed to root, e.g. "map@site2") plus the request's metric
+// snapshot. Error responses ship no trace.
+func finishTrace(col *obs.Collector, resp *Envelope, root string) *Envelope {
+	if col == nil || resp.Type == MsgErr {
+		return resp
+	}
+	tr := col.Trace()
+	tr.Name = root
+	// The collector root is never explicitly started, so give it the sum
+	// of its (sequential) children as the request's handling time.
+	if tr.Wall == 0 {
+		for _, ch := range tr.Children {
+			tr.Wall += ch.Wall
+		}
+	}
+	resp.Trace = tr
+	resp.Metrics = col.MetricsSnapshot()
+	return resp
+}
+
+// count2 records a counter both on the per-request trace collector (the
+// delta shipped back to the requester) and on the worker's own collector
+// (the cumulative feed of the live telemetry endpoint). Either may be nil.
+func (w *Worker) count2(col *obs.Collector, name string, v float64) {
+	col.Count(name, v)
+	w.obs.Count(name, v)
+}
+
 func (w *Worker) errEnv(code ErrCode, format string, args ...any) *Envelope {
 	return &Envelope{Type: MsgErr, Site: w.Site, Code: code, Err: fmt.Sprintf(format, args...)}
 }
 
-func (w *Worker) dispatch(req *Envelope) *Envelope {
+func (w *Worker) dispatch(req *Envelope, decode time.Duration) *Envelope {
 	switch req.Type {
 	case MsgHello:
 		return &Envelope{Type: MsgHelloOK, Site: w.Site}
@@ -204,15 +274,15 @@ func (w *Worker) dispatch(req *Envelope) *Envelope {
 	case MsgScore:
 		return w.handleScore(req)
 	case MsgMove:
-		return w.handleMove(req)
+		return w.handleMove(req, decode)
 	case MsgTransfer:
 		return w.handleTransfer(req)
 	case MsgRunMap:
-		return w.handleRunMap(req)
+		return w.handleRunMap(req, decode)
 	case MsgIntermediate:
-		return w.handleIntermediate(req)
+		return w.handleIntermediate(req, decode)
 	case MsgReduce:
-		return w.handleReduce(req)
+		return w.handleReduce(req, decode)
 	default:
 		return w.errEnv(CodeBadRequest, "unknown message type %d", req.Type)
 	}
@@ -335,17 +405,19 @@ func (w *Worker) handleScore(req *Envelope) *Envelope {
 // handleMove selects records (similarity-aware when asked, using the
 // destination's probe cells carried in the request) and pushes them to
 // the destination worker through the shaped uplink.
-func (w *Worker) handleMove(req *Envelope) *Envelope {
+func (w *Worker) handleMove(req *Envelope, decode time.Duration) *Envelope {
+	tcol := w.beginTrace(req, decode)
 	w.mu.Lock()
 	src := w.datasets[req.Dataset]
 	w.mu.Unlock()
 	if req.Count <= 0 || len(src) == 0 {
-		return &Envelope{Type: MsgMoveOK, Count: 0}
+		return finishTrace(tcol, &Envelope{Type: MsgMoveOK, Count: 0}, fmt.Sprintf("move@site%d", w.Site))
 	}
 	n := req.Count
 	if n > len(src) {
 		n = len(src)
 	}
+	sel := tcol.StartSpan("select")
 	var mover engine.Mover
 	dstCounts := map[string]int{}
 	if req.Similar {
@@ -370,20 +442,29 @@ func (w *Worker) handleMove(req *Envelope) *Envelope {
 			kept = append(kept, r)
 		}
 	}
+	sel.End()
 
 	// Push to the destination through the shaped uplink, then commit the
 	// removal locally only on success.
-	if err := w.push(req.Dst, &Envelope{
+	ps := tcol.StartSpan("push")
+	resp, bytes, err := w.push(req.Dst, &Envelope{
 		Type: MsgTransfer, Dataset: req.Dataset, Records: moved,
-		Schema: w.schemaOf(req.Dataset),
-	}); err != nil {
+		Schema:  w.schemaOf(req.Dataset),
+		TraceID: req.TraceID, ParentSpan: "push", TraceWall: req.TraceWall,
+	})
+	if err != nil {
+		ps.End()
 		return w.errEnv(CodeUnavailable, "move: push to %s: %v", req.Dst, err)
 	}
+	ps.Attach(resp.Trace)
+	tcol.MergeSnapshot(resp.Metrics)
+	ps.End()
 	w.mu.Lock()
 	w.datasets[req.Dataset] = kept
 	w.mu.Unlock()
-	w.obs.Count("netio.move.records", float64(len(moved)))
-	return &Envelope{Type: MsgMoveOK, Count: len(moved)}
+	w.count2(tcol, "netio.move.records", float64(len(moved)))
+	w.count2(tcol, "netio.move.bytes", float64(bytes))
+	return finishTrace(tcol, &Envelope{Type: MsgMoveOK, Count: len(moved)}, fmt.Sprintf("move@site%d", w.Site))
 }
 
 func (w *Worker) schemaOf(dataset string) []string {
@@ -392,22 +473,37 @@ func (w *Worker) schemaOf(dataset string) []string {
 	return w.schemas[dataset]
 }
 
+// countWriter counts the bytes written through an io.ReadWriter, so a
+// push can report how much really crossed the (emulated) WAN.
+type countWriter struct {
+	io.ReadWriter
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.ReadWriter.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
 // push dials a peer, shapes the connection with the uplink bucket, sends
-// one request and waits for its acknowledgement.
-func (w *Worker) push(addr string, env *Envelope) error {
+// one request and waits for its acknowledgement, returning the response
+// and the number of bytes written (header + body).
+func (w *Worker) push(addr string, env *Envelope) (*Envelope, int64, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	defer conn.Close()
 	idle, write := w.timeouts()
 	conn.SetDeadline(time.Now().Add(idle + write))
-	rw := w.injector().WrapConn(conn)
+	var rw net.Conn = w.injector().WrapConn(conn)
 	if w.up != nil {
 		rw = Shape(rw, w.up, nil)
 	}
-	_, err = call(rw, env)
-	return err
+	cw := &countWriter{ReadWriter: rw}
+	resp, err := call(cw, env)
+	return resp, cw.n, err
 }
 
 func (w *Worker) handleTransfer(req *Envelope) *Envelope {
@@ -427,7 +523,8 @@ func (w *Worker) handleTransfer(req *Envelope) *Envelope {
 // counts in PerSite, which the controller aggregates into each reducer's
 // expected arrival count. Re-running the same query is safe: reducers key
 // batches by source site and replace.
-func (w *Worker) handleRunMap(req *Envelope) *Envelope {
+func (w *Worker) handleRunMap(req *Envelope, decode time.Duration) *Envelope {
+	tcol := w.beginTrace(req, decode)
 	q := req.Query
 	proj, err := w.projector(q.Dataset, q.Dims)
 	if err != nil {
@@ -436,11 +533,17 @@ func (w *Worker) handleRunMap(req *Envelope) *Envelope {
 	w.mu.Lock()
 	recs := w.datasets[q.Dataset]
 	w.mu.Unlock()
+	ms := tcol.StartSpan("map")
 	mapped := make([]engine.KV, len(recs))
 	for i, r := range recs {
 		mapped[i] = engine.KV{Key: proj(r.Key), Val: r.Val}
 	}
+	ms.End()
+	cs := tcol.StartSpan("combine")
 	inter := engine.Combine(mapped, q.Combine)
+	cs.End()
+	w.count2(tcol, "netio.map.records", float64(len(recs)))
+	w.count2(tcol, "netio.intermediate.records", float64(len(inter)))
 
 	// Scatter by reduce ownership.
 	if len(req.TaskFrac) != len(req.Peers) {
@@ -452,6 +555,7 @@ func (w *Worker) handleRunMap(req *Envelope) *Envelope {
 		buckets[owner] = append(buckets[owner], kv)
 	}
 	perSite := make([]int, len(req.Peers))
+	sc := tcol.StartSpan("scatter")
 	for site, batch := range buckets {
 		perSite[site] = len(batch)
 		if len(batch) == 0 {
@@ -461,14 +565,27 @@ func (w *Worker) handleRunMap(req *Envelope) *Envelope {
 			w.acceptIntermediate(q.ID, w.Site, batch)
 			continue
 		}
-		if err := w.push(req.Peers[site], &Envelope{
+		ps := tcol.StartSpan(fmt.Sprintf("->site%d", site))
+		resp, bytes, err := w.push(req.Peers[site], &Envelope{
 			Type: MsgIntermediate, Site: w.Site, Query: QueryDTO{ID: q.ID}, Records: batch,
-		}); err != nil {
+			TraceID: req.TraceID, ParentSpan: "scatter", TraceWall: req.TraceWall,
+		})
+		if err != nil {
+			ps.End()
+			sc.End()
 			return w.errEnv(CodeUnavailable, "runmap: scatter to site %d: %v", site, err)
 		}
-		w.obs.Count("netio.scatter.records", float64(len(batch)))
+		ps.Attach(resp.Trace)
+		tcol.MergeSnapshot(resp.Metrics)
+		ps.End()
+		w.count2(tcol, "netio.scatter.records", float64(len(batch)))
+		w.count2(tcol, fmt.Sprintf("netio.scatter.site%d->site%d.bytes", w.Site, site), float64(bytes))
+		w.count2(tcol, "netio.scatter.bytes", float64(bytes))
 	}
-	return &Envelope{Type: MsgRunMapOK, Count: len(inter), PerSite: perSite}
+	sc.End()
+	return finishTrace(tcol,
+		&Envelope{Type: MsgRunMapOK, Count: len(inter), PerSite: perSite},
+		fmt.Sprintf("map@site%d", w.Site))
 }
 
 // acceptIntermediate records one source site's intermediate batch for a
@@ -495,9 +612,15 @@ func (w *Worker) interCount(queryID string) int {
 	return n
 }
 
-func (w *Worker) handleIntermediate(req *Envelope) *Envelope {
+func (w *Worker) handleIntermediate(req *Envelope, decode time.Duration) *Envelope {
+	tcol := w.beginTrace(req, decode)
+	st := tcol.StartSpan("store")
 	w.acceptIntermediate(req.Query.ID, req.Site, req.Records)
-	return &Envelope{Type: MsgIntermediateOK, Count: len(req.Records)}
+	st.End()
+	w.count2(tcol, "netio.recv.records", float64(len(req.Records)))
+	return finishTrace(tcol,
+		&Envelope{Type: MsgIntermediateOK, Count: len(req.Records)},
+		fmt.Sprintf("recv@site%d", w.Site))
 }
 
 // handleReduce waits until the expected number of intermediate records has
@@ -505,12 +628,14 @@ func (w *Worker) handleIntermediate(req *Envelope) *Envelope {
 // bounded by the request's TimeoutS (falling back to 10 s) and aborts
 // promptly when the worker is closing so Close never deadlocks on a
 // starved reducer.
-func (w *Worker) handleReduce(req *Envelope) *Envelope {
+func (w *Worker) handleReduce(req *Envelope, decode time.Duration) *Envelope {
+	tcol := w.beginTrace(req, decode)
 	wait := 10 * time.Second
 	if req.TimeoutS > 0 {
 		wait = time.Duration(req.TimeoutS * float64(time.Second))
 	}
 	deadline := time.Now().Add(wait)
+	gs := tcol.StartSpan("gather")
 	for {
 		n := w.interCount(req.Query.ID)
 		if n >= req.Expected {
@@ -524,6 +649,8 @@ func (w *Worker) handleReduce(req *Envelope) *Envelope {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	gs.End()
+	rs := tcol.StartSpan("reduce")
 	w.mu.Lock()
 	srcs := make([]int, 0, len(w.inter[req.Query.ID]))
 	for s := range w.inter[req.Query.ID] {
@@ -537,5 +664,9 @@ func (w *Worker) handleReduce(req *Envelope) *Envelope {
 	delete(w.inter, req.Query.ID)
 	w.mu.Unlock()
 	out := engine.CombinePartials(recs, req.Query.Combine)
-	return &Envelope{Type: MsgReduceOK, Records: out}
+	rs.End()
+	w.count2(tcol, "netio.gather.records", float64(len(recs)))
+	w.count2(tcol, "netio.reduce.output.records", float64(len(out)))
+	return finishTrace(tcol, &Envelope{Type: MsgReduceOK, Records: out},
+		fmt.Sprintf("reduce@site%d", w.Site))
 }

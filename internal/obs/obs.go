@@ -10,6 +10,11 @@
 // recorded only when the collector is built with WithWallClock, because
 // they break byte-identical report output.
 //
+// Histogram series are bounded: each series retains at most HistogramCap
+// observations via deterministic (seeded-per-series) reservoir sampling,
+// so long live runs cannot grow the registry without bound. Count, Sum,
+// Min and Max stay exact; percentiles are computed over the reservoir.
+//
 // A nil *Collector (and the nil *Span it hands out) is a valid no-op:
 // every method checks its receiver, so instrumented code paths cost one
 // pointer comparison when observability is off. All operations are
@@ -17,6 +22,9 @@
 package obs
 
 import (
+	"hash/fnv"
+	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -58,7 +66,7 @@ type Collector struct {
 	wall     bool
 	counters map[string]float64
 	gauges   map[string]float64
-	hists    map[string][]float64
+	hists    map[string]*histSeries
 	events   []Event
 }
 
@@ -76,7 +84,7 @@ func NewCollector(opts ...Option) *Collector {
 	c := &Collector{
 		counters: map[string]float64{},
 		gauges:   map[string]float64{},
-		hists:    map[string][]float64{},
+		hists:    map[string]*histSeries{},
 	}
 	c.root = &Span{Name: "bohr", c: c}
 	c.cur = c.root
@@ -117,7 +125,8 @@ func (c *Collector) Current() *Span {
 // End closes the span: the collector's current span returns to the
 // parent. Ending a span that has already been popped (or that is an
 // ancestor of the current span) pops everything above it too, so span
-// leaks from early returns stay contained.
+// leaks from early returns stay contained; every span popped this way
+// gets its wall-clock duration stamped, not just the receiver.
 func (s *Span) End() {
 	if s == nil || s.c == nil {
 		return
@@ -125,18 +134,44 @@ func (s *Span) End() {
 	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	onChain := false
+	for cur := c.cur; cur != nil; cur = cur.parent {
+		if cur == s {
+			onChain = true
+			break
+		}
+	}
+	if !onChain {
+		c.stampWall(s)
+		return
+	}
+	for cur := c.cur; ; cur = cur.parent {
+		c.stampWall(cur)
+		if cur == s {
+			break
+		}
+	}
+	c.cur = s.parent
+	if c.cur == nil {
+		c.cur = c.root
+	}
+}
+
+// stampWall records the span's wall duration if the collector measures
+// wall time and the span has not been stamped yet. Callers hold c.mu.
+func (c *Collector) stampWall(s *Span) {
 	if c.wall && !s.started.IsZero() && s.Wall == 0 {
 		s.Wall = time.Since(s.started).Seconds()
 	}
-	for cur := c.cur; cur != nil; cur = cur.parent {
-		if cur == s {
-			c.cur = s.parent
-			if c.cur == nil {
-				c.cur = c.root
-			}
-			return
-		}
+}
+
+// WallClock reports whether the collector stamps wall-clock durations on
+// spans (built with WithWallClock). Nil-safe.
+func (c *Collector) WallClock() bool {
+	if c == nil {
+		return false
 	}
+	return c.wall
 }
 
 // Add accumulates modeled seconds onto the span. Nil-safe.
@@ -193,6 +228,47 @@ func (c *Collector) Gauge(name string, v float64) {
 	c.gauges[name] = v
 }
 
+// HistogramCap bounds the observations retained per histogram series.
+// Beyond the cap, reservoir sampling (seeded per series name, so runs
+// are reproducible for a fixed observation order) keeps a uniform sample
+// for the percentile estimates while Count/Sum/Min/Max stay exact.
+const HistogramCap = 4096
+
+// histSeries is one bounded histogram: an observation reservoir plus
+// exact running aggregates.
+type histSeries struct {
+	vals []float64
+	seen int
+	sum  float64
+	min  float64
+	max  float64
+	rng  *rand.Rand
+}
+
+func newHistSeries(name string) *histSeries {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return &histSeries{rng: rand.New(rand.NewSource(int64(h.Sum64())))}
+}
+
+func (h *histSeries) observe(v float64) {
+	if h.seen == 0 || v < h.min {
+		h.min = v
+	}
+	if h.seen == 0 || v > h.max {
+		h.max = v
+	}
+	h.seen++
+	h.sum += v
+	if len(h.vals) < HistogramCap {
+		h.vals = append(h.vals, v)
+		return
+	}
+	if j := h.rng.Intn(h.seen); j < HistogramCap {
+		h.vals[j] = v
+	}
+}
+
 // Observe records one observation into a named histogram. Nil-safe.
 func (c *Collector) Observe(name string, v float64) {
 	if c == nil {
@@ -200,7 +276,12 @@ func (c *Collector) Observe(name string, v float64) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.hists[name] = append(c.hists[name], v)
+	h := c.hists[name]
+	if h == nil {
+		h = newHistSeries(name)
+		c.hists[name] = h
+	}
+	h.observe(v)
 }
 
 // RecordEvent appends one timeline event. Nil-safe.
@@ -247,7 +328,8 @@ type Snapshot struct {
 	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
-// summarize computes HistogramStats for one observation series.
+// summarize computes HistogramStats for one observation series using the
+// nearest-rank percentile definition: the ⌈q·n⌉-th smallest value.
 func summarize(vals []float64) HistogramStats {
 	st := HistogramStats{Count: len(vals)}
 	if len(vals) == 0 {
@@ -261,7 +343,7 @@ func summarize(vals []float64) HistogramStats {
 		st.Sum += v
 	}
 	rank := func(q float64) float64 {
-		i := int(q*float64(len(sorted))+0.999999) - 1
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
 		if i < 0 {
 			i = 0
 		}
@@ -273,6 +355,19 @@ func summarize(vals []float64) HistogramStats {
 	st.P50 = rank(0.50)
 	st.P90 = rank(0.90)
 	st.P99 = rank(0.99)
+	return st
+}
+
+// stats summarizes the series: percentiles come from the reservoir,
+// Count/Sum/Min/Max from the exact running aggregates.
+func (h *histSeries) stats() HistogramStats {
+	st := summarize(h.vals)
+	st.Count = h.seen
+	if h.seen > 0 {
+		st.Sum = h.sum
+		st.Min = h.min
+		st.Max = h.max
+	}
 	return st
 }
 
@@ -299,11 +394,35 @@ func (c *Collector) MetricsSnapshot() *Snapshot {
 	}
 	if len(c.hists) > 0 {
 		snap.Histograms = make(map[string]HistogramStats, len(c.hists))
-		for k, vals := range c.hists {
-			snap.Histograms[k] = summarize(vals)
+		for k, h := range c.hists {
+			snap.Histograms[k] = h.stats()
 		}
 	}
 	return snap
+}
+
+// MergeSnapshot folds a remote snapshot into this collector: counters
+// accumulate, gauges take the remote value. Histogram summaries cannot be
+// merged losslessly, so their Sum/Count fold into "<name>.sum" /
+// "<name>.count" counters instead. This is how the controller absorbs
+// worker-side metric deltas shipped back in netio responses. Nil-safe on
+// both sides.
+func (c *Collector) MergeSnapshot(snap *Snapshot) {
+	if c == nil || snap == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range snap.Counters {
+		c.counters[k] += v
+	}
+	for k, v := range snap.Gauges {
+		c.gauges[k] = v
+	}
+	for k, st := range snap.Histograms {
+		c.counters[k+".sum"] += st.Sum
+		c.counters[k+".count"] += float64(st.Count)
+	}
 }
 
 // Trace returns a deep copy of the trace tree, detached from the
@@ -324,6 +443,25 @@ func copySpan(s *Span) *Span {
 		out.Children = append(out.Children, copySpan(ch))
 	}
 	return out
+}
+
+// Attach grafts a detached span subtree (e.g. one deserialized from a
+// remote worker's response) under this span as a new child, deep-copying
+// it so the caller's tree stays independent. This is the stitching
+// primitive for distributed traces. Nil-safe: a nil receiver or subtree
+// is a no-op.
+func (s *Span) Attach(sub *Span) {
+	if s == nil || sub == nil {
+		return
+	}
+	cp := copySpan(sub)
+	if s.c != nil {
+		s.c.mu.Lock()
+		defer s.c.mu.Unlock()
+	}
+	cp.parent = s
+	cp.c = s.c
+	s.Children = append(s.Children, cp)
 }
 
 // Find returns the descendant span reached by following the named path

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestSpanNesting(t *testing.T) {
@@ -138,6 +139,191 @@ func TestHistogramPercentiles(t *testing.T) {
 	one := c.MetricsSnapshot().Histograms["one"]
 	if one.P50 != 7 || one.P90 != 7 || one.P99 != 7 {
 		t.Fatalf("single-obs percentiles = %+v", one)
+	}
+}
+
+func TestPercentileBoundaries(t *testing.T) {
+	// n=1: every percentile is the single value (ceil(q*1)-1 = 0).
+	c := NewCollector()
+	c.Observe("one", 42)
+	st := c.MetricsSnapshot().Histograms["one"]
+	if st.P50 != 42 || st.P90 != 42 || st.P99 != 42 {
+		t.Fatalf("n=1 percentiles = %+v", st)
+	}
+
+	// Exact multiples: on n=100 of 1..100, q=0.99 must hit the 99th
+	// smallest value exactly, not round up to the 100th.
+	c2 := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c2.Observe("lat", float64(i))
+	}
+	lat := c2.MetricsSnapshot().Histograms["lat"]
+	if lat.P50 != 50 || lat.P90 != 90 || lat.P99 != 99 {
+		t.Fatalf("exact-multiple percentiles = %v/%v/%v, want 50/90/99", lat.P50, lat.P90, lat.P99)
+	}
+
+	// n=2: ceil(0.5*2)=1 → P50 is the smaller value; P99 the larger.
+	c3 := NewCollector()
+	c3.Observe("two", 10)
+	c3.Observe("two", 20)
+	two := c3.MetricsSnapshot().Histograms["two"]
+	if two.P50 != 10 || two.P99 != 20 {
+		t.Fatalf("n=2 percentiles = %+v", two)
+	}
+}
+
+func TestHistogramReservoirCap(t *testing.T) {
+	c := NewCollector()
+	n := HistogramCap * 3
+	for i := 0; i < n; i++ {
+		c.Observe("big", float64(i))
+	}
+	c.mu.Lock()
+	held := len(c.hists["big"].vals)
+	c.mu.Unlock()
+	if held != HistogramCap {
+		t.Fatalf("reservoir holds %d observations, want cap %d", held, HistogramCap)
+	}
+	st := c.MetricsSnapshot().Histograms["big"]
+	if st.Count != n {
+		t.Fatalf("Count = %d, want exact %d", st.Count, n)
+	}
+	if st.Min != 0 || st.Max != float64(n-1) {
+		t.Fatalf("min/max = %v/%v, want exact 0/%d", st.Min, st.Max, n-1)
+	}
+	if want := float64(n) * float64(n-1) / 2; st.Sum != want {
+		t.Fatalf("Sum = %v, want exact %v", st.Sum, want)
+	}
+	// The sampled median of a uniform 0..n-1 stream should land near the
+	// true median; a generous band guards against a broken reservoir.
+	if st.P50 < float64(n)/4 || st.P50 > 3*float64(n)/4 {
+		t.Fatalf("sampled P50 = %v wildly off for uniform 0..%d", st.P50, n-1)
+	}
+
+	// Determinism: the same observation sequence yields the same stats.
+	c2 := NewCollector()
+	for i := 0; i < n; i++ {
+		c2.Observe("big", float64(i))
+	}
+	if got := c2.MetricsSnapshot().Histograms["big"]; got != st {
+		t.Fatalf("seeded reservoir not reproducible: %+v vs %+v", got, st)
+	}
+}
+
+func TestEndStampsWallOnPoppedDescendants(t *testing.T) {
+	c := NewCollector(WithWallClock())
+	outer := c.StartSpan("outer")
+	mid := c.StartSpan("mid")
+	inner := c.StartSpan("inner")
+	_ = mid
+	_ = inner
+	time.Sleep(5 * time.Millisecond)
+	outer.End() // pops inner and mid implicitly
+	tr := c.Trace()
+	for _, path := range [][]string{{"outer"}, {"outer", "mid"}, {"outer", "mid", "inner"}} {
+		sp := tr.Find(path...)
+		if sp == nil {
+			t.Fatalf("span %v missing", path)
+		}
+		if sp.Wall <= 0 {
+			t.Fatalf("span %v popped by ancestor End has Wall = %v, want > 0", path, sp.Wall)
+		}
+	}
+}
+
+func TestAttachGraftsDetachedSubtree(t *testing.T) {
+	c := NewCollector()
+	q := c.StartSpan("query")
+	remote := &Span{Name: "map@site1", Wall: 0.25, Children: []*Span{
+		{Name: "combine", Wall: 0.1},
+	}}
+	q.Attach(remote)
+	q.End()
+	got := c.Trace().Find("query", "map@site1", "combine")
+	if got == nil || got.Wall != 0.1 {
+		t.Fatalf("grafted subtree = %+v", got)
+	}
+	// The graft is a copy: mutating the source must not leak in.
+	remote.Children[0].Wall = 99
+	if got := c.Trace().Find("query", "map@site1", "combine"); got.Wall != 0.1 {
+		t.Fatal("Attach did not deep-copy the subtree")
+	}
+	// Nil-safety.
+	var nilSpan *Span
+	nilSpan.Attach(remote)
+	q.Attach(nil)
+}
+
+func TestMergeSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.Count("shared", 1)
+	c.MergeSnapshot(&Snapshot{
+		Counters:   map[string]float64{"shared": 2, "remote.only": 5},
+		Gauges:     map[string]float64{"conns": 3},
+		Histograms: map[string]HistogramStats{"lat": {Count: 4, Sum: 8}},
+	})
+	snap := c.MetricsSnapshot()
+	if snap.Counters["shared"] != 3 || snap.Counters["remote.only"] != 5 {
+		t.Fatalf("merged counters = %+v", snap.Counters)
+	}
+	if snap.Gauges["conns"] != 3 {
+		t.Fatalf("merged gauges = %+v", snap.Gauges)
+	}
+	if snap.Counters["lat.sum"] != 8 || snap.Counters["lat.count"] != 4 {
+		t.Fatalf("histogram fold = %+v", snap.Counters)
+	}
+	c.MergeSnapshot(nil)
+	var nilC *Collector
+	nilC.MergeSnapshot(snap)
+}
+
+func TestEventLogConcurrentWriters(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	const writers, per = 8, 200
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.RecordEvent(Event{T: float64(i), Kind: "retry", Site: g})
+				if i%10 == 0 {
+					_ = c.EventLog() // concurrent reads must be safe too
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	log := c.EventLog()
+	if len(log) != writers*per {
+		t.Fatalf("event log holds %d events, want %d", len(log), writers*per)
+	}
+	// The copy is detached from later writes.
+	c.RecordEvent(Event{Kind: "late"})
+	if len(log) != writers*per {
+		t.Fatal("EventLog copy mutated by a later RecordEvent")
+	}
+}
+
+func TestFindMissingPaths(t *testing.T) {
+	c := NewCollector()
+	c.StartSpan("a").End()
+	tr := c.Trace()
+	if got := tr.Find("a", "b"); got != nil {
+		t.Fatalf("missing leaf = %+v", got)
+	}
+	if got := tr.Find("nope"); got != nil {
+		t.Fatalf("missing root child = %+v", got)
+	}
+	if got := tr.Find("a", "b", "c", "d"); got != nil {
+		t.Fatalf("deep missing path = %+v", got)
+	}
+	if got := tr.Find(); got != tr {
+		t.Fatal("empty path should return the receiver")
+	}
+	var nilSpan *Span
+	if got := nilSpan.Find("x"); got != nil {
+		t.Fatal("Find on nil span should be nil")
 	}
 }
 
