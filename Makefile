@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt-check race determinism bench bench-snapshot
+.PHONY: all build test check vet fmt-check race determinism fuzz-short golden bench bench-snapshot
 
 all: build
 
@@ -11,11 +11,13 @@ test:
 	$(GO) test ./...
 
 # check is the CI gate: static checks, the race detector on the packages
-# with real concurrency (engine's job runner, obs's collector plus its
-# export/critpath subpackages — covered by the ./internal/obs/... wildcard
-# — the live netio path and fault injector), and the report determinism
-# check.
-check: vet fmt-check race determinism
+# with real concurrency (engine's pooled job runner, the parallel worker
+# pool, olap's pooled cube builds, similarity's pooled signature/probe
+# kernels, obs's collector plus its export/critpath subpackages — covered
+# by the ./internal/obs/... wildcard — the live netio path and fault
+# injector), one short round of each fuzz harness, and the report
+# determinism check including cross-pool-width byte identity.
+check: vet fmt-check race fuzz-short determinism
 
 vet:
 	$(GO) vet ./...
@@ -28,10 +30,20 @@ fmt-check:
 
 race:
 	$(GO) test -race ./internal/engine/... ./internal/obs/... \
-		./internal/netio/... ./internal/faults/...
+		./internal/netio/... ./internal/faults/... \
+		./internal/parallel/... ./internal/olap/... ./internal/similarity/...
 
-# determinism: two bohrctl runs with the same seed and fault schedule
-# must emit byte-identical JSON reports.
+# fuzz-short runs each native fuzz target briefly against its checked-in
+# seed corpus — a smoke round, not a campaign. One -fuzz invocation per
+# package (a go test restriction).
+fuzz-short:
+	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime 5s
+	$(GO) test ./internal/faults -run '^$$' -fuzz FuzzParse -fuzztime 5s
+
+# determinism: two bohrctl runs with the same seed and fault schedule must
+# emit byte-identical JSON reports, and the report must be byte-identical
+# whether the parallel kernels run sequentially (width 1) or pooled
+# (width 8).
 determinism:
 	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	args="-workload bigdata-scan -scheme bohr -seed 7 -json -faults crash:site=2,start=40,end=70;degrade:site=0,start=0,end=120,factor=0.3"; \
@@ -43,7 +55,20 @@ determinism:
 	fi; \
 	grep -q '"fault_events"' "$$tmp/a.json" || \
 		{ echo "determinism: report missing fault_events"; exit 1; }; \
-	echo "determinism: OK (byte-identical faulted reports)"
+	BOHR_PARALLEL_WIDTH=1 $(GO) run ./cmd/bohrctl $$args > "$$tmp/w1.json"; \
+	BOHR_PARALLEL_WIDTH=8 $(GO) run ./cmd/bohrctl $$args > "$$tmp/w8.json"; \
+	if ! cmp -s "$$tmp/w1.json" "$$tmp/w8.json"; then \
+		echo "determinism: reports differ between pool width 1 and 8"; \
+		diff "$$tmp/w1.json" "$$tmp/w8.json" | head; exit 1; \
+	fi; \
+	echo "determinism: OK (byte-identical faulted reports, width-independent)"
+
+# golden rebuilds every checked-in golden file from current code. Run it
+# after an intentional schema or trace change, eyeball the diff, and bump
+# core.ReportSchemaVersion if the report layout moved.
+golden:
+	$(GO) test ./internal/experiments -run TestReportSchemaGolden -update
+	$(GO) test ./internal/obs/export -run TestChromeTraceGolden -update
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -51,4 +76,4 @@ bench:
 # bench-snapshot appends to the perf trajectory: one JSON document of
 # benchmark measurements per PR (BENCH_<tag>.json at the repo root).
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -tag pr3
+	$(GO) run ./cmd/benchsnap -tag pr4

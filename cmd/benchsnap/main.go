@@ -20,6 +20,10 @@ import (
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
 	"bohr/internal/obs/export"
+	"bohr/internal/olap"
+	"bohr/internal/parallel"
+	"bohr/internal/similarity"
+	"bohr/internal/stats"
 )
 
 // BenchResult is one benchmark's measurement.
@@ -85,10 +89,83 @@ func syntheticTrace(queries int) *obs.Span {
 	return &obs.Span{Name: "bohr", Children: []*obs.Span{run}}
 }
 
+// kernelRows generates the duplicate-heavy row set the cube-build kernel
+// benchmarks fold: a realistic pre-processing shape where many rows land
+// in the same cell.
+func kernelRows(n int) []olap.Row {
+	rng := stats.NewRand(42)
+	rows := make([]olap.Row, n)
+	for i := range rows {
+		rows[i] = olap.Row{
+			Coords: []string{
+				fmt.Sprintf("region-us-east-%d", rng.Intn(5)),
+				fmt.Sprintf("product-electronics-sku-%04d", rng.Intn(12)),
+				fmt.Sprintf("day-2018-11-%02d", rng.Intn(8)),
+			},
+			Measure: rng.Float64() * 100,
+		}
+	}
+	return rows
+}
+
+// kernelKeysets generates the probe key batches the minhash kernel
+// benchmarks sign.
+func kernelKeysets(sets, keys int) [][]string {
+	rng := stats.NewRand(43)
+	out := make([][]string, sets)
+	for i := range out {
+		ks := make([]string, keys)
+		for j := range ks {
+			ks[j] = fmt.Sprintf("cell-%d-%d", i, rng.Intn(keys*2))
+		}
+		out[i] = ks
+	}
+	return out
+}
+
+func benchCubeBuild(width int) func(*testing.B) {
+	return func(b *testing.B) {
+		schema := olap.MustSchema("region", "product", "day")
+		rows := kernelRows(120_000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := olap.BuildCube(schema, rows, width); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func benchMinhashBatch(width int) func(*testing.B) {
+	return func(b *testing.B) {
+		h, err := similarity.NewMinHasher(128, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keysets := kernelKeysets(64, 400)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sigs := h.SignatureBatch(keysets, width)
+			if len(sigs) != len(keysets) {
+				b.Fatalf("sigs = %d", len(sigs))
+			}
+		}
+	}
+}
+
 func main() {
-	tag := flag.String("tag", "pr3", "snapshot tag; output defaults to BENCH_<tag>.json")
+	tag := flag.String("tag", "pr4", "snapshot tag; output defaults to BENCH_<tag>.json")
 	out := flag.String("out", "", "output path (overrides -tag naming)")
+	benchtime := flag.String("benchtime", "2s", "per-benchmark measuring time (testing -benchtime)")
+	testing.Init()
 	flag.Parse()
+	// The default 1s benchtime gives the millisecond-scale kernels only
+	// ~100 iterations — too noisy for a number other PRs will compare
+	// against. 2s keeps the snapshot stable without making it crawl.
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: -benchtime %q: %v\n", *benchtime, err)
+		os.Exit(1)
+	}
 	path := *out
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", *tag)
@@ -127,7 +204,14 @@ func main() {
 				}
 			}
 		}},
+		{"CubeBuild120kRowsWidth1", benchCubeBuild(1)},
+		{"CubeBuild120kRowsWidth4", benchCubeBuild(4)},
+		{"MinhashBatch64x400Width1", benchMinhashBatch(1)},
+		{"MinhashBatch64x400Width4", benchMinhashBatch(4)},
 	}
+	// The width-4 kernels need a pool; make sure a narrow GOMAXPROCS or an
+	// inherited BOHR_PARALLEL_WIDTH=1 cannot silently serialize them.
+	parallel.SetDefaultWidth(4)
 
 	doc := &Snapshot{
 		Tag:       *tag,

@@ -23,6 +23,7 @@ import (
 
 	"bohr/internal/core"
 	"bohr/internal/experiments"
+	"bohr/internal/parallel"
 )
 
 func main() {
@@ -36,8 +37,10 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override random seed")
 		quick    = flag.Bool("quick", false, "use the small quick setup")
 		jsonOut  = flag.String("json", "", "write the machine-readable core.Report document to this file")
+		width    = flag.Int("width", 0, "worker pool width for parallel kernels (0 = GOMAXPROCS or $BOHR_PARALLEL_WIDTH, 1 = sequential)")
 	)
 	flag.Parse()
+	parallel.SetDefaultWidth(*width)
 
 	s := experiments.DefaultSetup()
 	if *quick {

@@ -22,6 +22,7 @@ import (
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
 	"bohr/internal/obs/export"
+	"bohr/internal/parallel"
 	"bohr/internal/placement"
 	"bohr/internal/sql"
 	"bohr/internal/stats"
@@ -56,7 +57,9 @@ func main() {
 	flag.BoolVar(&o.critPath, "critpath", false, "print each query's critical-path decomposition after the run")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's trace as Chrome trace-event JSON (chrome://tracing) to this file")
 	flag.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run (e.g. 127.0.0.1:9100)")
+	width := flag.Int("width", 0, "worker pool width for parallel kernels (0 = GOMAXPROCS or $BOHR_PARALLEL_WIDTH, 1 = sequential)")
 	flag.Parse()
+	parallel.SetDefaultWidth(*width)
 
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)

@@ -119,6 +119,13 @@ func RunDynamic(c *engine.Cluster, w *workload.Workload, scheme placement.Scheme
 		return delivered
 	}
 
+	// Dynamic mode replans over largely unchanged sites, so it memoizes
+	// the planner's per-site dimension cubes across rounds unless the
+	// caller brought its own cache.
+	if opts.CubeCache == nil {
+		opts.CubeCache = placement.NewCubeCache(opts.Obs)
+	}
+
 	// (1) Initial data and initial placement.
 	for _, ds := range w.Datasets {
 		deliver(ds.Name, dyn.InitialFraction)

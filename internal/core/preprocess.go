@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"bohr/internal/obs"
 	"bohr/internal/olap"
 	"bohr/internal/similarity"
 	"bohr/internal/workload"
@@ -57,6 +58,14 @@ func NewPreprocessor(ds *workload.Dataset) (*Preprocessor, error) {
 		p.Sites = append(p.Sites, cs)
 	}
 	return p, nil
+}
+
+// AttachObs wires every site's cube set to a metrics collector so
+// dimension-cube cache hits and misses surface in run reports.
+func (p *Preprocessor) AttachObs(col *obs.Collector) {
+	for _, cs := range p.Sites {
+		cs.AttachObs(col)
+	}
 }
 
 // Ingest buffers newly generated rows at a site: the base cube updates

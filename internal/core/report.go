@@ -13,8 +13,10 @@ import (
 // v2 added the resilience section (fault-event list + retry/timeout
 // counters) emitted by fault-injected runs. v3 added per-site children
 // under the trace's map/reduce stage spans and the crit_paths section
-// (per-query critical-path decomposition).
-const ReportSchemaVersion = 3
+// (per-query critical-path decomposition). v4 added the similarity-cache
+// hit/miss counters (olap.cubeset.*, similarity.sigcache.*,
+// placement.cubecache.*) to the metrics snapshot.
+const ReportSchemaVersion = 4
 
 // ResilienceReport captures a run's failure handling: the fault events
 // that fired on the modeled timeline and the resilience machinery's

@@ -95,6 +95,9 @@ func (s *System) Prepare() (*PrepareReport, error) {
 			s.Obs.RecordEvent(obs.Event{T: e.Start, Kind: e.Kind.String(), Site: e.Site, Detail: detail})
 		}
 	}
+	// Note: the pool width is deliberately NOT recorded in the metrics
+	// snapshot — reports must stay byte-identical across widths, which
+	// is the determinism gate `make check` enforces.
 	prep := s.Obs.StartSpan("prepare")
 	defer prep.End()
 	plan, err := placement.PlanScheme(s.Scheme, s.Cluster, s.Workload, opts)

@@ -6,6 +6,7 @@ import (
 
 	"bohr/internal/faults"
 	"bohr/internal/obs"
+	"bohr/internal/parallel"
 	"bohr/internal/wan"
 )
 
@@ -199,11 +200,29 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 			}
 			states[ji] = st
 			jobFlowStart := len(flows)
-			for i := 0; i < n; i++ {
-				inter, raw, mapT, assignT, err := c.mapAndCombineOpts(job.input[i], job.q, i, job.assigner, job.ppe, job.cube)
-				if err != nil {
-					return nil, fmt.Errorf("engine: job %d site %d round %d: %w", ji, i, round, err)
+			// Per-site map+combine stages are independent (they read the
+			// site's own input and the shared read-only query/assigner), so
+			// they fan out over the worker pool; everything that touches
+			// shared state — metric observation, shuffle routing, flow
+			// accumulation — folds the pooled results sequentially in site
+			// order below, preserving the sequential path byte for byte.
+			type siteMapOut struct {
+				inter         []KV
+				raw           int
+				mapT, assignT float64
+			}
+			outs, err := parallel.MapOrdered(0, n, func(i int) (siteMapOut, error) {
+				inter, raw, mapT, assignT, merr := c.mapAndCombineOpts(job.input[i], job.q, i, job.assigner, job.ppe, job.cube)
+				if merr != nil {
+					return siteMapOut{}, fmt.Errorf("engine: job %d site %d round %d: %w", ji, i, round, merr)
 				}
+				return siteMapOut{inter: inter, raw: raw, mapT: mapT, assignT: assignT}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < n; i++ {
+				inter, raw, mapT, assignT := outs[i].inter, outs[i].raw, outs[i].mapT, outs[i].assignT
 				if raw > 0 && job.cfg.Obs != nil {
 					job.cfg.Obs.Observe("combine.reduction.ratio", 1-float64(len(inter))/float64(raw))
 				}

@@ -1,0 +1,47 @@
+package faults
+
+import "testing"
+
+// FuzzParse checks the fault-spec parser's total behavior on arbitrary
+// input: it either returns an error or a validated schedule whose String
+// rendering round-trips — Parse(s.String()).String() == s.String() — and
+// it never panics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"crash:site=2,start=40,end=70",
+		"degrade:site=0,start=0,end=120,factor=0.3",
+		"crash:site=2,start=40,end=70;degrade:site=0,start=30,end=90,factor=0.25",
+		"partition:site=1,start=10,end=20;flaky:site=3,start=0,end=5,prob=0.1",
+		"slow:site=0,start=1,end=2,delay_ms=250",
+		"crash:",
+		"crash",
+		"bogus:site=1,start=0,end=1",
+		"crash:site=x,start=0,end=1",
+		"crash:site=1,start=5,end=1",
+		"crash:site=1,start=0,end=1,wat=3",
+		";;;",
+		"crash:site=2.9,start=0,end=1",
+		"degrade:site=0,start=0,end=1,factor=NaN",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatalf("Parse(%q) returned nil schedule and nil error", spec)
+		}
+		canon := s.String()
+		rt, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q) succeeded but canonical form %q does not re-parse: %v", spec, canon, err)
+		}
+		if got := rt.String(); got != canon {
+			t.Fatalf("round-trip drifted for %q: %q -> %q", spec, canon, got)
+		}
+	})
+}

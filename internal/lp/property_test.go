@@ -1,0 +1,134 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomInput builds a random but valid placement problem: 3–6 sites with
+// uplink/downlink in [5,50] MB/s, 1–3 datasets with inputs in [0,100] MB
+// and similarities in [0,1].
+func randomInput(rng *rand.Rand) *PlacementInput {
+	n := 3 + rng.Intn(4)
+	m := 1 + rng.Intn(3)
+	in := &PlacementInput{
+		Sites:    n,
+		Datasets: m,
+		Up:       make([]float64, n),
+		Down:     make([]float64, n),
+		Lag:      5 + rng.Float64()*30,
+	}
+	for i := 0; i < n; i++ {
+		in.Up[i] = 5 + rng.Float64()*45
+		in.Down[i] = 5 + rng.Float64()*45
+	}
+	for a := 0; a < m; a++ {
+		input := make([]float64, n)
+		self := make([]float64, n)
+		cross := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			input[i] = rng.Float64() * 100
+			self[i] = rng.Float64()
+			cross[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				cross[i][j] = rng.Float64()
+			}
+			cross[i][i] = self[i]
+		}
+		in.Input = append(in.Input, input)
+		in.SelfSim = append(in.SelfSim, self)
+		in.CrossSim = append(in.CrossSim, cross)
+		in.Reduction = append(in.Reduction, rng.Float64()*2)
+	}
+	return in
+}
+
+// uplinkProportional is the prior-work task-fraction heuristic the
+// alternating solver starts from: r_i ∝ U_i.
+func uplinkProportional(in *PlacementInput) []float64 {
+	r := make([]float64, in.Sites)
+	var total float64
+	for _, u := range in.Up {
+		total += u
+	}
+	for i := range r {
+		r[i] = in.Up[i] / total
+	}
+	return r
+}
+
+// TestSolvePlacementNeverWorseThanNoMoveBaseline is a property test over
+// random topologies: the joint LP starts from (no moves, uplink-
+// proportional task fractions) and monotonically descends, so its
+// objective must never exceed that baseline. Fixed seeds keep the test
+// deterministic.
+func TestSolvePlacementNeverWorseThanNoMoveBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 25; trial++ {
+		in := randomInput(rng)
+		baseline := in.ShuffleTimeFor(nil, uplinkProportional(in))
+		plan, err := SolvePlacement(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if plan.ShuffleTime > baseline*(1+1e-6)+1e-9 {
+			t.Errorf("trial %d (%d sites, %d datasets): objective %.6f worse than no-move baseline %.6f",
+				trial, in.Sites, in.Datasets, plan.ShuffleTime, baseline)
+		}
+		// Structural sanity of the plan itself.
+		var rSum float64
+		for i, r := range plan.TaskFrac {
+			if r < -1e-9 {
+				t.Errorf("trial %d: negative task fraction %v at site %d", trial, r, i)
+			}
+			rSum += r
+		}
+		if math.Abs(rSum-1) > 1e-6 {
+			t.Errorf("trial %d: task fractions sum to %v, want 1", trial, rSum)
+		}
+		for a := 0; a < in.Datasets; a++ {
+			for i := 0; i < in.Sites; i++ {
+				var moved float64
+				for j := 0; j < in.Sites; j++ {
+					if x := plan.Move[a][i][j]; x < -1e-9 {
+						t.Errorf("trial %d: negative move x[%d][%d][%d]=%v", trial, a, i, j, x)
+					} else if j != i {
+						moved += x
+					}
+				}
+				if moved > in.Input[a][i]*(1+1e-6)+1e-6 {
+					t.Errorf("trial %d: dataset %d site %d moves %v MB of %v MB present", trial, a, i, moved, in.Input[a][i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolvePlacementNeverWorseThanCentralized compares against the
+// centralized strawman: leave data in place and run every reduce task at
+// the single best site. The alternating LP optimizes r exactly for its
+// final move plan, so it must beat (or tie) the best one-hot assignment
+// as well as the proportional heuristic.
+func TestSolvePlacementNeverWorseThanCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 25; trial++ {
+		in := randomInput(rng)
+		central := math.Inf(1)
+		for j := 0; j < in.Sites; j++ {
+			r := make([]float64, in.Sites)
+			r[j] = 1
+			if v := in.ShuffleTimeFor(nil, r); v < central {
+				central = v
+			}
+		}
+		plan, err := SolvePlacement(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if plan.ShuffleTime > central*(1+1e-6)+1e-9 {
+			t.Errorf("trial %d (%d sites, %d datasets): objective %.6f worse than centralized baseline %.6f",
+				trial, in.Sites, in.Datasets, plan.ShuffleTime, central)
+		}
+	}
+}

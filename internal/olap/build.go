@@ -1,0 +1,496 @@
+package olap
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"bohr/internal/parallel"
+)
+
+// Chunk grains are FIXED — derived from the input, never from the pool
+// width — so the per-chunk float reduction tree, and hence every folded
+// Sum bit pattern, is identical whether the chunks run on one goroutine
+// or sixteen. Only the merge order matters after that, and the merge
+// always walks chunks in index order.
+const (
+	// buildGrain is the rows-per-chunk grain of BuildCube. It is large
+	// because every chunk pays a merge pass over its distinct cells: a
+	// coarse grain amortizes that against the per-row fold savings while
+	// still giving a 120k-row build four-way parallelism.
+	buildGrain = 32768
+	// dimCubeGrain is the cells-per-chunk grain of pooled DimensionCube.
+	dimCubeGrain = 2048
+	// dimCubePooledMin is the cell count below which DimensionCube stays
+	// on the plain sequential path (chunk + merge overhead would dominate).
+	dimCubePooledMin = 4096
+)
+
+// cellTable is an open-addressed (linear probing) index from cell-key
+// hash to position in a cube's order slice. The pooled fold uses it in
+// place of a Go string map: one PACKED 8-byte entry per slot — the top
+// 32 bits of the key hash as a tag, the order index plus one in the low
+// 32 — so a 2304-cell chunk probes a 64KB table that sits in L2, and
+// nearly every probe resolves on a single word compare with key-byte
+// verification only on tag match. (A false tag match is just a longer
+// probe; the verification keeps it correct.) It starts small regardless
+// of row count — cube builds are duplicate-heavy, so the table tracks
+// DISTINCT cells and growing a few times is far cheaper than probing a
+// row-sized, cache-cold table. Purely chunk-local and discarded after
+// the build.
+type cellTable struct {
+	mask    uint64
+	entries []uint64 // tag<<32 | idx+1; 0 = empty
+	used    int
+	hashes  []uint64 // full hash per order index, for grow and merge
+}
+
+func newCellTable() *cellTable {
+	// 2048 slots = one 16KB, L1-resident allocation: big enough that the
+	// common duplicate-heavy chunk (a few hundred to a thousand distinct
+	// cells) never grows, cheap to rebuild once or twice when it does.
+	const size = 2048
+	return &cellTable{
+		mask:    size - 1,
+		entries: make([]uint64, size),
+		hashes:  make([]uint64, 0, size/2),
+	}
+}
+
+func slotFor(h uint64, idx int32) uint64 {
+	return h&0xffffffff00000000 | uint64(uint32(idx)+1)
+}
+
+// grow doubles the table and reinserts every occupied slot, re-deriving
+// each slot's home position from the stored full hash.
+func (t *cellTable) grow() {
+	size := (t.mask + 1) * 2
+	t.mask = size - 1
+	t.entries = make([]uint64, size)
+	for idx, h := range t.hashes {
+		j := h & t.mask
+		for t.entries[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.entries[j] = slotFor(h, int32(idx))
+	}
+}
+
+// add records hash h for the next order index (which it returns) and
+// inserts it at slot j, growing at load factor 1/2.
+func (t *cellTable) add(j, h uint64) int32 {
+	idx := int32(len(t.hashes))
+	t.hashes = append(t.hashes, h)
+	t.entries[j] = slotFor(h, idx)
+	t.used++
+	if uint64(t.used)*2 > t.mask {
+		t.grow()
+	}
+	return idx
+}
+
+// SWAR byte masks for separator detection a word at a time.
+const (
+	swarLo  uint64 = 0x0101010101010101
+	swarHi  uint64 = 0x8080808080808080
+	sepWord uint64 = swarLo * uint64(sep)
+)
+
+// sepMask01 returns a word with 0x01 in every byte of w that equals the
+// reserved separator, using the exact zero-byte mask from Hacker's
+// Delight on w ^ sepWord (per-byte, no cross-byte borrow, so adjacent
+// byte values can never produce a false byte — the cheaper Mycroft mask
+// can). sep is non-zero, so zero padding bytes in a short tail word are
+// never flagged. Callers accumulate these masks bytewise and take one
+// horizontal sum at the end instead of a popcount per word.
+func sepMask01(w uint64) uint64 {
+	x := w ^ sepWord // sep bytes of w become zero bytes of x
+	y := (x & ^swarHi) + ^swarHi
+	return (^(y | x | ^swarHi)) >> 7
+}
+
+// hashKey hashes the joined cell key: FNV-style word-at-a-time over the
+// contiguous buffer with the tail read as one zero-padded word, finished
+// with a strong avalanche (the table masks with the LOW bits, which raw
+// FNV mixes poorly). Internal to the fold, never persisted, so it only
+// needs to be fast and well-mixed, not stable across releases. (A
+// per-coordinate variant that skips the join measured meaningfully
+// slower — the single tight loop over contiguous bytes wins.)
+//
+// The second return is the number of separator bytes in the key, counted
+// in the same word loads the hash consumes: a clean nd-coordinate key
+// has exactly nd-1, so the fold detects coordinate validation failures
+// without running strings.IndexByte per coordinate and only rescans to
+// locate the offending coordinate on the error path.
+func hashKey(b []byte) (uint64, int) {
+	const (
+		offset  uint64 = 14695981039346656037
+		offset2 uint64 = 0x9e3779b97f4a7c15
+		prime   uint64 = 1099511628211
+	)
+	// Two independent lanes over alternating words break the serial
+	// xor-multiply dependency chain in half; they are combined before the
+	// final avalanche.
+	h1, h2 := offset, offset2
+	var sepAcc uint64
+	n := len(b)
+	j := 0
+	for ; j+16 <= n; j += 16 {
+		w1 := uint64(b[j]) | uint64(b[j+1])<<8 | uint64(b[j+2])<<16 | uint64(b[j+3])<<24 |
+			uint64(b[j+4])<<32 | uint64(b[j+5])<<40 | uint64(b[j+6])<<48 | uint64(b[j+7])<<56
+		w2 := uint64(b[j+8]) | uint64(b[j+9])<<8 | uint64(b[j+10])<<16 | uint64(b[j+11])<<24 |
+			uint64(b[j+12])<<32 | uint64(b[j+13])<<40 | uint64(b[j+14])<<48 | uint64(b[j+15])<<56
+		sepAcc += sepMask01(w1) + sepMask01(w2)
+		h1 = (h1 ^ w1) * prime
+		h2 = (h2 ^ w2) * prime
+	}
+	if j+8 <= n {
+		w := uint64(b[j]) | uint64(b[j+1])<<8 | uint64(b[j+2])<<16 | uint64(b[j+3])<<24 |
+			uint64(b[j+4])<<32 | uint64(b[j+5])<<40 | uint64(b[j+6])<<48 | uint64(b[j+7])<<56
+		sepAcc += sepMask01(w)
+		h1 = (h1 ^ w) * prime
+		j += 8
+	}
+	if j < n {
+		var w uint64
+		for k := 0; j+k < n; k++ {
+			w |= uint64(b[j+k]) << (8 * uint(k))
+		}
+		sepAcc += sepMask01(w)
+		h2 = (h2 ^ w) * prime
+	}
+	var seps int
+	if n < 256 {
+		// Each byte lane of sepAcc accumulated at most n/8 < 32 hits and
+		// the horizontal sum is at most n < 256, so the multiply-shift
+		// sum is exact.
+		seps = int((sepAcc * swarLo) >> 56)
+	} else {
+		// Huge keys (never produced by realistic schemas) overflow the
+		// bytewise accumulator's horizontal sum; count directly.
+		seps = bytes.Count(b, sepByte)
+	}
+	h := h1 ^ (h2 * prime)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h, seps
+}
+
+// sepByte is the separator as a one-byte slice for bytes.Count.
+var sepByte = []byte{sep}
+
+// splitKey slices the joined key back into per-dimension coordinates
+// that SHARE the key's backing array — one allocation for the header
+// slice instead of one per coordinate string.
+func splitKey(key string, nd int) []string {
+	coords := make([]string, 0, nd)
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == sep {
+			coords = append(coords, key[start:i])
+			start = i + 1
+		}
+	}
+	return append(coords, key[start:])
+}
+
+// appendCellKey appends coords joined by sep to buf, returning the grown
+// buffer and the index of the first coordinate containing the reserved
+// separator (-1 when the key is clean). Single pass, no allocation.
+func appendCellKey(buf []byte, coords []string) ([]byte, int) {
+	for i, v := range coords {
+		if i > 0 {
+			buf = append(buf, sep)
+		}
+		if strings.IndexByte(v, sep) >= 0 {
+			return buf, i
+		}
+		buf = append(buf, v...)
+	}
+	return buf, -1
+}
+
+// cellArenaBlock is the cells-per-allocation granule of foldChunk's
+// cell arena.
+const cellArenaBlock = 512
+
+// tagMask/idxMask split a packed cellTable entry.
+const (
+	tagMask uint64 = 0xffffffff00000000
+	idxMask uint64 = 0x00000000ffffffff
+)
+
+// foldPartial is one chunk's fold output: the partial cube (cells only
+// in order — its string map stays empty and its cells carry no Coords
+// yet), plus the chunk's hash table (which retains every cell's full
+// hash) and the joined keys packed back-to-back in one byte arena. The
+// merge reuses hashes and key spans directly; key STRINGS — and the
+// cells' Coords substrings of them — are materialized exactly once, for
+// the merged survivors only.
+type foldPartial struct {
+	cube  *Cube
+	table *cellTable
+	arena []byte   // joined keys, concatenated in order
+	offs  []uint32 // key k spans arena[offs[k]:offs[k+1]]
+}
+
+func (fp *foldPartial) key(k int32) []byte { return fp.arena[fp.offs[k]:fp.offs[k+1]] }
+
+// foldChunk folds rows[lo:hi] into a fresh partial cube. The per-row
+// cost is one joined-key copy onto the arena tail (dropped again if the
+// cell already exists), one word-wise hash with the separator validation
+// fused into the same loads, and one packed-table probe that usually
+// resolves on a single word compare with one bytes.Equal to confirm —
+// versus Insert's strings.Join allocation, per-coordinate validation
+// scans, and Go-map probe. No per-row or per-cell heap object is
+// allocated. Row errors carry the GLOBAL row index so the pooled path
+// reports the same "row %d: …" the sequential InsertAll does, at the
+// same first offending row.
+func foldChunk(schema *Schema, rows []Row, lo, hi int) (*foldPartial, error) {
+	nd := schema.NumDims()
+	fp := &foldPartial{
+		cube:  &Cube{schema: schema, cells: map[string]*Cell{}},
+		table: newCellTable(),
+		arena: make([]byte, 0, 128<<10),
+		offs:  make([]uint32, 1, 2048),
+	}
+	// Cells are block-allocated: one 512-cell slab replaces 512 separate
+	// allocations, and the hot Sum/Count updates land in a handful of
+	// contiguous slabs instead of scattered heap objects. Appends below
+	// never exceed cap, so &cellArena[i] pointers stay stable.
+	cellArena := make([]Cell, 0, cellArenaBlock)
+	for i := lo; i < hi; i++ {
+		r := rows[i]
+		if len(r.Coords) != nd {
+			return nil, fmt.Errorf("row %d: olap: insert: row has %d coords, schema has %d dims",
+				i, len(r.Coords), nd)
+		}
+		// Join the row's key onto the arena tail by hand: one capacity
+		// check and one copy per coordinate, no per-append bookkeeping.
+		start := len(fp.arena)
+		need := nd - 1
+		for _, v := range r.Coords {
+			need += len(v)
+		}
+		if cap(fp.arena)-start < need {
+			grown := make([]byte, start, 2*(start+need))
+			copy(grown, fp.arena)
+			fp.arena = grown
+		}
+		// buf addresses the spare capacity past len; the arena length is
+		// only committed when the key turns out to be a NEW cell, so the
+		// duplicate path (the common one) never touches the length at all.
+		buf := fp.arena[start : start+need]
+		pos := 0
+		for ci, v := range r.Coords {
+			if ci > 0 {
+				buf[pos] = sep
+				pos++
+			}
+			pos += copy(buf[pos:], v)
+		}
+		h, seps := hashKey(buf)
+		if seps != nd-1 {
+			// A joined nd-coordinate key always carries exactly nd-1
+			// separators, so a mismatch means some coordinate contains
+			// one; rescan slowly to name it in InsertAll's exact error.
+			for ci, v := range r.Coords {
+				if strings.IndexByte(v, sep) >= 0 {
+					return nil, fmt.Errorf("row %d: olap: insert: coord %d contains reserved separator", i, ci)
+				}
+			}
+			return nil, fmt.Errorf("row %d: olap: insert: separator count mismatch", i)
+		}
+		t := fp.table
+		tag := h & tagMask
+		var cell *Cell
+		// Local copies let the compiler keep the probe loop free of field
+		// reloads, and deriving the mask from len(entries) proves the
+		// index in bounds; add() may swap t.entries on grow, but only
+		// after the loop has already broken.
+		entries := t.entries
+		mask := uint64(len(entries) - 1)
+		j := h & mask
+		for {
+			e := entries[j&mask]
+			if e == 0 {
+				if len(cellArena) == cap(cellArena) {
+					cellArena = make([]Cell, 0, cellArenaBlock)
+				}
+				cellArena = append(cellArena, Cell{})
+				cell = &cellArena[len(cellArena)-1]
+				fp.cube.order = append(fp.cube.order, cell)
+				fp.arena = fp.arena[:start+need] // new cell: commit the key copy
+				fp.offs = append(fp.offs, uint32(len(fp.arena)))
+				t.add(j&mask, h)
+				break
+			}
+			if e&tagMask == tag {
+				idx := int32(e&idxMask) - 1
+				if bytes.Equal(fp.key(idx), buf) {
+					cell = fp.cube.order[idx]
+					break
+				}
+			}
+			j++
+		}
+		cell.Sum += r.Measure
+		cell.Count++
+	}
+	// Rows and generation are bumped once per chunk, not per row: a fold
+	// that errors leaves them unset, which is fine — the callers discard
+	// the partial on any error.
+	fp.cube.rows += hi - lo
+	fp.cube.gen += uint64(hi - lo)
+	return fp, nil
+}
+
+// mergeInto folds p's cells into base, reusing the hashes and key spans
+// both folds already computed: every merge step is a packed-table probe
+// of base's table, and no joined key is ever rebuilt or converted to a
+// string. Cell order is first-occurrence in chunk order, matching the
+// sequential reference.
+func (base *foldPartial) mergeInto(p *foldPartial) {
+	t := base.table
+	for k, cell := range p.cube.order {
+		h := p.table.hashes[k]
+		key := p.key(int32(k))
+		tag := h & tagMask
+		entries := t.entries // reloaded each cell: add() may grow the table
+		mask := uint64(len(entries) - 1)
+		j := h & mask
+		for {
+			e := entries[j&mask]
+			if e == 0 {
+				base.cube.order = append(base.cube.order, cell)
+				base.arena = append(base.arena, key...)
+				base.offs = append(base.offs, uint32(len(base.arena)))
+				t.add(j&mask, h)
+				break
+			}
+			if e&tagMask == tag {
+				idx := int32(e&idxMask) - 1
+				if bytes.Equal(base.key(idx), key) {
+					dst := base.cube.order[idx]
+					dst.Sum += cell.Sum
+					dst.Count += cell.Count
+					break
+				}
+			}
+			j++
+		}
+	}
+	base.cube.rows += p.cube.rows
+	base.cube.gen += p.cube.gen
+}
+
+// absorb folds every cell of p into c, preserving p's cell order for
+// first occurrences. Called chunk-by-chunk in index order by the pooled
+// builders, so the merge — like the chunks — is deterministic.
+func (c *Cube) absorb(p *Cube) {
+	var buf []byte
+	for _, cell := range p.order {
+		buf, _ = appendCellKey(buf[:0], cell.Coords)
+		dst, ok := c.cells[string(buf)]
+		if !ok {
+			c.cells[string(buf)] = cell
+			c.order = append(c.order, cell)
+			continue
+		}
+		dst.Sum += cell.Sum
+		dst.Count += cell.Count
+	}
+	c.rows += p.rows
+	c.gen += uint64(len(p.order))
+}
+
+// BuildCube constructs a cube over schema from rows. Width <= 1 (after
+// resolving 0 to the process default) runs the plain reference path —
+// NewCube + InsertAll, byte-for-byte the sequential semantics the
+// determinism gate pins. Width > 1 folds fixed-grain row chunks into
+// per-chunk partial cubes on the worker pool and merges them in chunk
+// order: Counts and cell order match the reference exactly, and because
+// the chunk grain is width-independent the float Sums are bit-identical
+// at every width > 1 too. (Sums can differ from the width-1 fold in the
+// last ulps — float addition is not associative — which is why nothing
+// serialized by core.Report ever reads a cube Sum.)
+func BuildCube(schema *Schema, rows []Row, width int) (*Cube, error) {
+	width = parallel.Resolve(width)
+	if width <= 1 || len(rows) <= buildGrain {
+		out := NewCube(schema)
+		if err := out.InsertAll(rows); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	chunks := parallel.Chunks(len(rows), buildGrain)
+	partials, err := parallel.MapOrdered(width, len(chunks), func(ci int) (*foldPartial, error) {
+		lo, hi := chunks[ci][0], chunks[ci][1]
+		return foldChunk(schema, rows, lo, hi)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge later chunks into the first, reusing chunk 0's hash table and
+	// the hashes and key spans every fold already computed; then
+	// materialize, for the merged survivors only, the key strings (with
+	// each cell's Coords as substrings of its key — one backing array per
+	// cell) and the string cell index the finished cube's Lookup needs.
+	base := partials[0]
+	for _, p := range partials[1:] {
+		base.mergeInto(p)
+	}
+	out := base.cube
+	nd := schema.NumDims()
+	for i, cell := range out.order {
+		k := string(base.key(int32(i)))
+		cell.Coords = splitKey(k, nd)
+		out.cells[k] = cell
+	}
+	return out, nil
+}
+
+// dimensionCubePooled is DimensionCube's pooled fast path: project and
+// fold fixed-grain chunks of the cell order into partial cubes, merge in
+// chunk order. Returns nil when the cube is small or the pool width is 1,
+// sending the caller down the sequential path.
+func (c *Cube) dimensionCubePooled(ns *Schema, srcIdx []int) *Cube {
+	width := parallel.DefaultWidth()
+	if width <= 1 || len(c.order) < dimCubePooledMin {
+		return nil
+	}
+	chunks := parallel.Chunks(len(c.order), dimCubeGrain)
+	partials, err := parallel.MapOrdered(width, len(chunks), func(ci int) (*Cube, error) {
+		lo, hi := chunks[ci][0], chunks[ci][1]
+		p := &Cube{schema: ns, cells: make(map[string]*Cell, hi-lo)}
+		var buf []byte
+		coords := make([]string, len(srcIdx))
+		for _, cell := range c.order[lo:hi] {
+			for i, si := range srcIdx {
+				coords[i] = cell.Coords[si]
+			}
+			buf, _ = appendCellKey(buf[:0], coords)
+			dst, ok := p.cells[string(buf)]
+			if !ok {
+				dst = &Cell{Coords: append([]string(nil), coords...)}
+				p.cells[string(buf)] = dst
+				p.order = append(p.order, dst)
+			}
+			dst.Sum += cell.Sum
+			dst.Count += cell.Count
+		}
+		return p, nil
+	})
+	if err != nil { // projection cannot fail; defensive
+		return nil
+	}
+	out := partials[0]
+	for _, p := range partials[1:] {
+		out.absorb(p)
+	}
+	out.rows = c.rows
+	return out
+}

@@ -1,0 +1,221 @@
+package olap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestCellsImmutableAfterMutation pins the immutability contract: the
+// slice Cells returns — coordinates included — must not change when the
+// cube is mutated afterwards, and mutating the returned cells must not
+// corrupt the cube.
+func TestCellsImmutableAfterMutation(t *testing.T) {
+	c := NewCube(MustSchema("a", "b"))
+	rows := []Row{
+		{Coords: []string{"x", "1"}, Measure: 2},
+		{Coords: []string{"y", "2"}, Measure: 3},
+	}
+	if err := c.InsertAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Cells()
+	before := fmt.Sprint(snap)
+
+	// Mutate the cube after the snapshot.
+	if err := c.Insert(Row{Coords: []string{"x", "1"}, Measure: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(Row{Coords: []string{"z", "3"}, Measure: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(snap); got != before {
+		t.Errorf("snapshot changed after cube mutation:\nbefore %s\nafter  %s", before, got)
+	}
+
+	// Mutate the snapshot; the cube must be unaffected.
+	snap[0].Coords[0] = "corrupted"
+	snap[0].Sum = -1e9
+	if _, ok := c.Lookup("corrupted", "1"); ok {
+		t.Error("mutating a returned cell's coords leaked into the cube")
+	}
+	cell, ok := c.Lookup("x", "1")
+	if !ok || cell.Sum != 12 {
+		t.Errorf("cube cell damaged by snapshot mutation: %+v ok=%v", cell, ok)
+	}
+}
+
+// TestTopCellsTieBreakDeterministic builds a cube where every cell has
+// the same count, in several different insertion orders, and checks the
+// TopCells head is identical — the (count desc, key asc) order is total,
+// so insertion order must not show through.
+func TestTopCellsTieBreakDeterministic(t *testing.T) {
+	schema := MustSchema("k")
+	rows := make([]Row, 9)
+	for i := range rows {
+		rows[i] = Row{Coords: []string{fmt.Sprintf("v%d", i)}, Measure: 1}
+	}
+	var want string
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 6; trial++ {
+		shuffled := append([]Row(nil), rows...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		c := NewCube(schema)
+		if err := c.InsertAll(shuffled); err != nil {
+			t.Fatal(err)
+		}
+		var got string
+		for _, cell := range c.TopCells(5) {
+			got += key(cell.Coords) + ";"
+		}
+		if trial == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("trial %d: TopCells order %q differs from %q despite all-tied counts", trial, got, want)
+		}
+	}
+}
+
+// TestCubeConcurrentReads stress-tests the documented contract that all
+// read methods are safe concurrently (run under -race in make check):
+// many goroutines read every accessor while no writer runs.
+func TestCubeConcurrentReads(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c, _ := randomCube(t, rng, 2000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = c.Cells()
+				_ = c.TopCells(3)
+				_ = c.TotalMeasure()
+				_ = c.TotalCount()
+				_, _ = c.Lookup("r0", "p0", "d0")
+				if _, err := c.RollUp("day"); err != nil {
+					t.Error(err)
+				}
+				if _, err := c.DimensionCube("region"); err != nil {
+					t.Error(err)
+				}
+				_ = c.Clone()
+				_ = c.StorageBytes()
+				_ = c.Generation()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestGenerationTracksMutations pins the generation counter the CubeSet
+// memo layer keys on: every inserted row advances it, derived cubes and
+// reads do not.
+func TestGenerationTracksMutations(t *testing.T) {
+	c := NewCube(MustSchema("a", "b"))
+	if c.Generation() != 0 {
+		t.Fatalf("fresh cube generation %d, want 0", c.Generation())
+	}
+	if err := c.InsertAll([]Row{{Coords: []string{"x", "1"}, Measure: 1}, {Coords: []string{"y", "2"}, Measure: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 2 {
+		t.Fatalf("generation %d after 2 inserts, want 2", c.Generation())
+	}
+	_ = c.Cells()
+	if _, err := c.RollUp("b"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 2 {
+		t.Fatalf("generation moved to %d on read-only operations", c.Generation())
+	}
+	// A duplicate coordinate still mutates state (sum/count) and must bump.
+	if err := c.Insert(Row{Coords: []string{"x", "1"}, Measure: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != 3 {
+		t.Fatalf("generation %d after duplicate-key insert, want 3", c.Generation())
+	}
+}
+
+// TestCubeSetCacheHitMiss exercises the versioned memo: a repeated
+// Prepare with no new rows is a hit; buffered rows or base-cube movement
+// invalidate and count a miss.
+func TestCubeSetCacheHitMiss(t *testing.T) {
+	cs := NewCubeSet(MustSchema("a", "b"))
+	if err := cs.Insert(Row{Coords: []string{"x", "1"}, Measure: 1}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := cs.RegisterQueryType([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RegisterQueryType builds the dimension cube eagerly, so both of
+	// these Prepares find it current: hits.
+	if _, err := cs.Prepare(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Prepare(id); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cs.CacheStats()
+	if hits != 2 || misses != 0 {
+		t.Fatalf("after two unchanged prepares: hits=%d misses=%d, want 2/0", hits, misses)
+	}
+	if err := cs.Insert(Row{Coords: []string{"y", "2"}, Measure: 2}); err != nil {
+		t.Fatal(err)
+	}
+	dc, err := cs.Prepare(id) // buffered row → miss, incremental fold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.TotalCount() != 2 {
+		t.Fatalf("prepared cube count %d, want 2", dc.TotalCount())
+	}
+	hits, misses = cs.CacheStats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("after invalidating insert: hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+// TestBuildCubePooledConcurrentStress runs several pooled builds at
+// width > 1 simultaneously (meaningful under -race): the builds share
+// nothing and must all agree with the sequential reference.
+func TestBuildCubePooledConcurrentStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	schema := MustSchema("region", "product", "day")
+	n := buildGrain*2 + 53
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Coords: []string{
+				fmt.Sprintf("r%d", rng.Intn(4)),
+				fmt.Sprintf("p%d", rng.Intn(4)),
+				fmt.Sprintf("d%d", rng.Intn(4)),
+			},
+			Measure: rng.Float64(),
+		}
+	}
+	ref := NewCube(schema)
+	if err := ref.InsertAll(rows); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := BuildCube(schema, rows, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if c.NumCells() != ref.NumCells() || c.TotalCount() != ref.TotalCount() {
+				t.Errorf("pooled build diverged: cells %d/%d count %d/%d",
+					c.NumCells(), ref.NumCells(), c.TotalCount(), ref.TotalCount())
+			}
+		}()
+	}
+	wg.Wait()
+}

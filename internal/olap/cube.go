@@ -19,10 +19,28 @@ type Cell struct {
 }
 
 // Cube is a sparse multi-dimensional OLAP cube.
+//
+// Concurrency contract: a Cube is NOT self-synchronized. Any number of
+// goroutines may call read-only methods (Lookup, Cells, TopCells,
+// Total*, Slice, Dice, RollUp*, DimensionCube, Pivot, Clone,
+// StorageBytes) concurrently, but mutation (Insert, InsertAll, add)
+// must not overlap with reads or other mutations — CubeSet is the
+// synchronized wrapper for mixed workloads. Cells and TopCells return
+// fully independent copies (coordinate slices included), so holding a
+// result across later mutations is safe; Lookup's Coords alias cube
+// internals for speed and must be treated as read-only.
+//
+// Iteration state: the cube tracks cell insertion order and every
+// aggregation (RollUp, Slice, DimensionCube, …) folds cells in that
+// order. Folding floats in map-iteration order — the pre-PR 4 behavior
+// — made derived-cube Sums depend on Go's randomized map order; the
+// insertion-order walk makes every derived cube bit-reproducible.
 type Cube struct {
 	schema *Schema
 	cells  map[string]*Cell
-	rows   int // raw records inserted
+	order  []*Cell // cells in first-insertion order; len(order) == len(cells)
+	rows   int     // raw records inserted
+	gen    uint64  // bumped on every mutation; keys derived-cube memoization
 }
 
 // NewCube creates an empty cube over the schema.
@@ -39,6 +57,12 @@ func (c *Cube) NumCells() int { return len(c.cells) }
 // NumRows returns the number of raw records inserted (directly or via the
 // cube this one was derived from).
 func (c *Cube) NumRows() int { return c.rows }
+
+// Generation returns a counter that increases with every mutation of the
+// cube. A derived artifact (dimension cube, probe, …) computed at
+// generation g is still valid iff the base cube's generation is still g —
+// the versioned-memo key CubeSet's cache and placement's cube cache use.
+func (c *Cube) Generation() uint64 { return c.gen }
 
 func key(coords []string) string { return strings.Join(coords, string(sep)) }
 
@@ -77,12 +101,17 @@ func (c *Cube) add(coords []string, sum float64, count int) {
 	if !ok {
 		cell = &Cell{Coords: append([]string(nil), coords...)}
 		c.cells[k] = cell
+		c.order = append(c.order, cell)
 	}
 	cell.Sum += sum
 	cell.Count += count
+	c.gen++
 }
 
-// Lookup returns the cell at the given coordinates, if populated.
+// Lookup returns the cell at the given coordinates, if populated. The
+// returned Cell's Coords slice aliases cube internals (this is the hot
+// probe-scoring path); callers must not mutate it. Use Cells for fully
+// independent copies.
 func (c *Cube) Lookup(coords ...string) (Cell, bool) {
 	cell, ok := c.cells[key(coords)]
 	if !ok {
@@ -94,10 +123,14 @@ func (c *Cube) Lookup(coords ...string) (Cell, bool) {
 // Cells returns all populated cells sorted by descending record count and
 // then lexical key order, so iteration is deterministic. The paper's probe
 // construction takes the head of this order (largest record clusters).
+// The result is a deep copy — coordinate slices included — so it stays
+// valid and immutable however the cube is mutated afterwards.
 func (c *Cube) Cells() []Cell {
-	out := make([]Cell, 0, len(c.cells))
-	for _, cell := range c.cells {
-		out = append(out, *cell)
+	out := make([]Cell, 0, len(c.order))
+	for _, cell := range c.order {
+		cp := *cell
+		cp.Coords = append([]string(nil), cell.Coords...)
+		out = append(out, cp)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -109,7 +142,9 @@ func (c *Cube) Cells() []Cell {
 }
 
 // TopCells returns the k most populous cells (fewer if the cube is
-// smaller). These are the "representative records" a probe carries (§4.2).
+// smaller), ties broken by lexical key order like Cells — the ordering is
+// a total one, so the head-of-order probe selection is deterministic.
+// These are the "representative records" a probe carries (§4.2).
 func (c *Cube) TopCells(k int) []Cell {
 	cells := c.Cells()
 	if k < len(cells) {
@@ -118,10 +153,11 @@ func (c *Cube) TopCells(k int) []Cell {
 	return cells
 }
 
-// TotalMeasure returns the sum of measures across all cells.
+// TotalMeasure returns the sum of measures across all cells, folded in
+// insertion order (deterministic despite float non-associativity).
 func (c *Cube) TotalMeasure() float64 {
 	var s float64
-	for _, cell := range c.cells {
+	for _, cell := range c.order {
 		s += cell.Sum
 	}
 	return s
@@ -130,7 +166,7 @@ func (c *Cube) TotalMeasure() float64 {
 // TotalCount returns the total raw record count across all cells.
 func (c *Cube) TotalCount() int {
 	var n int
-	for _, cell := range c.cells {
+	for _, cell := range c.order {
 		n += cell.Count
 	}
 	return n
@@ -148,7 +184,7 @@ func (c *Cube) Slice(dim, value string) (*Cube, error) {
 		return nil, fmt.Errorf("olap: slice: %w", err)
 	}
 	out := NewCube(ns)
-	for _, cell := range c.cells {
+	for _, cell := range c.order {
 		if cell.Coords[di] != value {
 			continue
 		}
@@ -178,7 +214,7 @@ func (c *Cube) Dice(filters map[string][]string) (*Cube, error) {
 		idx[di] = set
 	}
 	out := NewCube(c.schema)
-	for _, cell := range c.cells {
+	for _, cell := range c.order {
 		keep := true
 		for di, set := range idx {
 			if !set[cell.Coords[di]] {
@@ -206,7 +242,7 @@ func (c *Cube) RollUp(dim string) (*Cube, error) {
 		return nil, fmt.Errorf("olap: rollup: %w", err)
 	}
 	out := NewCube(ns)
-	for _, cell := range c.cells {
+	for _, cell := range c.order {
 		coords := make([]string, 0, len(cell.Coords)-1)
 		coords = append(coords, cell.Coords[:di]...)
 		coords = append(coords, cell.Coords[di+1:]...)
@@ -228,7 +264,7 @@ func (c *Cube) RollUpLevel(h Hierarchy) (*Cube, error) {
 		return nil, fmt.Errorf("olap: rollup level: hierarchy for %q has no coarsen function", h.Dim)
 	}
 	out := NewCube(c.schema)
-	for _, cell := range c.cells {
+	for _, cell := range c.order {
 		coords := append([]string(nil), cell.Coords...)
 		coords[di] = h.Coarsen(coords[di])
 		out.add(coords, cell.Sum, cell.Count)
@@ -239,7 +275,9 @@ func (c *Cube) RollUpLevel(h Hierarchy) (*Cube, error) {
 
 // DimensionCube aggregates the cube down to exactly the named dimensions,
 // in the order given — the per-query-type view of §4.1. Dimensions not
-// named are aggregated away.
+// named are aggregated away. Large cubes fold their cells through the
+// worker pool in fixed-grain chunks (see dimensionCubePooled), which keeps
+// the result bit-identical at every pool width.
 func (c *Cube) DimensionCube(dims ...string) (*Cube, error) {
 	ns, err := c.schema.Project(dims...)
 	if err != nil {
@@ -249,9 +287,12 @@ func (c *Cube) DimensionCube(dims ...string) (*Cube, error) {
 	for i, d := range dims {
 		srcIdx[i] = c.schema.Index(d)
 	}
+	if out := c.dimensionCubePooled(ns, srcIdx); out != nil {
+		return out, nil
+	}
 	out := NewCube(ns)
-	for _, cell := range c.cells {
-		coords := make([]string, len(dims))
+	coords := make([]string, len(dims))
+	for _, cell := range c.order {
 		for i, si := range srcIdx {
 			coords[i] = cell.Coords[si]
 		}
@@ -294,13 +335,15 @@ func (c *Cube) DrillDown(base *Cube, extra ...string) (*Cube, error) {
 	return base.DimensionCube(dims...)
 }
 
-// Clone returns a deep copy of the cube.
+// Clone returns a deep copy of the cube (insertion order preserved).
 func (c *Cube) Clone() *Cube {
 	out := NewCube(c.schema)
-	for k, cell := range c.cells {
+	out.order = make([]*Cell, 0, len(c.order))
+	for _, cell := range c.order {
 		cp := *cell
 		cp.Coords = append([]string(nil), cell.Coords...)
-		out.cells[k] = &cp
+		out.cells[key(cell.Coords)] = &cp
+		out.order = append(out.order, &cp)
 	}
 	out.rows = c.rows
 	return out

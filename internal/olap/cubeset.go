@@ -5,6 +5,15 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"bohr/internal/obs"
+)
+
+// Counter names the cube-set cache registers on an attached collector.
+// They flow into core.Report via the metrics snapshot.
+const (
+	CounterCubeCacheHits   = "olap.cubeset.hits"
+	CounterCubeCacheMisses = "olap.cubeset.misses"
 )
 
 // QueryTypeID names one query type: the set of attributes a class of
@@ -25,12 +34,22 @@ func QueryTypeFor(dims []string) QueryTypeID {
 // generated while a query is running are buffered; the dimension cube the
 // incoming query needs is updated eagerly, the others lazily in the
 // background (§4.1), which FlushBackground models.
+//
+// The derived cubes double as a versioned memo: each remembers the base
+// cube's generation it was built at, and Prepare returns it without any
+// work when the generation still matches and no rows are buffered — the
+// recurring-round cache of PR 4. Hits and misses are counted, and
+// reported through an attached obs.Collector when one is set.
 type CubeSet struct {
 	mu      sync.Mutex
 	base    *Cube
 	dims    map[QueryTypeID][]string
 	derived map[QueryTypeID]*Cube
-	pending map[QueryTypeID][]Row // rows not yet folded into a derived cube
+	pending map[QueryTypeID][]Row  // rows not yet folded into a derived cube
+	builtAt map[QueryTypeID]uint64 // base generation each derived cube reflects
+	hits    uint64
+	misses  uint64
+	col     *obs.Collector
 }
 
 // NewCubeSet creates a cube set over the given base schema.
@@ -40,7 +59,27 @@ func NewCubeSet(schema *Schema) *CubeSet {
 		dims:    make(map[QueryTypeID][]string),
 		derived: make(map[QueryTypeID]*Cube),
 		pending: make(map[QueryTypeID][]Row),
+		builtAt: make(map[QueryTypeID]uint64),
 	}
+}
+
+// AttachObs routes the cache's hit/miss counters to a collector (nil
+// detaches). Counters are registered immediately so they appear in the
+// metrics snapshot even before the first Prepare.
+func (cs *CubeSet) AttachObs(col *obs.Collector) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.col = col
+	col.Count(CounterCubeCacheHits, 0)
+	col.Count(CounterCubeCacheMisses, 0)
+}
+
+// CacheStats reports how many Prepare calls were served straight from a
+// current dimension cube (hits) versus had to fold or rebuild (misses).
+func (cs *CubeSet) CacheStats() (hits, misses uint64) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.hits, cs.misses
 }
 
 // Base returns the base cube. Callers must not mutate it directly;
@@ -66,6 +105,7 @@ func (cs *CubeSet) RegisterQueryType(dims []string) (QueryTypeID, error) {
 	}
 	cs.dims[id] = append([]string(nil), dims...)
 	cs.derived[id] = dc
+	cs.builtAt[id] = cs.base.Generation()
 	return id, nil
 }
 
@@ -101,7 +141,9 @@ func (cs *CubeSet) Insert(rows ...Row) error {
 
 // Prepare eagerly folds the pending rows into the dimension cube of one
 // query type — what Bohr does for the cube "used by the coming query" —
-// and returns that cube.
+// and returns that cube. When nothing changed since the cube was last
+// brought current (no buffered rows, base generation unchanged) the
+// stored cube is returned as-is and counted as a cache hit.
 func (cs *CubeSet) Prepare(id QueryTypeID) (*Cube, error) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
@@ -114,7 +156,17 @@ func (cs *CubeSet) prepareLocked(id QueryTypeID) (*Cube, error) {
 		return nil, fmt.Errorf("olap: prepare: unknown query type %q", id)
 	}
 	rows := cs.pending[id]
+	if len(rows) == 0 && cs.builtAt[id] == cs.base.Generation() {
+		cs.hits++
+		cs.col.Count(CounterCubeCacheHits, 1)
+		return dc, nil
+	}
+	cs.misses++
+	cs.col.Count(CounterCubeCacheMisses, 1)
 	if len(rows) > 0 {
+		// Incremental maintenance: the pending buffer is exactly the
+		// base-cube delta since builtAt, so folding it brings the
+		// derived cube back to the current generation.
 		dims := cs.dims[id]
 		srcIdx := make([]int, len(dims))
 		for i, d := range dims {
@@ -129,7 +181,17 @@ func (cs *CubeSet) prepareLocked(id QueryTypeID) (*Cube, error) {
 			dc.rows++
 		}
 		cs.pending[id] = nil
+	} else {
+		// Generation moved without buffered rows (a future direct-base
+		// mutation path): rebuild from the base cube, the always-correct
+		// fallback the generation key exists to guard.
+		nb, err := cs.base.DimensionCube(cs.dims[id]...)
+		if err != nil {
+			return nil, fmt.Errorf("olap: prepare: %w", err)
+		}
+		*dc = *nb
 	}
+	cs.builtAt[id] = cs.base.Generation()
 	return dc, nil
 }
 

@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDefaultWidthPositive(t *testing.T) {
+	if DefaultWidth() < 1 {
+		t.Fatalf("DefaultWidth = %d, want >= 1", DefaultWidth())
+	}
+}
+
+func TestSetDefaultWidth(t *testing.T) {
+	orig := DefaultWidth()
+	defer SetDefaultWidth(orig)
+	if prev := SetDefaultWidth(3); prev != orig {
+		t.Fatalf("SetDefaultWidth returned %d, want previous %d", prev, orig)
+	}
+	if DefaultWidth() != 3 {
+		t.Fatalf("DefaultWidth = %d after SetDefaultWidth(3)", DefaultWidth())
+	}
+	SetDefaultWidth(0) // restore env/GOMAXPROCS default
+	if DefaultWidth() < 1 {
+		t.Fatalf("DefaultWidth = %d after reset, want >= 1", DefaultWidth())
+	}
+}
+
+func TestResolve(t *testing.T) {
+	orig := DefaultWidth()
+	defer SetDefaultWidth(orig)
+	SetDefaultWidth(5)
+	if got := Resolve(2); got != 2 {
+		t.Fatalf("Resolve(2) = %d", got)
+	}
+	if got := Resolve(0); got != 5 {
+		t.Fatalf("Resolve(0) = %d, want default 5", got)
+	}
+	if got := Resolve(-1); got != 5 {
+		t.Fatalf("Resolve(-1) = %d, want default 5", got)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 16, 100} {
+		n := 257
+		hits := make([]int32, n)
+		err := ForEach(width, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("width %d: err = %v", width, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("width %d: index %d ran %d times", width, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	calls := 0
+	if err := ForEach(4, 0, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(4, -3, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn ran %d times for n <= 0", calls)
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, width := range []int{1, 2, 8} {
+		err := ForEach(width, 100, func(i int) error {
+			switch i {
+			case 17:
+				return errLow
+			case 80:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("width %d: err = %v, want lowest-index error", width, err)
+		}
+	}
+}
+
+func TestMapOrderedDeterministicAcrossWidths(t *testing.T) {
+	n := 513
+	want, err := MapOrdered(1, n, func(i int) (string, error) {
+		return fmt.Sprintf("v%03d", i*i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{2, 3, 7, 32} {
+		got, err := MapOrdered(width, n, func(i int) (string, error) {
+			return fmt.Sprintf("v%03d", i*i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("width %d: result[%d] = %q, want %q", width, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, width := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "kernel bug" {
+					t.Fatalf("width %d: recovered %v, want kernel bug", width, r)
+				}
+			}()
+			_ = ForEach(width, 16, func(i int) error {
+				if i == 7 {
+					panic("kernel bug")
+				}
+				return nil
+			})
+			t.Fatalf("width %d: ForEach returned without panicking", width)
+		}()
+	}
+}
+
+func TestChunksFixedGrain(t *testing.T) {
+	cases := []struct {
+		n, grain int
+		want     [][2]int
+	}{
+		{0, 4, nil},
+		{1, 4, [][2]int{{0, 1}}},
+		{8, 4, [][2]int{{0, 4}, {4, 8}}},
+		{9, 4, [][2]int{{0, 4}, {4, 8}, {8, 9}}},
+		{5, 0, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}},
+	}
+	for _, c := range cases {
+		got := Chunks(c.n, c.grain)
+		if len(got) != len(c.want) {
+			t.Fatalf("Chunks(%d,%d) = %v, want %v", c.n, c.grain, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Chunks(%d,%d) = %v, want %v", c.n, c.grain, got, c.want)
+			}
+		}
+	}
+}
+
+// TestForEachStressRace hammers the pool under the race detector: many
+// overlapping ForEach invocations with width > 1 writing disjoint slots.
+func TestForEachStressRace(t *testing.T) {
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		n := 64 + r
+		out := make([]int, n)
+		if err := ForEach(8, n, func(i int) error {
+			out[i] = i * 3
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*3 {
+				t.Fatalf("round %d: out[%d] = %d", r, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package placement
+
+import (
+	"math"
+	"sync"
+
+	"bohr/internal/engine"
+	"bohr/internal/obs"
+	"bohr/internal/olap"
+)
+
+// Counter names the planner cube cache registers on an attached
+// collector. They flow into core.Report via the metrics snapshot.
+const (
+	CounterCubeCacheHits   = "placement.cubecache.hits"
+	CounterCubeCacheMisses = "placement.cubecache.misses"
+)
+
+// CubeCache memoizes the per-site dominant-dimension cubes ComputeStats
+// builds from a cluster snapshot, keyed by (dataset, site, query type)
+// and validated by a content hash of the site's stored records. Dynamic
+// mode replans every few batches over largely unchanged sites; a valid
+// entry skips the full cube rebuild for that site. Cached cubes are
+// shared read-only — every consumer (probe construction, scoring) only
+// reads, per Cube's concurrency contract. There is no eviction — see
+// ROADMAP "Open items"; entries are bounded by datasets × sites.
+//
+// A nil *CubeCache is valid and disables memoization.
+type CubeCache struct {
+	mu      sync.Mutex
+	entries map[string]cubeCacheEntry
+	hits    uint64
+	misses  uint64
+	col     *obs.Collector
+}
+
+type cubeCacheEntry struct {
+	hash uint64
+	cube *olap.Cube
+}
+
+// NewCubeCache creates an empty cache. A non-nil collector receives the
+// hit/miss counters (registered immediately at zero).
+func NewCubeCache(col *obs.Collector) *CubeCache {
+	col.Count(CounterCubeCacheHits, 0)
+	col.Count(CounterCubeCacheMisses, 0)
+	return &CubeCache{entries: make(map[string]cubeCacheEntry), col: col}
+}
+
+// Stats reports cumulative cache hits and misses.
+func (cc *CubeCache) Stats() (hits, misses uint64) {
+	if cc == nil {
+		return 0, 0
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.hits, cc.misses
+}
+
+// hashRecords fingerprints a site's stored records for one dataset:
+// FNV-1a over key bytes and measure bits with length framing. Record
+// slices in the engine are deterministic, so an unchanged site hashes
+// identically across rounds; any insert, move or reorder changes it.
+func hashRecords(recs []engine.KV) uint64 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for _, r := range recs {
+		for i := 0; i < len(r.Key); i++ {
+			h ^= uint64(r.Key[i])
+			h *= prime64
+		}
+		h ^= 0x1e
+		h *= prime64
+		v := math.Float64bits(r.Val)
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// get returns the cached cube for key when its content hash matches.
+func (cc *CubeCache) get(key string, hash uint64) (*olap.Cube, bool) {
+	if cc == nil {
+		return nil, false
+	}
+	cc.mu.Lock()
+	e, ok := cc.entries[key]
+	hit := ok && e.hash == hash
+	if hit {
+		cc.hits++
+	} else {
+		cc.misses++
+	}
+	cc.mu.Unlock()
+	if hit {
+		cc.col.Count(CounterCubeCacheHits, 1)
+		return e.cube, true
+	}
+	cc.col.Count(CounterCubeCacheMisses, 1)
+	return nil, false
+}
+
+// put stores a freshly built cube under key/hash.
+func (cc *CubeCache) put(key string, hash uint64, cube *olap.Cube) {
+	if cc == nil {
+		return
+	}
+	cc.mu.Lock()
+	cc.entries[key] = cubeCacheEntry{hash: hash, cube: cube}
+	cc.mu.Unlock()
+}

@@ -1,0 +1,58 @@
+package placement
+
+import (
+	"testing"
+
+	"bohr/internal/engine"
+	"bohr/internal/obs"
+)
+
+// TestCubeCacheContentHashValidation pins the memo contract: same key +
+// same records is a hit; any record change (value or order) misses and
+// the entry is replaced on the next put.
+func TestCubeCacheContentHashValidation(t *testing.T) {
+	col := obs.NewCollector()
+	cc := NewCubeCache(col)
+	recs := []engine.KV{{Key: "a|b", Val: 1}, {Key: "c|d", Val: 2}}
+	h := hashRecords(recs)
+
+	if _, ok := cc.get("k", h); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	cc.put("k", h, nil)
+	if _, ok := cc.get("k", h); !ok {
+		t.Fatal("unchanged records missed")
+	}
+
+	changedVal := []engine.KV{{Key: "a|b", Val: 1.5}, {Key: "c|d", Val: 2}}
+	if _, ok := cc.get("k", hashRecords(changedVal)); ok {
+		t.Fatal("value change still hit")
+	}
+	reordered := []engine.KV{{Key: "c|d", Val: 2}, {Key: "a|b", Val: 1}}
+	if _, ok := cc.get("k", hashRecords(reordered)); ok {
+		t.Fatal("reorder still hit")
+	}
+
+	hits, misses := cc.Stats()
+	if hits != 1 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 1/3", hits, misses)
+	}
+	snap := col.MetricsSnapshot()
+	if snap.Counters[CounterCubeCacheHits] != 1 || snap.Counters[CounterCubeCacheMisses] != 3 {
+		t.Fatalf("collector counters %v/%v, want 1/3",
+			snap.Counters[CounterCubeCacheHits], snap.Counters[CounterCubeCacheMisses])
+	}
+}
+
+// TestCubeCacheNilSafe checks the disabled-cache path every caller relies
+// on: a nil *CubeCache never hits and absorbs puts silently.
+func TestCubeCacheNilSafe(t *testing.T) {
+	var cc *CubeCache
+	if _, ok := cc.get("k", 1); ok {
+		t.Fatal("nil cache hit")
+	}
+	cc.put("k", 1, nil) // must not panic
+	if h, m := cc.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil cache stats %d/%d, want 0/0", h, m)
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"bohr/internal/faults"
 	"bohr/internal/lp"
 	"bohr/internal/obs"
+	"bohr/internal/parallel"
 	"bohr/internal/rdd"
+	"bohr/internal/similarity"
 	"bohr/internal/stats"
 	"bohr/internal/wan"
 	"bohr/internal/workload"
@@ -128,6 +130,10 @@ type Options struct {
 	// Obs optionally collects planning phase spans (probes, lp, calibrate,
 	// move) and metrics. Nil disables collection at no cost.
 	Obs *obs.Collector
+	// CubeCache optionally memoizes the per-site planning cubes across
+	// planning rounds (content-hash validated). Dynamic mode attaches one
+	// automatically; single-shot planning gains nothing from it.
+	CubeCache *CubeCache
 }
 
 // withDefaults fills zero fields.
@@ -257,7 +263,7 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 		return nil, err
 	}
 	probes := opts.Obs.StartSpan("probes")
-	allStats, err := ComputeAllStats(c, w, opts.ProbeK)
+	allStats, err := ComputeAllStatsCached(c, w, opts.ProbeK, opts.CubeCache)
 	if err != nil {
 		probes.End()
 		return nil, err
@@ -368,7 +374,13 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 	lpSpan.Add(plan.LPTime)
 
 	if id.usesRDD() {
-		plan.Assigner = rdd.NewAssigner(stats.Split(opts.Seed, 77))
+		asg := rdd.NewAssigner(stats.Split(opts.Seed, 77))
+		// One signature cache per plan: the assigner re-places largely
+		// identical partitions on every recurring query, so signatures
+		// mostly hit after the first round. Counters land in the report's
+		// metrics snapshot via opts.Obs.
+		asg.Cache = similarity.NewSignatureCache(opts.Obs)
+		plan.Assigner = asg
 	}
 	return plan, nil
 }
@@ -397,17 +409,22 @@ func profileVolumes(c *engine.Cluster, w *workload.Workload, plan *Plan, moves [
 	if _, err := scratch.Execute(clone, stats.Split(seed, 501)); err != nil {
 		return nil, err
 	}
+	// Per-site replays only read the scratch clone; fan each dataset's
+	// sites out over the worker pool (results merged in site order).
 	f := make([][]float64, len(w.Datasets))
 	for a, ds := range w.Datasets {
 		q := ds.DominantQuery().Query
-		f[a] = make([]float64, clone.N())
-		for i := 0; i < clone.N(); i++ {
-			out, err := clone.ProfileIntermediate(clone.Data[i].Records(ds.Name), q, i)
-			if err != nil {
-				return nil, fmt.Errorf("placement: profiling %q site %d: %w", ds.Name, i, err)
+		row, err := parallel.MapOrdered(0, clone.N(), func(i int) (float64, error) {
+			out, perr := clone.ProfileIntermediate(clone.Data[i].Records(ds.Name), q, i)
+			if perr != nil {
+				return 0, fmt.Errorf("placement: profiling %q site %d: %w", ds.Name, i, perr)
 			}
-			f[a][i] = clone.MB(out)
+			return clone.MB(out), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		f[a] = row
 	}
 	return f, nil
 }

@@ -8,9 +8,11 @@ package placement
 
 import (
 	"fmt"
+	"strconv"
 
 	"bohr/internal/engine"
 	"bohr/internal/olap"
+	"bohr/internal/parallel"
 	"bohr/internal/similarity"
 	"bohr/internal/workload"
 )
@@ -61,6 +63,17 @@ type DatasetStats struct {
 // exchange (top-k cells weighted across query types), and map-expansion
 // profiling of the dominant query.
 func ComputeStats(c *engine.Cluster, ds *workload.Dataset, probeK int) (*DatasetStats, error) {
+	return ComputeStatsCached(c, ds, probeK, nil)
+}
+
+// ComputeStatsCached is ComputeStats with an optional cube cache: each
+// site's dominant-dimension cube is reused when the site's record
+// content hash is unchanged since it was last built — the recurring
+// replanning fast path. Per-site cube builds and the per-site profiling
+// replays fan out over the worker pool; every per-site result is
+// independent and merged in site order, so the statistics are identical
+// at every pool width and cache state.
+func ComputeStatsCached(c *engine.Cluster, ds *workload.Dataset, probeK int, cache *CubeCache) (*DatasetStats, error) {
 	if probeK <= 0 {
 		return nil, fmt.Errorf("placement: probe budget must be positive, got %d", probeK)
 	}
@@ -80,26 +93,41 @@ func ComputeStats(c *engine.Cluster, ds *workload.Dataset, probeK int) (*Dataset
 	}
 
 	// Per-site dimension cubes over the stored records, projected to the
-	// dominant query type's attributes.
-	cubes := make([]*olap.Cube, n)
+	// dominant query type's attributes. Sites build independently on the
+	// worker pool; an attached cube cache serves sites whose record
+	// content is unchanged since the last planning round.
 	schema, err := ds.Schema.Project(dom.Dims...)
 	if err != nil {
 		return nil, err
 	}
-	var totalCells int
-	for i := 0; i < n; i++ {
-		cube := olap.NewCube(schema)
-		for _, rec := range c.Data[i].Records(ds.Name) {
-			coords := workload.SplitKey(proj(rec.Key))
-			if err := cube.Insert(olap.Row{Coords: coords, Measure: rec.Val}); err != nil {
-				return nil, fmt.Errorf("placement: dataset %q site %d: %w", ds.Name, i, err)
-			}
+	qt := olap.QueryTypeFor(dom.Dims)
+	cubes, err := parallel.MapOrdered(0, n, func(i int) (*olap.Cube, error) {
+		recs := c.Data[i].Records(ds.Name)
+		key := ds.Name + "\x1f" + strconv.Itoa(i) + "\x1f" + string(qt)
+		hash := hashRecords(recs)
+		if cube, ok := cache.get(key, hash); ok {
+			return cube, nil
 		}
-		cubes[i] = cube
+		rows := make([]olap.Row, len(recs))
+		for r, rec := range recs {
+			rows[r] = olap.Row{Coords: workload.SplitKey(proj(rec.Key)), Measure: rec.Val}
+		}
+		cube, berr := olap.BuildCube(schema, rows, 0)
+		if berr != nil {
+			return nil, fmt.Errorf("placement: dataset %q site %d: %w", ds.Name, i, berr)
+		}
+		cache.put(key, hash, cube)
+		return cube, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totalCells int
+	for _, cube := range cubes {
 		totalCells += cube.NumCells()
 	}
 
-	cross, err := similarity.CrossSiteMatrix(ds.Name, olap.QueryTypeFor(dom.Dims), cubes, domShare)
+	cross, err := similarity.CrossSiteMatrix(ds.Name, qt, cubes, domShare)
 	if err != nil {
 		return nil, err
 	}
@@ -122,14 +150,16 @@ func ComputeStats(c *engine.Cluster, ds *workload.Dataset, probeK int) (*Dataset
 	// reduction from the previous run of the recurring query (§7); we
 	// replay one map+combine per site and scale the probe similarities to
 	// realized combiner efficiency.
-	for i := 0; i < n; i++ {
+	// Profiling replays are read-only over the cluster and independent
+	// per site, so they run on the pool; the κ scaling below stays
+	// sequential (it rewrites matrix columns in site order).
+	realizedBySite, err := parallel.MapOrdered(0, n, func(i int) (float64, error) {
 		recs := c.Data[i].Records(ds.Name)
-		ideal := cross[i][i]
-		realized := ideal
+		realized := cross[i][i]
 		if len(recs) > 0 && st.Reduction > 0 {
 			out, perr := c.ProfileIntermediate(recs, dom.Query, i)
 			if perr != nil {
-				return nil, perr
+				return 0, perr
 			}
 			realized = 1 - float64(out)/(float64(len(recs))*st.Reduction)
 			if realized < 0 {
@@ -139,6 +169,14 @@ func ComputeStats(c *engine.Cluster, ds *workload.Dataset, probeK int) (*Dataset
 				realized = 1
 			}
 		}
+		return realized, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		ideal := cross[i][i]
+		realized := realizedBySite[i]
 		st.SelfSim[i] = realized
 		kappa := 1.0
 		if ideal > 1e-9 {
@@ -187,13 +225,14 @@ func profileReduction(c *engine.Cluster, dataset string, q engine.Query) float64
 
 // ComputeAllStats computes DatasetStats for every dataset of a workload.
 func ComputeAllStats(c *engine.Cluster, w *workload.Workload, probeK int) ([]*DatasetStats, error) {
-	out := make([]*DatasetStats, len(w.Datasets))
-	for i, ds := range w.Datasets {
-		st, err := ComputeStats(c, ds, probeK)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = st
-	}
-	return out, nil
+	return ComputeAllStatsCached(c, w, probeK, nil)
+}
+
+// ComputeAllStatsCached fans the per-dataset statistics computation out
+// over the worker pool — datasets only read the shared cluster snapshot,
+// so they are independent — and forwards the optional cube cache to each.
+func ComputeAllStatsCached(c *engine.Cluster, w *workload.Workload, probeK int, cache *CubeCache) ([]*DatasetStats, error) {
+	return parallel.MapOrdered(0, len(w.Datasets), func(i int) (*DatasetStats, error) {
+		return ComputeStatsCached(c, w.Datasets[i], probeK, cache)
+	})
 }

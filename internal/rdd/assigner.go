@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bohr/internal/engine"
+	"bohr/internal/similarity"
 )
 
 // Assigner is Bohr's similarity-aware replacement for random partition→
@@ -16,6 +17,11 @@ type Assigner struct {
 	Config DimsumConfig
 	// KMeansIters bounds Lloyd iterations (default 20).
 	KMeansIters int
+	// Cache, when set, memoizes partition minhash signatures by content
+	// hash across Assign calls — recurring rounds re-place largely
+	// unchanged partitions, so their signatures need not be rebuilt. The
+	// cache is synchronized; one Assigner may serve concurrent sites.
+	Cache *similarity.SignatureCache
 }
 
 // NewAssigner creates an assigner with the default DIMSUM configuration.
@@ -36,7 +42,7 @@ func (a *Assigner) Assign(parts []engine.Partition, executors int) ([]int, float
 	if executors == 1 {
 		return make([]int, len(parts)), 0, nil
 	}
-	mat, err := PairwiseSimilarity(parts, a.Config)
+	mat, err := PairwiseSimilarityCached(parts, a.Config, a.Cache)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"bohr/internal/engine"
+	"bohr/internal/parallel"
 	"bohr/internal/similarity"
 	"bohr/internal/stats"
 )
@@ -67,6 +68,25 @@ type SimilarityMatrix struct {
 // skipped after the prefix — DIMSUM's probabilistic pruning mapped onto
 // minhash signatures.
 func PairwiseSimilarity(parts []engine.Partition, cfg DimsumConfig) (*SimilarityMatrix, error) {
+	return PairwiseSimilarityCached(parts, cfg, nil)
+}
+
+// pairRow is one partition's half-row of pairwise estimates: vals[l] is
+// the estimate for the pair (i, i+1+l) and compared counts the signature
+// entries that survived probabilistic skipping.
+type pairRow struct {
+	vals     []float64
+	compared int
+}
+
+// PairwiseSimilarityCached is PairwiseSimilarity with an optional
+// signature cache: partition signatures are served from the cache by
+// content hash (recurring rounds mostly hit) and the remainder computed
+// as a pooled batch; pair rows then fan out over the worker pool. Every
+// worker computes an independent half-row merged in index order, so both
+// the matrix and the Comparisons counter are identical at any pool width
+// and any cache state.
+func PairwiseSimilarityCached(parts []engine.Partition, cfg DimsumConfig, cache *similarity.SignatureCache) (*SimilarityMatrix, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -76,16 +96,17 @@ func PairwiseSimilarity(parts []engine.Partition, cfg DimsumConfig) (*Similarity
 	if err != nil {
 		return nil, err
 	}
-	sigs := make([][]uint64, n)
+	keysets := make([][]string, n)
 	totalRecords := 0
 	for i, p := range parts {
 		keys := make([]string, len(p.Records))
 		for r, rec := range p.Records {
 			keys[r] = rec.Key
 		}
-		sigs[i] = hasher.Signature(keys)
+		keysets[i] = keys
 		totalRecords += len(p.Records)
 	}
+	sigs := cache.SignatureBatch(hasher, keysets, 0)
 
 	sample := int(float64(m)*cfg.Gamma + 0.5)
 	if sample < 1 {
@@ -98,12 +119,8 @@ func PairwiseSimilarity(parts []engine.Partition, cfg DimsumConfig) (*Similarity
 	rng := stats.NewRand(cfg.Seed)
 	order := rng.Perm(m) // the sampled function subset, shared across pairs
 
-	res := &SimilarityMatrix{Sim: make([][]float64, n)}
-	for i := 0; i < n; i++ {
-		res.Sim[i] = make([]float64, n)
-		res.Sim[i][i] = 1
-	}
-	for i := 0; i < n; i++ {
+	rows, err := parallel.MapOrdered(0, n, func(i int) (pairRow, error) {
+		row := pairRow{vals: make([]float64, n-i-1)}
 		for j := i + 1; j < n; j++ {
 			matches, compared := 0, 0
 			for s := 0; s < sample; s++ {
@@ -118,8 +135,24 @@ func PairwiseSimilarity(parts []engine.Partition, cfg DimsumConfig) (*Similarity
 					break
 				}
 			}
-			res.Comparisons += compared
-			est := float64(matches) / float64(compared)
+			row.compared += compared
+			row.vals[j-i-1] = float64(matches) / float64(compared)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SimilarityMatrix{Sim: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		res.Sim[i] = make([]float64, n)
+		res.Sim[i][i] = 1
+	}
+	for i, row := range rows {
+		res.Comparisons += row.compared
+		for l, est := range row.vals {
+			j := i + 1 + l
 			res.Sim[i][j] = est
 			res.Sim[j][i] = est
 		}

@@ -4,8 +4,27 @@ import (
 	"fmt"
 	"math"
 
+	"bohr/internal/parallel"
 	"bohr/internal/stats"
 )
+
+// kmeansParallelMin is the point count below which the distance loops
+// stay sequential: similarity matrices are usually tiny (one row per
+// partition) and goroutine fan-out would cost more than it saves.
+const kmeansParallelMin = 128
+
+// kmeansGrain chunks the point range for the pooled distance loops; fixed
+// grain, so per-chunk work is width-independent (the loops only write
+// disjoint per-point slots — no float folds — but a stable shape keeps
+// the kernels easy to reason about).
+const kmeansGrain = 256
+
+func kmeansWidth(n int) int {
+	if n < kmeansParallelMin {
+		return 1
+	}
+	return 0 // resolve to the process default
+}
 
 // KMeans clusters points into k clusters with Lloyd's algorithm and
 // k-means++ seeding, deterministically for a given seed. It returns the
@@ -38,17 +57,28 @@ func KMeans(points [][]float64, k, iters int, seed int64) ([]int, error) {
 	first := rng.Intn(n)
 	centroids = append(centroids, append([]float64(nil), points[first]...))
 	d2 := make([]float64, n)
+	chunks := parallel.Chunks(n, kmeansGrain)
+	width := kmeansWidth(n)
 	for len(centroids) < k {
-		var total float64
-		for i, p := range points {
-			best := math.Inf(1)
-			for _, c := range centroids {
-				if d := sqDist(p, c); d < best {
-					best = d
+		// Pooled distance fill: each chunk writes disjoint d2 slots; the
+		// weight total is then folded sequentially in index order, the
+		// same float-addition order as the sequential loop.
+		_ = parallel.ForEach(width, len(chunks), func(ci int) error {
+			lo, hi := chunks[ci][0], chunks[ci][1]
+			for i := lo; i < hi; i++ {
+				best := math.Inf(1)
+				for _, c := range centroids {
+					if d := sqDist(points[i], c); d < best {
+						best = d
+					}
 				}
+				d2[i] = best
 			}
-			d2[i] = best
-			total += best
+			return nil
+		})
+		var total float64
+		for _, d := range d2 {
+			total += d
 		}
 		var next int
 		if total <= 0 {
@@ -67,20 +97,31 @@ func KMeans(points [][]float64, k, iters int, seed int64) ([]int, error) {
 	}
 
 	assign := make([]int, n)
+	chunkChanged := make([]bool, len(chunks))
 	for it := 0; it < iters; it++ {
-		changed := false
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for ci, c := range centroids {
-				if d := sqDist(p, c); d < bestD {
-					bestD = d
-					best = ci
+		// Pooled assignment: nearest centroid per point, disjoint writes;
+		// the result depends only on points and centroids, not the width.
+		_ = parallel.ForEach(width, len(chunks), func(ci int) error {
+			lo, hi := chunks[ci][0], chunks[ci][1]
+			chunkChanged[ci] = false
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, math.Inf(1)
+				for cj, c := range centroids {
+					if d := sqDist(points[i], c); d < bestD {
+						bestD = d
+						best = cj
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					chunkChanged[ci] = true
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
+			return nil
+		})
+		changed := false
+		for _, cc := range chunkChanged {
+			changed = changed || cc
 		}
 		// Recompute centroids.
 		counts := make([]int, k)

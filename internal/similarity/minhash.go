@@ -7,8 +7,9 @@ package similarity
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
+
+	"bohr/internal/parallel"
 )
 
 // MinHasher computes m-function minhash signatures over string sets, the
@@ -40,14 +41,25 @@ func NewMinHasher(m int, seed int64) (*MinHasher, error) {
 // M returns the number of hash functions.
 func (h *MinHasher) M() int { return len(h.seeds) }
 
+// FNV-1a constants (stdlib hash/fnv, inlined below to avoid a hasher
+// allocation per key on the signature hot path).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // baseHash hashes a key once; per-function values are derived by mixing
 // the base hash with each function's seed through a full-avalanche
 // finalizer, which gives a family that is close enough to min-wise
-// independent for Jaccard estimation.
+// independent for Jaccard estimation. This is FNV-1a, bit-identical to
+// hash/fnv's New64a but allocation-free.
 func baseHash(key string) uint64 {
-	f := fnv.New64a()
-	_, _ = f.Write([]byte(key))
-	return f.Sum64()
+	h := fnvOffset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // mix64 is the SplitMix64 finalizer: every input bit affects every output
@@ -74,6 +86,18 @@ func (h *MinHasher) Signature(keys []string) []uint64 {
 		}
 	}
 	return sig
+}
+
+// SignatureBatch computes the signatures of many key sets through the
+// worker pool (width <= 0 ⇒ parallel.DefaultWidth). Each signature is an
+// independent pure computation and results are merged in index order, so
+// the output is identical at every width — the batch entry point DIMSUM
+// and the signature cache use.
+func (h *MinHasher) SignatureBatch(keysets [][]string, width int) [][]uint64 {
+	out, _ := parallel.MapOrdered(width, len(keysets), func(i int) ([]uint64, error) {
+		return h.Signature(keysets[i]), nil
+	})
+	return out
 }
 
 // EstimateJaccard estimates the Jaccard index of the two sets behind the

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"bohr/internal/olap"
+	"bohr/internal/parallel"
 )
 
 // ProbeRecord is one representative record inside a probe: the coordinates
@@ -212,30 +213,32 @@ func RankForDestination(src, dst *olap.Cube) ([]RankedCell, error) {
 // and query type given each site's dimension cube: entry (i, j) is the
 // score of site i's probe against site j's cube. The diagonal holds each
 // site's self-similarity S_i.
+//
+// Probe construction and per-row scoring fan out over the worker pool —
+// both only read the cubes (safe under Cube's concurrency contract) and
+// each matrix entry is computed independently, so the result is
+// identical at every pool width.
 func CrossSiteMatrix(dataset string, qt olap.QueryTypeID, cubes []*olap.Cube, k int) ([][]float64, error) {
 	n := len(cubes)
-	m := make([][]float64, n)
-	probes := make([]Probe, n)
-	for i, c := range cubes {
-		p, err := BuildProbe(dataset, qt, c, k)
-		if err != nil {
-			return nil, err
-		}
-		probes[i] = p
+	probes, err := parallel.MapOrdered(0, n, func(i int) (Probe, error) {
+		return BuildProbe(dataset, qt, cubes[i], k)
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range cubes {
-		m[i] = make([]float64, n)
+	return parallel.MapOrdered(0, n, func(i int) ([]float64, error) {
+		row := make([]float64, n)
 		for j := range cubes {
 			if i == j {
-				m[i][j] = SelfSimilarity(cubes[i])
+				row[j] = SelfSimilarity(cubes[i])
 				continue
 			}
 			s, err := Score(probes[i], cubes[j])
 			if err != nil {
 				return nil, err
 			}
-			m[i][j] = s
+			row[j] = s
 		}
-	}
-	return m, nil
+		return row, nil
+	})
 }

@@ -1,0 +1,85 @@
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMinHashEstimateWithinStatisticalBound is a property test: across
+// random key-set pairs spanning the Jaccard range, the m-hash estimate
+// must land within ~3.5 standard errors of the exact Jaccard similarity
+// (σ = sqrt(J(1−J)/m)), plus a small absolute floor for the J≈0 and J≈1
+// edges where σ vanishes. Seeds are fixed, so the test is deterministic;
+// a failure means the sketch is biased, not that we got unlucky.
+func TestMinHashEstimateWithinStatisticalBound(t *testing.T) {
+	const m = 256
+	h, err := NewMinHasher(m, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		shared := rng.Intn(400)
+		onlyA := rng.Intn(400)
+		onlyB := rng.Intn(400)
+		if shared+onlyA == 0 {
+			onlyA = 1 // keep both sets non-empty
+		}
+		if shared+onlyB == 0 {
+			onlyB = 1
+		}
+		var a, b []string
+		for i := 0; i < shared; i++ {
+			k := fmt.Sprintf("shared-%d-%d", trial, i)
+			a = append(a, k)
+			b = append(b, k)
+		}
+		for i := 0; i < onlyA; i++ {
+			a = append(a, fmt.Sprintf("a-%d-%d", trial, i))
+		}
+		for i := 0; i < onlyB; i++ {
+			b = append(b, fmt.Sprintf("b-%d-%d", trial, i))
+		}
+		exact := ExactJaccard(a, b)
+		est, err := EstimateJaccard(h.Signature(a), h.Signature(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 3.5*math.Sqrt(exact*(1-exact)/m) + 0.02
+		if diff := math.Abs(est - exact); diff > bound {
+			t.Errorf("trial %d (|A∩B|=%d |A\\B|=%d |B\\A|=%d): estimate %.4f vs exact %.4f, diff %.4f exceeds bound %.4f",
+				trial, shared, onlyA, onlyB, est, exact, diff, bound)
+		}
+	}
+}
+
+// TestMinHashIdenticalAndDisjointSets pins the estimator's edges: equal
+// sets must estimate exactly 1, disjoint sets must estimate near 0.
+func TestMinHashIdenticalAndDisjointSets(t *testing.T) {
+	h, err := NewMinHasher(256, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := []string{"x", "y", "z", "w"}
+	est, err := EstimateJaccard(h.Signature(same), h.Signature(same))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 {
+		t.Errorf("identical sets estimate %v, want exactly 1", est)
+	}
+	var a, b []string
+	for i := 0; i < 200; i++ {
+		a = append(a, fmt.Sprintf("left-%d", i))
+		b = append(b, fmt.Sprintf("right-%d", i))
+	}
+	est, err = EstimateJaccard(h.Signature(a), h.Signature(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est > 0.06 {
+		t.Errorf("disjoint sets estimate %v, want near 0", est)
+	}
+}

@@ -1,0 +1,123 @@
+package similarity
+
+import (
+	"sync"
+
+	"bohr/internal/obs"
+	"bohr/internal/parallel"
+)
+
+// Counter names the signature cache registers on an attached collector.
+// They flow into core.Report via the metrics snapshot.
+const (
+	CounterSigCacheHits   = "similarity.sigcache.hits"
+	CounterSigCacheMisses = "similarity.sigcache.misses"
+)
+
+// HashKeys returns the order-sensitive FNV-1a content hash of a key set.
+// Keys are framed by a terminator byte below the printable range, so
+// ["ab"] and ["a","b"] hash differently. Partition key lists in the
+// engine are deterministic, which makes this hash a stable identity for
+// "the same partition content seen again" across recurring rounds.
+func HashKeys(keys []string) uint64 {
+	h := fnvOffset64
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= fnvPrime64
+		}
+		h ^= 0x1e // frame terminator, below any printable key byte
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// SignatureCache memoizes minhash signatures by partition content hash,
+// so recurring placement rounds skip re-hashing partitions whose key
+// sets did not change. Entries additionally mix in the hasher's first
+// per-function seed, so one cache can safely serve differently-seeded
+// hashers without cross-talk. There is no eviction — see ROADMAP "Open
+// items"; partition populations per run are bounded and rounds reuse,
+// not grow, the key space.
+//
+// The zero of the pointer type is valid: a nil *SignatureCache passes
+// every batch straight through to the hasher.
+type SignatureCache struct {
+	mu      sync.Mutex
+	entries map[uint64][]uint64
+	hits    uint64
+	misses  uint64
+	col     *obs.Collector
+}
+
+// NewSignatureCache creates an empty cache. A non-nil collector receives
+// the hit/miss counters (registered immediately at zero so they appear
+// in metrics snapshots before the first batch).
+func NewSignatureCache(col *obs.Collector) *SignatureCache {
+	col.Count(CounterSigCacheHits, 0)
+	col.Count(CounterSigCacheMisses, 0)
+	return &SignatureCache{entries: make(map[uint64][]uint64), col: col}
+}
+
+// Stats reports cumulative cache hits and misses.
+func (c *SignatureCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached signatures.
+func (c *SignatureCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// SignatureBatch is MinHasher.SignatureBatch with memoization: cached
+// key sets are served by content hash, the rest are computed on the
+// worker pool and stored. Results are positionally identical to the
+// uncached batch (cached signatures were computed by the same pure
+// function), so caching never perturbs determinism. Callers must not
+// mutate the returned signatures — they are shared with the cache.
+func (c *SignatureCache) SignatureBatch(h *MinHasher, keysets [][]string, width int) [][]uint64 {
+	if c == nil {
+		return h.SignatureBatch(keysets, width)
+	}
+	tag := h.seeds[0]
+	out := make([][]uint64, len(keysets))
+	hashes := make([]uint64, len(keysets))
+	var missIdx []int
+	c.mu.Lock()
+	for i, ks := range keysets {
+		hashes[i] = mix64(HashKeys(ks) ^ tag)
+		if sig, ok := c.entries[hashes[i]]; ok {
+			out[i] = sig
+			c.hits++
+		} else {
+			missIdx = append(missIdx, i)
+			c.misses++
+		}
+	}
+	c.mu.Unlock()
+	c.col.Count(CounterSigCacheHits, float64(len(keysets)-len(missIdx)))
+	c.col.Count(CounterSigCacheMisses, float64(len(missIdx)))
+	if len(missIdx) == 0 {
+		return out
+	}
+	sigs, _ := parallel.MapOrdered(width, len(missIdx), func(j int) ([]uint64, error) {
+		return h.Signature(keysets[missIdx[j]]), nil
+	})
+	c.mu.Lock()
+	for j, i := range missIdx {
+		out[i] = sigs[j]
+		c.entries[hashes[i]] = sigs[j]
+	}
+	c.mu.Unlock()
+	return out
+}

@@ -1,0 +1,187 @@
+package similarity
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bohr/internal/obs"
+	"bohr/internal/olap"
+	"bohr/internal/parallel"
+)
+
+func testKeysets(rng *rand.Rand, sets, keys int) [][]string {
+	out := make([][]string, sets)
+	for i := range out {
+		ks := make([]string, keys)
+		for j := range ks {
+			ks[j] = fmt.Sprintf("key-%d", rng.Intn(keys*3))
+		}
+		out[i] = ks
+	}
+	return out
+}
+
+// TestSignatureBatchMatchesSignature checks the pooled batch kernel
+// returns exactly what per-set Signature calls return, at every width.
+func TestSignatureBatchMatchesSignature(t *testing.T) {
+	h, err := NewMinHasher(64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysets := testKeysets(rand.New(rand.NewSource(1)), 37, 50)
+	want := make([][]uint64, len(keysets))
+	for i, ks := range keysets {
+		want[i] = h.Signature(ks)
+	}
+	for _, width := range []int{1, 2, 4, 8} {
+		got := h.SignatureBatch(keysets, width)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("width %d set %d slot %d: %d != %d", width, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestSignatureCacheHitsAndCounters checks the content-hash memo: a
+// repeated batch is served entirely from cache, counters flow to the
+// attached collector, and cached results equal fresh ones.
+func TestSignatureCacheHitsAndCounters(t *testing.T) {
+	h, err := NewMinHasher(64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	cache := NewSignatureCache(col)
+	keysets := testKeysets(rand.New(rand.NewSource(2)), 20, 40)
+
+	first := cache.SignatureBatch(h, keysets, 0)
+	hits, misses := cache.Stats()
+	if hits != 0 || misses != 20 {
+		t.Fatalf("cold batch: hits=%d misses=%d, want 0/20", hits, misses)
+	}
+	second := cache.SignatureBatch(h, keysets, 0)
+	hits, misses = cache.Stats()
+	if hits != 20 || misses != 20 {
+		t.Fatalf("warm batch: hits=%d misses=%d, want 20/20", hits, misses)
+	}
+	for i := range first {
+		for j := range first[i] {
+			if first[i][j] != second[i][j] {
+				t.Fatalf("cached signature %d slot %d drifted", i, j)
+			}
+		}
+	}
+	snap := col.MetricsSnapshot()
+	if got := snap.Counters[CounterSigCacheHits]; got != 20 {
+		t.Errorf("collector hit counter %v, want 20", got)
+	}
+	if got := snap.Counters[CounterSigCacheMisses]; got != 20 {
+		t.Errorf("collector miss counter %v, want 20", got)
+	}
+}
+
+// TestSignatureCacheSeedIsolation checks that two hashers with different
+// seeds sharing one cache never serve each other's entries.
+func TestSignatureCacheSeedIsolation(t *testing.T) {
+	h1, _ := NewMinHasher(64, 5)
+	h2, _ := NewMinHasher(64, 6)
+	cache := NewSignatureCache(nil)
+	keysets := [][]string{{"a", "b", "c"}}
+	s1 := cache.SignatureBatch(h1, keysets, 0)
+	s2 := cache.SignatureBatch(h2, keysets, 0)
+	if _, misses := cache.Stats(); misses != 2 {
+		t.Fatalf("two hashers, one keyset: misses=%d, want 2 (no cross-seed sharing)", misses)
+	}
+	same := true
+	for j := range s1[0] {
+		if s1[0][j] != s2[0][j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical signatures — cache key ignores the seed")
+	}
+}
+
+// TestSignatureCacheConcurrentStress hammers one cache from many
+// goroutines at width > 1 (meaningful under -race) and checks every
+// result matches the uncached reference.
+func TestSignatureCacheConcurrentStress(t *testing.T) {
+	h, err := NewMinHasher(32, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keysets := testKeysets(rand.New(rand.NewSource(3)), 30, 30)
+	want := make([][]uint64, len(keysets))
+	for i, ks := range keysets {
+		want[i] = h.Signature(ks)
+	}
+	cache := NewSignatureCache(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				got := cache.SignatureBatch(h, keysets, 4)
+				for i := range want {
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Errorf("set %d slot %d: %d != %d", i, j, got[i][j], want[i][j])
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCrossSiteMatrixWidthIndependent checks the pooled probe/score
+// matrix is identical at width 1 and width 8, and symmetric-diagonal
+// sane, exercising the concurrent read path over shared cubes.
+func TestCrossSiteMatrixWidthIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	schema := olap.MustSchema("a", "b")
+	cubes := make([]*olap.Cube, 4)
+	for s := range cubes {
+		c := olap.NewCube(schema)
+		for r := 0; r < 300; r++ {
+			err := c.Insert(olap.Row{
+				Coords:  []string{fmt.Sprintf("a%d", rng.Intn(6)), fmt.Sprintf("b%d", rng.Intn(6))},
+				Measure: rng.Float64(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cubes[s] = c
+	}
+	qt := olap.QueryTypeFor([]string{"a", "b"})
+
+	run := func(width int) [][]float64 {
+		t.Helper()
+		prev := parallel.SetDefaultWidth(width)
+		defer parallel.SetDefaultWidth(prev)
+		m, err := CrossSiteMatrix("ds", qt, cubes, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1 := run(1)
+	m8 := run(8)
+	for i := range m1 {
+		for j := range m1[i] {
+			if m1[i][j] != m8[i][j] {
+				t.Fatalf("matrix[%d][%d] differs across widths: %v vs %v", i, j, m1[i][j], m8[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sql
+
+import "testing"
+
+// FuzzParse drives arbitrary byte soup through the lexer and parser. The
+// contract under fuzzing is narrow but absolute: Parse returns a
+// *Statement or an error — it never panics, hangs, or returns both nil
+// values — and parsing is deterministic for a given input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"SELECT dim0, COUNT(*) FROM ds GROUP BY dim0",
+		"SELECT dim0, SUM(measure) FROM ds WHERE dim1 = 'x' GROUP BY dim0",
+		"SELECT jobclass, COUNT(*) FROM facebook-000 GROUP BY jobclass",
+		"select a , b from t where a != 'b' and b = 'c' group by a, b",
+		"SELECT * FROM",
+		"SELECT COUNT(* FROM t",
+		"FROM t SELECT x",
+		"SELECT a FROM t GROUP BY",
+		"SELECT a FROM t WHERE = 'v' GROUP BY a",
+		"\x00\xff SELECT \xf0\x28\x8c\x28",
+		"SELECT a FROM t WHERE a = 'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", input)
+		}
+		stmt2, err2 := Parse(input)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("Parse(%q) nondeterministic: err=%v then err=%v", input, err, err2)
+		}
+		if stmt != nil && stmt2 != nil && summarize(stmt) != summarize(stmt2) {
+			t.Fatalf("Parse(%q) nondeterministic statements: %q vs %q",
+				input, summarize(stmt), summarize(stmt2))
+		}
+	})
+}
