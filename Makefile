@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt-check race determinism fuzz-short golden bench bench-snapshot
+.PHONY: all build test check vet fmt-check race determinism fuzz-short bounded-growth golden bench bench-snapshot
 
 all: build
 
@@ -17,7 +17,7 @@ test:
 # by the ./internal/obs/... wildcard — the live netio path and fault
 # injector), one short round of each fuzz harness, and the report
 # determinism check including cross-pool-width byte identity.
-check: vet fmt-check race fuzz-short determinism
+check: vet fmt-check race fuzz-short determinism bounded-growth
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +31,8 @@ fmt-check:
 race:
 	$(GO) test -race ./internal/engine/... ./internal/obs/... \
 		./internal/netio/... ./internal/faults/... \
-		./internal/parallel/... ./internal/olap/... ./internal/similarity/...
+		./internal/parallel/... ./internal/olap/... ./internal/similarity/... \
+		./internal/cache/...
 
 # fuzz-short runs each native fuzz target briefly against its checked-in
 # seed corpus — a smoke round, not a campaign. One -fuzz invocation per
@@ -61,7 +62,19 @@ determinism:
 		echo "determinism: reports differ between pool width 1 and 8"; \
 		diff "$$tmp/w1.json" "$$tmp/w8.json" | head; exit 1; \
 	fi; \
-	echo "determinism: OK (byte-identical faulted reports, width-independent)"
+	dargs="-dynamic -workload tpcds -scheme bohr -seed 7 -json -cache-entries 4"; \
+	BOHR_PARALLEL_WIDTH=1 $(GO) run ./cmd/bohrctl $$dargs > "$$tmp/d1.json"; \
+	BOHR_PARALLEL_WIDTH=8 $(GO) run ./cmd/bohrctl $$dargs > "$$tmp/d8.json"; \
+	if ! cmp -s "$$tmp/d1.json" "$$tmp/d8.json"; then \
+		echo "determinism: evicting dynamic reports differ between pool width 1 and 8"; \
+		diff "$$tmp/d1.json" "$$tmp/d8.json" | head; exit 1; \
+	fi; \
+	echo "determinism: OK (byte-identical faulted reports, width-independent, eviction-neutral)"
+
+# bounded-growth: a long dynamic run must settle every memo cache at or
+# below its configured capacity (the PR 5 eviction gate).
+bounded-growth:
+	$(GO) test ./internal/core -run 'TestDynamicCacheBounded|TestDynamicReportEvictionNeutral' -count=1
 
 # golden rebuilds every checked-in golden file from current code. Run it
 # after an intentional schema or trace change, eyeball the diff, and bump
@@ -76,4 +89,4 @@ bench:
 # bench-snapshot appends to the perf trajectory: one JSON document of
 # benchmark measurements per PR (BENCH_<tag>.json at the repo root).
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -tag pr4
+	$(GO) run ./cmd/benchsnap -tag pr5

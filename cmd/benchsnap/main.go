@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"bohr/internal/cache"
 	"bohr/internal/experiments"
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
@@ -36,6 +37,20 @@ type BenchResult struct {
 	SecondsPerOp float64 `json:"s_per_op"`
 }
 
+// CacheStats measures the bounded memo layer under eviction pressure: a
+// scripted recurring workload against a deliberately small signature
+// cache, so successive PRs can compare hit rate and resident footprint.
+type CacheStats struct {
+	Scenario      string  `json:"scenario"`
+	CapEntries    int     `json:"cap_entries"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	HitRate       float64 `json:"hit_rate"`
+	Evictions     uint64  `json:"evictions"`
+	Entries       int     `json:"entries"`
+	ResidentBytes int64   `json:"resident_bytes"`
+}
+
 // Snapshot is the document benchsnap writes.
 type Snapshot struct {
 	Tag        string        `json:"tag"`
@@ -45,6 +60,7 @@ type Snapshot struct {
 	NumCPU     int           `json:"num_cpu"`
 	TakenAt    string        `json:"taken_at"`
 	Benchmarks []BenchResult `json:"benchmarks"`
+	Cache      *CacheStats   `json:"cache_stats,omitempty"`
 }
 
 // benchSetup mirrors the reduced setup of the repo-level bench_test.go so
@@ -136,6 +152,67 @@ func benchCubeBuild(width int) func(*testing.B) {
 	}
 }
 
+func benchMinhashBatchCached(width int) func(*testing.B) {
+	return func(b *testing.B) {
+		h, err := similarity.NewMinHasher(128, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keysets := kernelKeysets(64, 400)
+		c := similarity.NewSignatureCache(nil)
+		c.SignatureBatch(h, keysets, width) // warm: the recurring-round shape
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sigs := c.SignatureBatch(h, keysets, width)
+			if len(sigs) != len(keysets) {
+				b.Fatalf("sigs = %d", len(sigs))
+			}
+		}
+	}
+}
+
+// measureCacheStats drives 16 recurring rounds against a signature
+// cache far smaller than the round's unique-set count: half of each
+// batch recurs (the stable working set), half is fresh churn that has
+// to age out. The resulting hit rate and resident footprint land in the
+// snapshot next to the kernel timings.
+func measureCacheStats() (*CacheStats, error) {
+	const capEntries = 48
+	h, err := similarity.NewMinHasher(128, 7)
+	if err != nil {
+		return nil, err
+	}
+	c := similarity.NewSignatureCacheSized(nil, cache.Caps{Entries: capEntries})
+	stable := kernelKeysets(32, 400)
+	for round := 0; round < 16; round++ {
+		batch := make([][]string, 0, 64)
+		batch = append(batch, stable...)
+		for i := 0; i < 32; i++ { // churn: unique to this round
+			ks := make([]string, 40)
+			for j := range ks {
+				ks[j] = fmt.Sprintf("churn-%d-%d-%d", round, i, j)
+			}
+			batch = append(batch, ks)
+		}
+		c.SignatureBatch(h, batch, 4)
+		c.Advance()
+	}
+	hits, misses := c.Stats()
+	st := &CacheStats{
+		Scenario:      "sigcache 16 rounds, 32 stable + 32 churn sets, cap 48",
+		CapEntries:    capEntries,
+		Hits:          hits,
+		Misses:        misses,
+		Evictions:     c.Evictions(),
+		Entries:       c.Len(),
+		ResidentBytes: c.Bytes(),
+	}
+	if total := hits + misses; total > 0 {
+		st.HitRate = float64(hits) / float64(total)
+	}
+	return st, nil
+}
+
 func benchMinhashBatch(width int) func(*testing.B) {
 	return func(b *testing.B) {
 		h, err := similarity.NewMinHasher(128, 7)
@@ -154,7 +231,7 @@ func benchMinhashBatch(width int) func(*testing.B) {
 }
 
 func main() {
-	tag := flag.String("tag", "pr4", "snapshot tag; output defaults to BENCH_<tag>.json")
+	tag := flag.String("tag", "pr5", "snapshot tag; output defaults to BENCH_<tag>.json")
 	out := flag.String("out", "", "output path (overrides -tag naming)")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark measuring time (testing -benchtime)")
 	testing.Init()
@@ -208,6 +285,7 @@ func main() {
 		{"CubeBuild120kRowsWidth4", benchCubeBuild(4)},
 		{"MinhashBatch64x400Width1", benchMinhashBatch(1)},
 		{"MinhashBatch64x400Width4", benchMinhashBatch(4)},
+		{"MinhashBatchCached64x400Width4", benchMinhashBatchCached(4)},
 	}
 	// The width-4 kernels need a pool; make sure a narrow GOMAXPROCS or an
 	// inherited BOHR_PARALLEL_WIDTH=1 cannot silently serialize them.
@@ -235,6 +313,14 @@ func main() {
 		doc.Benchmarks = append(doc.Benchmarks, res)
 		fmt.Fprintf(os.Stderr, " %d iters, %.4fs/op\n", res.Iterations, res.SecondsPerOp)
 	}
+	cs, err := measureCacheStats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: cache stats: %v\n", err)
+		os.Exit(1)
+	}
+	doc.Cache = cs
+	fmt.Fprintf(os.Stderr, "benchsnap: cache hit rate %.2f, %d evictions, %d resident bytes\n",
+		cs.HitRate, cs.Evictions, cs.ResidentBytes)
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"bohr/internal/cache"
 	"bohr/internal/core"
 	"bohr/internal/experiments"
 	"bohr/internal/faults"
@@ -58,8 +59,20 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's trace as Chrome trace-event JSON (chrome://tracing) to this file")
 	flag.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run (e.g. 127.0.0.1:9100)")
 	width := flag.Int("width", 0, "worker pool width for parallel kernels (0 = GOMAXPROCS or $BOHR_PARALLEL_WIDTH, 1 = sequential)")
+	cacheEntries := flag.Int("cache-entries", -1, "memo cache entry cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_ENTRIES)")
+	cacheBytes := flag.Int64("cache-bytes", -1, "memo cache resident-byte cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_BYTES)")
 	flag.Parse()
 	parallel.SetDefaultWidth(*width)
+	if *cacheEntries >= 0 || *cacheBytes >= 0 {
+		caps := cache.DefaultCaps()
+		if *cacheEntries >= 0 {
+			caps.Entries = *cacheEntries
+		}
+		if *cacheBytes >= 0 {
+			caps.Bytes = *cacheBytes
+		}
+		cache.SetDefaultCaps(caps)
+	}
 
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)
@@ -133,9 +146,33 @@ func run(o cliOpts) error {
 		if err != nil {
 			return err
 		}
-		rep, err := core.RunDynamic(empty, w, scheme, s.PlacementOptions(0), core.DefaultDynamicConfig())
+		opts := s.PlacementOptions(0)
+		var col *obs.Collector
+		if o.jsonOut {
+			col = obs.NewCollector()
+			opts = opts.With(placement.WithObs(col))
+		}
+		rep, err := core.RunDynamic(empty, w, scheme, opts, core.DefaultDynamicConfig())
 		if err != nil {
 			return err
+		}
+		if o.jsonOut {
+			report := &core.Report{
+				SchemaVersion: core.ReportSchemaVersion,
+				Experiment:    "bohrctl-dynamic",
+				Scheme:        scheme.String(),
+				Workload:      kind.String(),
+				Seed:          s.Seed,
+				Dynamic:       rep,
+				Trace:         col.Trace(),
+				Metrics:       col.MetricsSnapshot(),
+			}
+			b, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				return fmt.Errorf("encoding report: %w", err)
+			}
+			fmt.Println(string(b))
+			return nil
 		}
 		fmt.Printf("%s / %v, dynamic: mean QCT %.2fs over %d arrivals, %d replans, %d batches\n",
 			scheme, kind, rep.MeanQCT, len(rep.QCTs), rep.Replans, rep.BatchesDelivered)

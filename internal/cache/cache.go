@@ -1,0 +1,393 @@
+// Package cache is the shared bounded memo store under the
+// reproduction's three recurring-round caches (olap.CubeSet's derived
+// cubes, similarity.SignatureCache, placement.CubeCache). Each wrapper
+// keeps its own content-hash/generation validation and hit/miss
+// accounting; this package owns what they had in common to NOT own:
+// capacity.
+//
+// A Store evicts least-recently-used entries over a *logical clock*,
+// never wall time. The clock only moves when a driver calls Advance (or
+// AdvanceTo) at a deterministic point — a placement round, a base-cube
+// generation — so every access inside one round carries the same stamp
+// regardless of goroutine scheduling, and eviction order is a pure
+// function of (stamp, key). That is what keeps `make determinism`
+// byte-identical at pool width 1 and 8 with eviction enabled: which
+// entries die never depends on which worker touched them first.
+//
+// Capacity is enforced in both entry count and estimated resident
+// bytes, at Advance time. Between advances a round may transiently
+// overshoot; a settled store (every driver advances once more before
+// reporting) is always within caps. Eviction, live-entry and
+// resident-byte levels are published on an obs.Collector as *additive
+// counter deltas* — many stores sharing one metric name (one CubeSet
+// per site, say) aggregate correctly and deterministically, which a
+// last-writer-wins gauge would not.
+package cache
+
+import (
+	"cmp"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"bohr/internal/obs"
+)
+
+// Environment variables consulted once at init to seed the process-wide
+// default capacities. A value of 0 means unlimited.
+const (
+	EnvEntries = "BOHR_CACHE_ENTRIES"
+	EnvBytes   = "BOHR_CACHE_BYTES"
+)
+
+// Built-in default capacities: generous enough that single-shot runs
+// never feel them, finite so a long dynamic run cannot grow without
+// bound (the ROADMAP eviction item).
+const (
+	DefaultEntries = 4096
+	DefaultBytes   = 256 << 20 // 256 MiB of estimated resident bytes
+)
+
+// Caps bounds a store. A zero (or negative) field means unlimited in
+// that dimension; Unlimited() is the all-zero value.
+type Caps struct {
+	// Entries caps live entry count.
+	Entries int
+	// Bytes caps the summed size estimates of live entries.
+	Bytes int64
+}
+
+// Unlimited returns caps that never evict.
+func Unlimited() Caps { return Caps{} }
+
+var (
+	defaultMu   sync.Mutex
+	defaultCaps = capsFromEnv()
+)
+
+func capsFromEnv() Caps {
+	c := Caps{Entries: DefaultEntries, Bytes: DefaultBytes}
+	if s := os.Getenv(EnvEntries); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			c.Entries = n
+		}
+	}
+	if s := os.Getenv(EnvBytes); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			c.Bytes = n
+		}
+	}
+	return c
+}
+
+// DefaultCaps returns the process-wide default capacities new stores
+// are built with: the built-in defaults, overridden by the environment,
+// overridden by SetDefaultCaps (the -cache-entries/-cache-bytes flags).
+func DefaultCaps() Caps {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultCaps
+}
+
+// SetDefaultCaps replaces the process-wide default capacities and
+// returns the previous value. It only affects stores created afterwards.
+func SetDefaultCaps(c Caps) Caps {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	prev := defaultCaps
+	defaultCaps = c
+	return prev
+}
+
+// entry is one live memo: the value, its size estimate, and the logical
+// clock stamp of its last touch.
+type entry[V any] struct {
+	val   V
+	bytes int64
+	used  uint64
+}
+
+// Store is a bounded memo store with deterministic LRU eviction. All
+// methods are mutex-guarded and safe for concurrent use; a nil *Store
+// is a valid no-op that never holds anything.
+type Store[K cmp.Ordered, V any] struct {
+	mu        sync.Mutex
+	name      string
+	caps      Caps
+	sizeOf    func(K, V) int64
+	entries   map[K]*entry[V]
+	bytes     int64
+	clock     uint64
+	evictions uint64
+	col       *obs.Collector
+}
+
+// New creates a store. name prefixes the metric names registered on the
+// collector ("<name>.evictions", "<name>.entries", "<name>.bytes", all
+// registered at zero immediately so they appear in snapshots before the
+// first access). sizeOf estimates one entry's resident bytes; nil
+// disables byte accounting (entry-count cap only). col may be nil.
+func New[K cmp.Ordered, V any](name string, caps Caps, col *obs.Collector, sizeOf func(K, V) int64) *Store[K, V] {
+	s := &Store[K, V]{
+		name:    name,
+		caps:    caps,
+		sizeOf:  sizeOf,
+		entries: make(map[K]*entry[V]),
+		col:     col,
+	}
+	col.Count(name+".evictions", 0)
+	col.Count(name+".entries", 0)
+	col.Count(name+".bytes", 0)
+	return s
+}
+
+// Caps returns the store's capacity limits.
+func (s *Store[K, V]) Caps() Caps {
+	if s == nil {
+		return Unlimited()
+	}
+	return s.caps
+}
+
+// SetCollector re-routes the store's level counters to a new collector
+// (nil detaches). The current entry/byte levels transfer: they are
+// subtracted from the old collector and added to the new one, so each
+// collector's counters keep reflecting the live level of every store
+// attached to it. The evictions counter is an event count and does not
+// transfer.
+func (s *Store[K, V]) SetCollector(col *obs.Collector) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.col == col {
+		return
+	}
+	if s.col != nil {
+		s.col.Count(s.name+".entries", -float64(len(s.entries)))
+		s.col.Count(s.name+".bytes", -float64(s.bytes))
+	}
+	s.col = col
+	col.Count(s.name+".evictions", 0)
+	col.Count(s.name+".entries", float64(len(s.entries)))
+	col.Count(s.name+".bytes", float64(s.bytes))
+}
+
+// Get returns the value under k and stamps it as used this round.
+func (s *Store[K, V]) Get(k K) (V, bool) {
+	var zero V
+	if s == nil {
+		return zero, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		return zero, false
+	}
+	e.used = s.clock
+	return e.val, true
+}
+
+// Peek returns the value under k without touching its recency — the
+// accessor form for introspection (pending-row counts, storage sums)
+// that must not perturb LRU order.
+func (s *Store[K, V]) Peek(k K) (V, bool) {
+	var zero V
+	if s == nil {
+		return zero, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		return zero, false
+	}
+	return e.val, true
+}
+
+// Put inserts or replaces the value under k, re-estimating its size and
+// stamping it as used this round. Capacity is NOT enforced here — only
+// Advance evicts — so concurrent puts inside one round cannot race the
+// choice of victim.
+func (s *Store[K, V]) Put(k K, v V) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var size int64
+	if s.sizeOf != nil {
+		size = s.sizeOf(k, v)
+	}
+	e, ok := s.entries[k]
+	if !ok {
+		e = &entry[V]{}
+		s.entries[k] = e
+		s.col.Count(s.name+".entries", 1)
+	}
+	s.col.Count(s.name+".bytes", float64(size-e.bytes))
+	s.bytes += size - e.bytes
+	e.val, e.bytes, e.used = v, size, s.clock
+}
+
+// Delete removes the entry under k, if present. This is the immediate
+// drop for entries known stale (a content-hash mismatch), as opposed to
+// aging out via Advance.
+func (s *Store[K, V]) Delete(k K) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropLocked(k)
+}
+
+// dropLocked removes k and maintains byte and level accounting.
+// Callers hold s.mu.
+func (s *Store[K, V]) dropLocked(k K) {
+	e, ok := s.entries[k]
+	if !ok {
+		return
+	}
+	delete(s.entries, k)
+	s.bytes -= e.bytes
+	s.col.Count(s.name+".entries", -1)
+	s.col.Count(s.name+".bytes", -float64(e.bytes))
+}
+
+// Advance moves the logical clock one round forward and enforces the
+// capacity limits. Call it from sequential driver code at round
+// boundaries (a replan, a query arrival) — never from inside a pooled
+// kernel — so eviction decisions stay scheduling-independent.
+func (s *Store[K, V]) Advance() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock++
+	s.enforceLocked()
+}
+
+// AdvanceTo moves the logical clock forward to t (never backward) and
+// enforces the capacity limits — the form for callers whose round
+// counter lives elsewhere, like a base cube's generation.
+func (s *Store[K, V]) AdvanceTo(t uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t > s.clock {
+		s.clock = t
+	}
+	s.enforceLocked()
+}
+
+// overLocked reports whether either cap is exceeded. Callers hold s.mu.
+func (s *Store[K, V]) overLocked() bool {
+	if s.caps.Entries > 0 && len(s.entries) > s.caps.Entries {
+		return true
+	}
+	if s.caps.Bytes > 0 && s.bytes > s.caps.Bytes {
+		return true
+	}
+	return false
+}
+
+// enforceLocked evicts least-recently-used entries until both caps
+// hold. Victims are ordered by (stamp ascending, key ascending) — a
+// total, deterministic order, so the same access history always evicts
+// the same entries whatever the pool width was. Callers hold s.mu.
+func (s *Store[K, V]) enforceLocked() {
+	if !s.overLocked() {
+		return
+	}
+	type victim struct {
+		key  K
+		used uint64
+	}
+	order := make([]victim, 0, len(s.entries))
+	for k, e := range s.entries {
+		order = append(order, victim{key: k, used: e.used})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].used != order[j].used {
+			return order[i].used < order[j].used
+		}
+		return order[i].key < order[j].key
+	})
+	for _, v := range order {
+		if !s.overLocked() {
+			return
+		}
+		s.dropLocked(v.key)
+		s.evictions++
+		s.col.Count(s.name+".evictions", 1)
+	}
+}
+
+// Len reports the number of live entries.
+func (s *Store[K, V]) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes reports the summed size estimates of live entries.
+func (s *Store[K, V]) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Evictions reports how many entries have been evicted over capacity
+// (deliberate Deletes not included).
+func (s *Store[K, V]) Evictions() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Keys returns the live keys in ascending order (tests, debugging).
+func (s *Store[K, V]) Keys() []K {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]K, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Range calls fn for every live entry without touching recency, in
+// unspecified order; fn returning false stops the walk. The store's
+// lock is held across the walk — fn must not call back into the store.
+func (s *Store[K, V]) Range(fn func(k K, v V) bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range s.entries {
+		if !fn(k, e.val) {
+			return
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"bohr/internal/engine"
 	"bohr/internal/placement"
+	"bohr/internal/similarity"
 	"bohr/internal/stats"
 	"bohr/internal/workload"
 )
@@ -47,17 +48,20 @@ func (c DynamicConfig) validate() error {
 	return nil
 }
 
-// DynamicReport summarizes a dynamic run.
+// DynamicReport summarizes a dynamic run. It marshals stably (fixed
+// field order) and carries no cache or timing state, so two runs that
+// differ only in cache capacity produce byte-identical reports — the
+// eviction-neutrality contract the determinism gate checks.
 type DynamicReport struct {
-	Scheme placement.SchemeID
+	Scheme placement.SchemeID `json:"scheme"`
 	// QCTs per query arrival, averaged over datasets.
-	QCTs []float64
+	QCTs []float64 `json:"qcts"`
 	// MeanQCT across all arrivals.
-	MeanQCT float64
+	MeanQCT float64 `json:"mean_qct_s"`
 	// Replans counts placement recomputations.
-	Replans int
+	Replans int `json:"replans"`
 	// BatchesDelivered counts batch insertions across datasets.
-	BatchesDelivered int
+	BatchesDelivered int `json:"batches_delivered"`
 }
 
 // RunDynamic executes the §8.6 protocol on a fresh cluster: (1) the
@@ -120,10 +124,15 @@ func RunDynamic(c *engine.Cluster, w *workload.Workload, scheme placement.Scheme
 	}
 
 	// Dynamic mode replans over largely unchanged sites, so it memoizes
-	// the planner's per-site dimension cubes across rounds unless the
-	// caller brought its own cache.
+	// the planner's per-site dimension cubes and the RDD assigner's
+	// signatures across rounds unless the caller brought its own caches.
+	// Both are bounded: each query arrival below ticks their logical
+	// clocks, so entries unused for enough arrivals age out LRU.
 	if opts.CubeCache == nil {
 		opts.CubeCache = placement.NewCubeCache(opts.Obs)
+	}
+	if opts.SigCache == nil {
+		opts.SigCache = similarity.NewSignatureCache(opts.Obs)
 	}
 
 	// (1) Initial data and initial placement.
@@ -145,6 +154,13 @@ func RunDynamic(c *engine.Cluster, w *workload.Workload, scheme placement.Scheme
 	shares := planShares(plan, c.N())
 
 	for qi := 0; qi < dyn.Queries; qi++ {
+		// Each query arrival is one logical-clock round for the memo
+		// caches: a sequential point where over-capacity entries age out
+		// deterministically (eviction never changes results, so reports
+		// stay byte-identical across capacity settings).
+		opts.CubeCache.Advance()
+		opts.SigCache.Advance()
+
 		// (4) Periodic re-plan with up-to-date information.
 		if qi > 0 && qi%dyn.ReplanEvery == 0 {
 			plan, err = placement.PlanScheme(scheme, c, w, opts)
@@ -187,6 +203,10 @@ func RunDynamic(c *engine.Cluster, w *workload.Workload, scheme placement.Scheme
 			}
 		}
 	}
+	// Settle the caches: one final round so the reported entry counts
+	// and resident bytes are within the configured caps.
+	opts.CubeCache.Advance()
+	opts.SigCache.Advance()
 	rep.MeanQCT = stats.Mean(rep.QCTs)
 	return rep, nil
 }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"bohr/internal/cache"
+	"bohr/internal/engine"
+	"bohr/internal/parallel"
+	"bohr/internal/placement"
+	"bohr/internal/similarity"
+	"bohr/internal/workload"
+)
+
+// dynCacheRun executes one dynamic run on a fresh empty cluster with
+// explicitly-sized memo caches and returns the report's JSON plus the
+// caches for inspection.
+func dynCacheRun(t *testing.T, w *workload.Workload, c *engine.Cluster, caps cache.Caps, scheme placement.SchemeID) ([]byte, *placement.CubeCache, *similarity.SignatureCache) {
+	t.Helper()
+	empty, err := engine.NewCluster(c.Top, 1, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := placement.NewCubeCacheSized(nil, caps)
+	sc := similarity.NewSignatureCacheSized(nil, caps)
+	opts := placement.Options{Seed: 3, CubeCache: cc, SigCache: sc}
+	dyn := DynamicConfig{InitialFraction: 0.25, BatchFraction: 0.05, ReplanEvery: 3, Queries: 9}
+	rep, err := RunDynamic(empty, w, scheme, opts, dyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, cc, sc
+}
+
+// TestDynamicReportEvictionNeutral is the acceptance gate of the
+// bounded memo layer: eviction changes WHAT is cached, never what is
+// computed, so a dynamic run's report is byte-identical whether the
+// caches are unlimited, default-capped, or squeezed to a handful of
+// entries — while the squeezed run demonstrably evicted and stayed
+// within its caps.
+func TestDynamicReportEvictionNeutral(t *testing.T) {
+	c, w := setup(t, workload.TPCDS)
+
+	unlimited, _, _ := dynCacheRun(t, w, c, cache.Unlimited(), placement.Bohr)
+	deflt, dcc, dsc := dynCacheRun(t, w, c, cache.Caps{Entries: cache.DefaultEntries, Bytes: cache.DefaultBytes}, placement.Bohr)
+	tiny, tcc, tsc := dynCacheRun(t, w, c, cache.Caps{Entries: 4}, placement.Bohr)
+
+	if string(unlimited) != string(deflt) {
+		t.Fatalf("default caps changed the report:\n%s\nvs\n%s", deflt, unlimited)
+	}
+	if string(unlimited) != string(tiny) {
+		t.Fatalf("tiny caps changed the report:\n%s\nvs\n%s", tiny, unlimited)
+	}
+	// Default caps are far above this run's working set: no eviction.
+	if dcc.Evictions() != 0 || dsc.Evictions() != 0 {
+		t.Fatalf("default caps evicted: cubecache=%d sigcache=%d", dcc.Evictions(), dsc.Evictions())
+	}
+	// The squeezed run really was squeezed, and settled within caps.
+	if tcc.Evictions() == 0 {
+		t.Fatal("tiny caps never evicted the cube cache")
+	}
+	if tcc.Len() > 4 {
+		t.Fatalf("cube cache settled at %d entries over the 4-entry cap", tcc.Len())
+	}
+	if tsc.Len() > 4 {
+		t.Fatalf("signature cache settled at %d entries over the 4-entry cap", tsc.Len())
+	}
+}
+
+// TestDynamicReportWidthIndependentUnderEviction extends the pool-width
+// determinism gate to the evicting configuration: LRU decisions ride a
+// logical clock advanced at sequential points, so width 1 and width 8
+// evict identically and the reports match byte for byte.
+func TestDynamicReportWidthIndependentUnderEviction(t *testing.T) {
+	c, w := setup(t, workload.TPCDS)
+
+	prev := parallel.SetDefaultWidth(1)
+	defer parallel.SetDefaultWidth(prev)
+	w1, w1cc, _ := dynCacheRun(t, w, c, cache.Caps{Entries: 4}, placement.Bohr)
+
+	parallel.SetDefaultWidth(8)
+	w8, w8cc, _ := dynCacheRun(t, w, c, cache.Caps{Entries: 4}, placement.Bohr)
+
+	if string(w1) != string(w8) {
+		t.Fatalf("width changed the evicting report:\n%s\nvs\n%s", w1, w8)
+	}
+	if w1cc.Evictions() != w8cc.Evictions() {
+		t.Fatalf("eviction counts diverge across widths: %d vs %d", w1cc.Evictions(), w8cc.Evictions())
+	}
+	if w1cc.Evictions() == 0 {
+		t.Fatal("configuration did not exercise eviction")
+	}
+}
+
+// TestDynamicCacheBounded is the make-check bounded-growth gate: a
+// longer dynamic run with default capacities keeps every cache's entry
+// count at or below its configured cap once settled.
+func TestDynamicCacheBounded(t *testing.T) {
+	c, w := setup(t, workload.TPCDS)
+	empty, err := engine.NewCluster(c.Top, 1, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := cache.DefaultCaps()
+	cc := placement.NewCubeCacheSized(nil, caps)
+	sc := similarity.NewSignatureCacheSized(nil, caps)
+	opts := placement.Options{Seed: 5, CubeCache: cc, SigCache: sc}
+	// The stream exhausts after the third batch, so the later replans
+	// (q8, q12) see unchanged sites — the recurring fast path the cube
+	// cache exists for.
+	dyn := DynamicConfig{InitialFraction: 0.25, BatchFraction: 0.25, ReplanEvery: 4, Queries: 16}
+	if _, err := RunDynamic(empty, w, placement.Bohr, opts, dyn); err != nil {
+		t.Fatal(err)
+	}
+	if caps.Entries > 0 && cc.Len() > caps.Entries {
+		t.Fatalf("cube cache %d entries over cap %d", cc.Len(), caps.Entries)
+	}
+	if caps.Entries > 0 && sc.Len() > caps.Entries {
+		t.Fatalf("signature cache %d entries over cap %d", sc.Len(), caps.Entries)
+	}
+	if caps.Bytes > 0 && cc.Bytes() > caps.Bytes {
+		t.Fatalf("cube cache %d bytes over cap %d", cc.Bytes(), caps.Bytes)
+	}
+	if caps.Bytes > 0 && sc.Bytes() > caps.Bytes {
+		t.Fatalf("signature cache %d bytes over cap %d", sc.Bytes(), caps.Bytes)
+	}
+	// The memo layer is doing its job: recurring rounds hit.
+	if hits, _ := cc.Stats(); hits == 0 {
+		t.Fatal("cube cache never hit across 16 arrivals")
+	}
+}

@@ -15,8 +15,11 @@ import (
 // under the trace's map/reduce stage spans and the crit_paths section
 // (per-query critical-path decomposition). v4 added the similarity-cache
 // hit/miss counters (olap.cubeset.*, similarity.sigcache.*,
-// placement.cubecache.*) to the metrics snapshot.
-const ReportSchemaVersion = 4
+// placement.cubecache.*) to the metrics snapshot. v5 added the bounded
+// memo layer's level counters (<cache>.entries/.bytes/.evictions for
+// each of the three caches) to the metrics snapshot and the optional
+// dynamic section (§8.6 run summary).
+const ReportSchemaVersion = 5
 
 // ResilienceReport captures a run's failure handling: the fault events
 // that fired on the modeled timeline and the resilience machinery's
@@ -65,6 +68,9 @@ type Report struct {
 	// Resilience reports fault events and retry/timeout counters; nil
 	// unless the run carried a fault schedule.
 	Resilience *ResilienceReport `json:"resilience,omitempty"`
+	// Dynamic summarizes a §8.6 dynamic run (per-arrival QCTs, replan
+	// and batch counts); nil for single-shot runs.
+	Dynamic *DynamicReport `json:"dynamic,omitempty"`
 	// Trace is the phase-span tree (prepare → probes/lp/move, run →
 	// per-query map/shuffle/reduce); nil without a collector.
 	Trace *obs.Span `json:"trace,omitempty"`

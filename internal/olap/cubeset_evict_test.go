@@ -1,0 +1,104 @@
+package olap
+
+import (
+	"fmt"
+	"testing"
+
+	"bohr/internal/cache"
+	"bohr/internal/obs"
+)
+
+// TestCubeSetEvictionRebuilds checks the bounded derived-cube store:
+// registration survives eviction, an evicted query type's next Prepare
+// rebuilds from the base cube, and the rebuilt cube is identical to one
+// that never left the cache.
+func TestCubeSetEvictionRebuilds(t *testing.T) {
+	rows := []Row{
+		{Coords: []string{"u1", "US", "00"}, Measure: 2},
+		{Coords: []string{"u2", "JP", "00"}, Measure: 3},
+		{Coords: []string{"u1", "US", "01"}, Measure: 5},
+	}
+	bounded := NewCubeSetSized(MustSchema("url", "country", "hour"), cache.Caps{Entries: 1})
+	reference := NewCubeSet(MustSchema("url", "country", "hour"))
+	for _, cs := range []*CubeSet{bounded, reference} {
+		if err := cs.Insert(rows...); err != nil {
+			t.Fatal(err)
+		}
+		for _, dims := range [][]string{{"url"}, {"country"}, {"hour"}} {
+			if _, err := cs.RegisterQueryType(dims); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Inserting advances the store's clock past the registrations and
+	// evicts down to the single-entry cap.
+	extra := Row{Coords: []string{"u3", "DE", "02"}, Measure: 7}
+	if err := bounded.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := reference.Insert(extra); err != nil {
+		t.Fatal(err)
+	}
+	if bounded.CacheEvictions() == 0 {
+		t.Fatal("no evictions with 3 derived cubes under a 1-entry cap")
+	}
+	if got := len(bounded.QueryTypes()); got != 3 {
+		t.Fatalf("registration must survive eviction: %d types, want 3", got)
+	}
+	// Every query type — evicted or not — prepares to the same cells as
+	// the unbounded reference.
+	for _, id := range reference.QueryTypes() {
+		want, err := reference.Prepare(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bounded.Prepare(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc, gc := want.Cells(), got.Cells()
+		if len(wc) != len(gc) {
+			t.Fatalf("type %q: %d cells vs %d", id, len(gc), len(wc))
+		}
+		for i := range wc {
+			if fmt.Sprintf("%+v", wc[i]) != fmt.Sprintf("%+v", gc[i]) {
+				t.Fatalf("type %q cell %d: %+v vs %+v", id, i, gc[i], wc[i])
+			}
+		}
+	}
+}
+
+// TestCubeSetBoundedGrowth scripts a long insert/prepare loop against a
+// tiny cap and checks the store never settles over it.
+func TestCubeSetBoundedGrowth(t *testing.T) {
+	col := obs.NewCollector()
+	cs := NewCubeSetSized(MustSchema("a", "b"), cache.Caps{Entries: 2})
+	cs.AttachObs(col)
+	ids := make([]QueryTypeID, 0, 4)
+	for _, dims := range [][]string{{"a"}, {"b"}, {"a", "b"}} {
+		id, err := cs.RegisterQueryType(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < 30; i++ {
+		if err := cs.Insert(Row{Coords: []string{fmt.Sprintf("x%d", i), "y"}, Measure: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cs.Prepare(ids[i%len(ids)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := col.MetricsSnapshot()
+	if lvl := snap.Counters["olap.cubeset.entries"]; lvl > 2 {
+		t.Fatalf("entries level %v over the 2-entry cap", lvl)
+	}
+	if cs.CacheEvictions() == 0 {
+		t.Fatal("no evictions across 30 rounds with 3 types under a 2-entry cap")
+	}
+	if snap.Counters["olap.cubeset.evictions"] != float64(cs.CacheEvictions()) {
+		t.Fatalf("evictions counter %v != %d",
+			snap.Counters["olap.cubeset.evictions"], cs.CacheEvictions())
+	}
+}

@@ -4,17 +4,23 @@ import (
 	"math"
 	"sync"
 
+	"bohr/internal/cache"
 	"bohr/internal/engine"
 	"bohr/internal/obs"
 	"bohr/internal/olap"
 )
 
 // Counter names the planner cube cache registers on an attached
-// collector. They flow into core.Report via the metrics snapshot.
+// collector. They flow into core.Report via the metrics snapshot. The
+// backing store additionally registers placement.cubecache.{entries,
+// bytes,evictions} level counters.
 const (
 	CounterCubeCacheHits   = "placement.cubecache.hits"
 	CounterCubeCacheMisses = "placement.cubecache.misses"
 )
+
+// cubeCacheMetricPrefix names the bounded store's level counters.
+const cubeCacheMetricPrefix = "placement.cubecache"
 
 // CubeCache memoizes the per-site dominant-dimension cubes ComputeStats
 // builds from a cluster snapshot, keyed by (dataset, site, query type)
@@ -22,16 +28,20 @@ const (
 // mode replans every few batches over largely unchanged sites; a valid
 // entry skips the full cube rebuild for that site. Cached cubes are
 // shared read-only — every consumer (probe construction, scoring) only
-// reads, per Cube's concurrency contract. There is no eviction — see
-// ROADMAP "Open items"; entries are bounded by datasets × sites.
+// reads, per Cube's concurrency contract. The backing store is bounded
+// (cache.DefaultCaps by default) with deterministic LRU eviction;
+// drivers advance its logical clock once per placement round via
+// Advance. A content-hash mismatch deletes the stale entry immediately
+// so a superseded cube's memory is released even if no rebuild follows.
 //
 // A nil *CubeCache is valid and disables memoization.
 type CubeCache struct {
-	mu      sync.Mutex
-	entries map[string]cubeCacheEntry
-	hits    uint64
-	misses  uint64
-	col     *obs.Collector
+	mu       sync.Mutex
+	store    *cache.Store[string, cubeCacheEntry]
+	inflight map[string]*cubeFlight
+	hits     uint64
+	misses   uint64
+	col      *obs.Collector
 }
 
 type cubeCacheEntry struct {
@@ -39,12 +49,50 @@ type cubeCacheEntry struct {
 	cube *olap.Cube
 }
 
-// NewCubeCache creates an empty cache. A non-nil collector receives the
-// hit/miss counters (registered immediately at zero).
+// cubeFlight is one in-progress build other goroutines can wait on.
+type cubeFlight struct {
+	hash uint64
+	wg   sync.WaitGroup
+	cube *olap.Cube
+	err  error
+}
+
+// cubeEntryBytes estimates a cached cube's resident size: the cube's
+// own storage estimate plus key and entry overhead.
+func cubeEntryBytes(key string, e cubeCacheEntry) int64 {
+	n := int64(len(key)) + 64
+	if e.cube != nil {
+		n += e.cube.StorageBytes()
+	}
+	return n
+}
+
+// NewCubeCache creates a cache bounded by the process-wide default
+// capacities. A non-nil collector receives the hit/miss and store-level
+// counters (registered immediately at zero).
 func NewCubeCache(col *obs.Collector) *CubeCache {
+	return NewCubeCacheSized(col, cache.DefaultCaps())
+}
+
+// NewCubeCacheSized creates a cache with explicit capacity limits
+// (cache.Unlimited() disables eviction).
+func NewCubeCacheSized(col *obs.Collector, caps cache.Caps) *CubeCache {
 	col.Count(CounterCubeCacheHits, 0)
 	col.Count(CounterCubeCacheMisses, 0)
-	return &CubeCache{entries: make(map[string]cubeCacheEntry), col: col}
+	return &CubeCache{
+		store:    cache.New[string, cubeCacheEntry](cubeCacheMetricPrefix, caps, col, cubeEntryBytes),
+		inflight: make(map[string]*cubeFlight),
+		col:      col,
+	}
+}
+
+// Advance moves the cache's logical clock one round forward and evicts
+// over capacity. Call from sequential driver code at round boundaries.
+func (cc *CubeCache) Advance() {
+	if cc == nil {
+		return
+	}
+	cc.store.Advance()
 }
 
 // Stats reports cumulative cache hits and misses.
@@ -55,6 +103,30 @@ func (cc *CubeCache) Stats() (hits, misses uint64) {
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	return cc.hits, cc.misses
+}
+
+// Len reports the number of cached cubes.
+func (cc *CubeCache) Len() int {
+	if cc == nil {
+		return 0
+	}
+	return cc.store.Len()
+}
+
+// Bytes reports the estimated resident bytes of cached cubes.
+func (cc *CubeCache) Bytes() int64 {
+	if cc == nil {
+		return 0
+	}
+	return cc.store.Bytes()
+}
+
+// Evictions reports how many cubes have been evicted over capacity.
+func (cc *CubeCache) Evictions() uint64 {
+	if cc == nil {
+		return 0
+	}
+	return cc.store.Evictions()
 }
 
 // hashRecords fingerprints a site's stored records for one dataset:
@@ -83,14 +155,19 @@ func hashRecords(recs []engine.KV) uint64 {
 	return h
 }
 
-// get returns the cached cube for key when its content hash matches.
+// get returns the cached cube for key when its content hash matches. A
+// mismatched entry is stale by definition (the site's records changed)
+// and is deleted immediately rather than pinned until the next put.
 func (cc *CubeCache) get(key string, hash uint64) (*olap.Cube, bool) {
 	if cc == nil {
 		return nil, false
 	}
-	cc.mu.Lock()
-	e, ok := cc.entries[key]
+	e, ok := cc.store.Get(key)
 	hit := ok && e.hash == hash
+	if ok && !hit {
+		cc.store.Delete(key)
+	}
+	cc.mu.Lock()
 	if hit {
 		cc.hits++
 	} else {
@@ -110,7 +187,58 @@ func (cc *CubeCache) put(key string, hash uint64, cube *olap.Cube) {
 	if cc == nil {
 		return
 	}
-	cc.mu.Lock()
-	cc.entries[key] = cubeCacheEntry{hash: hash, cube: cube}
-	cc.mu.Unlock()
+	cc.store.Put(key, cubeCacheEntry{hash: hash, cube: cube})
+}
+
+// GetOrBuild returns the cached cube for key/hash, or builds it exactly
+// once under per-key singleflight: concurrent planner goroutines
+// missing on the same key wait for the first builder instead of each
+// rebuilding the full cube. Hit/miss counters see one lookup per
+// caller (waiters missed too — they just share the rebuild cost). A
+// flight for a different hash is not joined: the records changed under
+// us, so the caller rebuilds for its own snapshot. A nil *CubeCache
+// just builds.
+func (cc *CubeCache) GetOrBuild(key string, hash uint64, build func() (*olap.Cube, error)) (*olap.Cube, error) {
+	if cc == nil {
+		return build()
+	}
+	if cube, ok := cc.get(key, hash); ok {
+		return cube, nil
+	}
+	for {
+		cc.mu.Lock()
+		if fl, ok := cc.inflight[key]; ok && fl.hash == hash {
+			cc.mu.Unlock()
+			fl.wg.Wait()
+			if fl.err == nil {
+				return fl.cube, nil
+			}
+			// The builder we joined failed; retry as the builder.
+			continue
+		}
+		// No matching flight. A successful builder puts before it
+		// deregisters, so flight-absence means any finished build is
+		// already visible here — re-check before building ourselves.
+		if e, ok := cc.store.Peek(key); ok && e.hash == hash {
+			cc.mu.Unlock()
+			return e.cube, nil
+		}
+		fl := &cubeFlight{hash: hash}
+		fl.wg.Add(1)
+		cc.inflight[key] = fl
+		cc.mu.Unlock()
+
+		fl.cube, fl.err = build()
+		if fl.err == nil {
+			cc.put(key, hash, fl.cube)
+		}
+		cc.mu.Lock()
+		delete(cc.inflight, key)
+		cc.mu.Unlock()
+		fl.wg.Done()
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl.cube, nil
+	}
 }

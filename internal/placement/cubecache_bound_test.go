@@ -1,0 +1,142 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bohr/internal/cache"
+	"bohr/internal/engine"
+	"bohr/internal/obs"
+	"bohr/internal/olap"
+)
+
+// TestCubeCacheMismatchDeletes is the regression test for the PR 4 bug
+// where a content-hash mismatch left the stale entry (and its cube's
+// memory) pinned until a later put: the mismatched entry must be gone
+// immediately.
+func TestCubeCacheMismatchDeletes(t *testing.T) {
+	cc := NewCubeCache(obs.NewCollector())
+	recs := []engine.KV{{Key: "a|b", Val: 1}}
+	cc.put("k", hashRecords(recs), nil)
+	if cc.Len() != 1 {
+		t.Fatalf("len = %d, want 1", cc.Len())
+	}
+	changed := []engine.KV{{Key: "a|b", Val: 2}}
+	if _, ok := cc.get("k", hashRecords(changed)); ok {
+		t.Fatal("stale entry hit")
+	}
+	if cc.Len() != 0 {
+		t.Fatalf("stale entry still resident: len = %d", cc.Len())
+	}
+}
+
+// TestCubeCacheGetOrBuildSingleflight checks that concurrent misses on
+// one key run the build exactly once and everybody gets its result.
+func TestCubeCacheGetOrBuildSingleflight(t *testing.T) {
+	cc := NewCubeCache(nil)
+	schema, err := olap.NewSchema("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := olap.BuildCube(schema, []olap.Row{{Coords: []string{"x"}, Measure: 1}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Int32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]*olap.Cube, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			cube, err := cc.GetOrBuild("key", 42, func() (*olap.Cube, error) {
+				builds.Add(1)
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = cube
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+	for g, cube := range results {
+		if cube != want {
+			t.Fatalf("goroutine %d got a different cube", g)
+		}
+	}
+	// Hit/miss accounting: each caller counts exactly one lookup (a
+	// late starter may hit the already-put result), and at least the
+	// builder itself missed.
+	hits, misses := cc.Stats()
+	if hits+misses != 16 || misses < 1 {
+		t.Fatalf("hits/misses = %d/%d, want 16 total with >=1 miss", hits, misses)
+	}
+	// The built cube is cached for the next round.
+	if cube, ok := cc.get("key", 42); !ok || cube != want {
+		t.Fatal("singleflight result not cached")
+	}
+}
+
+// TestCubeCacheGetOrBuildError checks a failed build is not cached and
+// joined waiters retry as builders rather than inheriting the error
+// blindly.
+func TestCubeCacheGetOrBuildError(t *testing.T) {
+	cc := NewCubeCache(nil)
+	boom := errors.New("boom")
+	if _, err := cc.GetOrBuild("k", 1, func() (*olap.Cube, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if cc.Len() != 0 {
+		t.Fatal("failed build was cached")
+	}
+	cube, err := cc.GetOrBuild("k", 1, func() (*olap.Cube, error) {
+		return nil, nil
+	})
+	if err != nil || cube != nil {
+		t.Fatalf("retry after failure: cube=%v err=%v", cube, err)
+	}
+}
+
+// TestCubeCacheNilGetOrBuild checks the disabled-cache path.
+func TestCubeCacheNilGetOrBuild(t *testing.T) {
+	var cc *CubeCache
+	n := 0
+	for i := 0; i < 2; i++ {
+		if _, err := cc.GetOrBuild("k", 1, func() (*olap.Cube, error) { n++; return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 2 {
+		t.Fatalf("nil cache memoized: %d builds, want 2", n)
+	}
+	cc.Advance() // must not panic
+}
+
+// TestCubeCacheEviction checks bounded growth under many distinct keys.
+func TestCubeCacheEviction(t *testing.T) {
+	cc := NewCubeCacheSized(obs.NewCollector(), cache.Caps{Entries: 3})
+	for round := 0; round < 8; round++ {
+		cc.Advance()
+		for i := 0; i < 2; i++ {
+			cc.put(fmt.Sprintf("r%d-%d", round, i), uint64(round), nil)
+		}
+	}
+	cc.Advance()
+	if cc.Len() > 3 {
+		t.Fatalf("len = %d over the 3-entry cap", cc.Len())
+	}
+	if cc.Evictions() == 0 {
+		t.Fatal("no evictions with 16 keys under a 3-entry cap")
+	}
+}

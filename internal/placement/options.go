@@ -3,6 +3,7 @@ package placement
 import (
 	"bohr/internal/faults"
 	"bohr/internal/obs"
+	"bohr/internal/similarity"
 )
 
 // Option is a functional configuration knob for planning. Options build on
@@ -59,3 +60,11 @@ func WithObs(c *obs.Collector) Option { return func(o *Options) { o.Obs = c } }
 // bandwidth view it implies, and the modeled run applies its events in
 // modeled time.
 func WithFaults(s *faults.Schedule) Option { return func(o *Options) { o.Faults = s } }
+
+// WithCubeCache attaches a shared planning cube cache that persists
+// across planning rounds (content-hash validated, bounded LRU).
+func WithCubeCache(cc *CubeCache) Option { return func(o *Options) { o.CubeCache = cc } }
+
+// WithSigCache attaches a shared minhash signature cache for the RDD
+// assigner that persists across planning rounds (bounded LRU).
+func WithSigCache(sc *similarity.SignatureCache) Option { return func(o *Options) { o.SigCache = sc } }

@@ -134,6 +134,11 @@ type Options struct {
 	// planning rounds (content-hash validated). Dynamic mode attaches one
 	// automatically; single-shot planning gains nothing from it.
 	CubeCache *CubeCache
+	// SigCache optionally memoizes minhash signatures across planning
+	// rounds for the RDD assigner. Nil makes each RDD plan create its
+	// own per-plan cache; dynamic mode passes a shared one so recurring
+	// rounds reuse (and eviction bounds) it.
+	SigCache *similarity.SignatureCache
 }
 
 // withDefaults fills zero fields.
@@ -258,6 +263,11 @@ func (p *Plan) Execute(c *engine.Cluster, seed int64) (*engine.MoveResult, error
 // cluster snapshot (pre-movement).
 func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Options) (*Plan, error) {
 	opts = opts.withDefaults()
+	// A planning round is one tick of the memo caches' logical clocks:
+	// entries untouched for enough rounds age out here, at a sequential
+	// point, never from inside the pooled kernels below.
+	opts.CubeCache.Advance()
+	opts.SigCache.Advance()
 	planTop, err := plannerTopology(c.Top, opts)
 	if err != nil {
 		return nil, err
@@ -375,11 +385,15 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 
 	if id.usesRDD() {
 		asg := rdd.NewAssigner(stats.Split(opts.Seed, 77))
-		// One signature cache per plan: the assigner re-places largely
-		// identical partitions on every recurring query, so signatures
-		// mostly hit after the first round. Counters land in the report's
-		// metrics snapshot via opts.Obs.
-		asg.Cache = similarity.NewSignatureCache(opts.Obs)
+		// The assigner re-places largely identical partitions on every
+		// recurring query, so signatures mostly hit after the first
+		// round. A shared cache from opts (dynamic mode) persists across
+		// plans; otherwise one per-plan cache. Counters land in the
+		// report's metrics snapshot via opts.Obs.
+		asg.Cache = opts.SigCache
+		if asg.Cache == nil {
+			asg.Cache = similarity.NewSignatureCache(opts.Obs)
+		}
 		plan.Assigner = asg
 	}
 	return plan, nil

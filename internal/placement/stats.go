@@ -105,19 +105,17 @@ func ComputeStatsCached(c *engine.Cluster, ds *workload.Dataset, probeK int, cac
 		recs := c.Data[i].Records(ds.Name)
 		key := ds.Name + "\x1f" + strconv.Itoa(i) + "\x1f" + string(qt)
 		hash := hashRecords(recs)
-		if cube, ok := cache.get(key, hash); ok {
+		return cache.GetOrBuild(key, hash, func() (*olap.Cube, error) {
+			rows := make([]olap.Row, len(recs))
+			for r, rec := range recs {
+				rows[r] = olap.Row{Coords: workload.SplitKey(proj(rec.Key)), Measure: rec.Val}
+			}
+			cube, berr := olap.BuildCube(schema, rows, 0)
+			if berr != nil {
+				return nil, fmt.Errorf("placement: dataset %q site %d: %w", ds.Name, i, berr)
+			}
 			return cube, nil
-		}
-		rows := make([]olap.Row, len(recs))
-		for r, rec := range recs {
-			rows[r] = olap.Row{Coords: workload.SplitKey(proj(rec.Key)), Measure: rec.Val}
-		}
-		cube, berr := olap.BuildCube(schema, rows, 0)
-		if berr != nil {
-			return nil, fmt.Errorf("placement: dataset %q site %d: %w", ds.Name, i, berr)
-		}
-		cache.put(key, hash, cube)
-		return cube, nil
+		})
 	})
 	if err != nil {
 		return nil, err

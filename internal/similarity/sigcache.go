@@ -3,16 +3,22 @@ package similarity
 import (
 	"sync"
 
+	"bohr/internal/cache"
 	"bohr/internal/obs"
 	"bohr/internal/parallel"
 )
 
 // Counter names the signature cache registers on an attached collector.
-// They flow into core.Report via the metrics snapshot.
+// They flow into core.Report via the metrics snapshot. The backing
+// store additionally registers similarity.sigcache.{entries,bytes,
+// evictions} level counters.
 const (
 	CounterSigCacheHits   = "similarity.sigcache.hits"
 	CounterSigCacheMisses = "similarity.sigcache.misses"
 )
+
+// sigCacheMetricPrefix names the bounded store's level counters.
+const sigCacheMetricPrefix = "similarity.sigcache"
 
 // HashKeys returns the order-sensitive FNV-1a content hash of a key set.
 // Keys are framed by a terminator byte below the printable range, so
@@ -32,31 +38,58 @@ func HashKeys(keys []string) uint64 {
 	return h
 }
 
+// sigBytes estimates the resident size of one cached signature: the
+// slice backing array plus header and map-entry overhead.
+func sigBytes(_ uint64, sig []uint64) int64 {
+	return int64(8*len(sig) + 48)
+}
+
 // SignatureCache memoizes minhash signatures by partition content hash,
 // so recurring placement rounds skip re-hashing partitions whose key
 // sets did not change. Entries additionally mix in the hasher's first
 // per-function seed, so one cache can safely serve differently-seeded
-// hashers without cross-talk. There is no eviction — see ROADMAP "Open
-// items"; partition populations per run are bounded and rounds reuse,
-// not grow, the key space.
+// hashers without cross-talk. The backing store is bounded
+// (cache.DefaultCaps by default) with deterministic LRU eviction;
+// drivers advance its logical clock once per placement round via
+// Advance, and new content hashes from a long dynamic run age out
+// instead of growing without bound.
 //
 // The zero of the pointer type is valid: a nil *SignatureCache passes
 // every batch straight through to the hasher.
 type SignatureCache struct {
-	mu      sync.Mutex
-	entries map[uint64][]uint64
-	hits    uint64
-	misses  uint64
-	col     *obs.Collector
+	mu     sync.Mutex
+	store  *cache.Store[uint64, []uint64]
+	hits   uint64
+	misses uint64
+	col    *obs.Collector
 }
 
-// NewSignatureCache creates an empty cache. A non-nil collector receives
-// the hit/miss counters (registered immediately at zero so they appear
-// in metrics snapshots before the first batch).
+// NewSignatureCache creates a cache bounded by the process-wide default
+// capacities. A non-nil collector receives the hit/miss and store-level
+// counters (registered immediately at zero so they appear in metrics
+// snapshots before the first batch).
 func NewSignatureCache(col *obs.Collector) *SignatureCache {
+	return NewSignatureCacheSized(col, cache.DefaultCaps())
+}
+
+// NewSignatureCacheSized creates a cache with explicit capacity limits
+// (cache.Unlimited() disables eviction).
+func NewSignatureCacheSized(col *obs.Collector, caps cache.Caps) *SignatureCache {
 	col.Count(CounterSigCacheHits, 0)
 	col.Count(CounterSigCacheMisses, 0)
-	return &SignatureCache{entries: make(map[uint64][]uint64), col: col}
+	return &SignatureCache{
+		store: cache.New[uint64, []uint64](sigCacheMetricPrefix, caps, col, sigBytes),
+		col:   col,
+	}
+}
+
+// Advance moves the cache's logical clock one round forward and evicts
+// over capacity. Call from sequential driver code at round boundaries.
+func (c *SignatureCache) Advance() {
+	if c == nil {
+		return
+	}
+	c.store.Advance()
 }
 
 // Stats reports cumulative cache hits and misses.
@@ -74,17 +107,35 @@ func (c *SignatureCache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	return c.store.Len()
+}
+
+// Bytes reports the estimated resident bytes of cached signatures.
+func (c *SignatureCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.store.Bytes()
+}
+
+// Evictions reports how many signatures have been evicted over capacity.
+func (c *SignatureCache) Evictions() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.store.Evictions()
 }
 
 // SignatureBatch is MinHasher.SignatureBatch with memoization: cached
 // key sets are served by content hash, the rest are computed on the
-// worker pool and stored. Results are positionally identical to the
-// uncached batch (cached signatures were computed by the same pure
-// function), so caching never perturbs determinism. Callers must not
-// mutate the returned signatures — they are shared with the cache.
+// worker pool and stored. Duplicate key sets within one batch are
+// deduplicated before the pooled compute — the first occurrence counts
+// as the sole miss, later occurrences count as hits and share its
+// result — so misses reflect unique work. Results are positionally
+// identical to the uncached batch (cached signatures were computed by
+// the same pure function), so caching never perturbs determinism.
+// Callers must not mutate the returned signatures — they are shared
+// with the cache.
 func (c *SignatureCache) SignatureBatch(h *MinHasher, keysets [][]string, width int) [][]uint64 {
 	if c == nil {
 		return h.SignatureBatch(keysets, width)
@@ -92,32 +143,44 @@ func (c *SignatureCache) SignatureBatch(h *MinHasher, keysets [][]string, width 
 	tag := h.seeds[0]
 	out := make([][]uint64, len(keysets))
 	hashes := make([]uint64, len(keysets))
-	var missIdx []int
-	c.mu.Lock()
+	var missIdx []int       // first occurrence per unique uncached hash
+	var dupIdx []int        // later occurrences, filled after compute
+	pos := map[uint64]int{} // uncached hash -> position in missIdx
+	var hits, misses uint64
 	for i, ks := range keysets {
 		hashes[i] = mix64(HashKeys(ks) ^ tag)
-		if sig, ok := c.entries[hashes[i]]; ok {
+		if sig, ok := c.store.Get(hashes[i]); ok {
 			out[i] = sig
-			c.hits++
-		} else {
-			missIdx = append(missIdx, i)
-			c.misses++
+			hits++
+			continue
 		}
+		if _, pending := pos[hashes[i]]; pending {
+			dupIdx = append(dupIdx, i)
+			hits++
+			continue
+		}
+		pos[hashes[i]] = len(missIdx)
+		missIdx = append(missIdx, i)
+		misses++
 	}
+	c.mu.Lock()
+	c.hits += hits
+	c.misses += misses
 	c.mu.Unlock()
-	c.col.Count(CounterSigCacheHits, float64(len(keysets)-len(missIdx)))
-	c.col.Count(CounterSigCacheMisses, float64(len(missIdx)))
+	c.col.Count(CounterSigCacheHits, float64(hits))
+	c.col.Count(CounterSigCacheMisses, float64(misses))
 	if len(missIdx) == 0 {
 		return out
 	}
 	sigs, _ := parallel.MapOrdered(width, len(missIdx), func(j int) ([]uint64, error) {
 		return h.Signature(keysets[missIdx[j]]), nil
 	})
-	c.mu.Lock()
 	for j, i := range missIdx {
 		out[i] = sigs[j]
-		c.entries[hashes[i]] = sigs[j]
+		c.store.Put(hashes[i], sigs[j])
 	}
-	c.mu.Unlock()
+	for _, i := range dupIdx {
+		out[i] = sigs[pos[hashes[i]]]
+	}
 	return out
 }

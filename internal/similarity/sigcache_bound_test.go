@@ -1,0 +1,98 @@
+package similarity
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bohr/internal/cache"
+	"bohr/internal/obs"
+)
+
+// TestSignatureBatchDedupesWithinBatch is the regression test for the
+// PR 4 bug where duplicate key sets inside one batch each landed in the
+// miss list: the same signature was computed N times and misses were
+// over-counted. One batch with 3 copies of one set and 2 of another
+// must compute 2 signatures, count 2 misses, and return the shared
+// result at every position.
+func TestSignatureBatchDedupesWithinBatch(t *testing.T) {
+	h, err := NewMinHasher(32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []string{"k1", "k2", "k3"}
+	b := []string{"k4", "k5"}
+	batch := [][]string{a, b, a, a, b}
+
+	col := obs.NewCollector()
+	c := NewSignatureCache(col)
+	got := c.SignatureBatch(h, batch, 2)
+
+	hits, misses := c.Stats()
+	if misses != 2 {
+		t.Fatalf("misses = %d, want 2 (unique sets only)", misses)
+	}
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3 (in-batch duplicates)", hits)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache entries = %d, want 2", c.Len())
+	}
+	wantA, wantB := h.Signature(a), h.Signature(b)
+	for i, want := range [][]uint64{wantA, wantB, wantA, wantA, wantB} {
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("slot %d signature wrong", i)
+		}
+	}
+	snap := col.MetricsSnapshot()
+	if snap.Counters[CounterSigCacheMisses] != 2 || snap.Counters[CounterSigCacheHits] != 3 {
+		t.Fatalf("collector hits/misses = %v/%v, want 3/2",
+			snap.Counters[CounterSigCacheHits], snap.Counters[CounterSigCacheMisses])
+	}
+
+	// Warm repeat: all five are plain hits now.
+	_ = c.SignatureBatch(h, batch, 2)
+	hits, misses = c.Stats()
+	if hits != 8 || misses != 2 {
+		t.Fatalf("warm stats = %d/%d, want 8/2", hits, misses)
+	}
+}
+
+// TestSignatureCacheEviction checks the bounded store underneath: old
+// content hashes age out LRU at round boundaries and the level counters
+// follow.
+func TestSignatureCacheEviction(t *testing.T) {
+	h, err := NewMinHasher(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector()
+	c := NewSignatureCacheSized(col, cache.Caps{Entries: 4})
+	for round := 0; round < 10; round++ {
+		batch := make([][]string, 3)
+		for i := range batch {
+			batch[i] = []string{fmt.Sprintf("r%d-%d", round, i)}
+		}
+		_ = c.SignatureBatch(h, batch, 1)
+		c.Advance()
+		if c.Len() > 4 {
+			t.Fatalf("round %d: %d entries over cap", round, c.Len())
+		}
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("no evictions under a 4-entry cap with 30 unique sets")
+	}
+	snap := col.MetricsSnapshot()
+	if snap.Counters["similarity.sigcache.entries"] != float64(c.Len()) {
+		t.Fatalf("entries counter %v != Len %d",
+			snap.Counters["similarity.sigcache.entries"], c.Len())
+	}
+	if snap.Counters["similarity.sigcache.evictions"] != float64(c.Evictions()) {
+		t.Fatalf("evictions counter %v != %d",
+			snap.Counters["similarity.sigcache.evictions"], c.Evictions())
+	}
+	if snap.Counters["similarity.sigcache.bytes"] != float64(c.Bytes()) {
+		t.Fatalf("bytes counter %v != %d",
+			snap.Counters["similarity.sigcache.bytes"], c.Bytes())
+	}
+}
