@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt-check race determinism fuzz-short bounded-growth golden bench bench-snapshot
+.PHONY: all build test check vet fmt-check ctxcheck race determinism fuzz-short bounded-growth golden bench bench-snapshot
 
 all: build
 
@@ -10,17 +10,26 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI gate: static checks, the race detector on the packages
-# with real concurrency (engine's pooled job runner, the parallel worker
-# pool, olap's pooled cube builds, similarity's pooled signature/probe
-# kernels, obs's collector plus its export/critpath subpackages — covered
-# by the ./internal/obs/... wildcard — the live netio path and fault
-# injector), one short round of each fuzz harness, and the report
-# determinism check including cross-pool-width byte identity.
-check: vet fmt-check race fuzz-short determinism bounded-growth
+# check is the CI gate: static checks (including the context-first API
+# gate), the race detector on the packages with real concurrency
+# (engine's pooled job runner, the parallel worker pool, olap's pooled
+# cube builds, similarity's pooled signature/probe kernels, obs's
+# collector plus its export/critpath subpackages — covered by the
+# ./internal/obs/... wildcard — the live netio path, fault injector, and
+# the multi-tenant serve front end), one short round of each fuzz
+# harness, and the report determinism check including cross-pool-width
+# byte identity.
+check: vet fmt-check ctxcheck race fuzz-short determinism bounded-growth
 
 vet:
 	$(GO) vet ./...
+
+# ctxcheck rejects exported functions in the I/O-bearing packages
+# (core, engine, netio, serve) whose names announce I/O or execution
+# but that do not take a leading context.Context (Deprecated: bridges
+# are exempt). See cmd/ctxcheck.
+ctxcheck:
+	$(GO) run ./cmd/ctxcheck
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -32,7 +41,7 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/obs/... \
 		./internal/netio/... ./internal/faults/... \
 		./internal/parallel/... ./internal/olap/... ./internal/similarity/... \
-		./internal/cache/...
+		./internal/cache/... ./internal/serve/...
 
 # fuzz-short runs each native fuzz target briefly against its checked-in
 # seed corpus — a smoke round, not a campaign. One -fuzz invocation per
@@ -89,4 +98,4 @@ bench:
 # bench-snapshot appends to the perf trajectory: one JSON document of
 # benchmark measurements per PR (BENCH_<tag>.json at the repo root).
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -tag pr5
+	$(GO) run ./cmd/benchsnap -tag pr6

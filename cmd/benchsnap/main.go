@@ -8,23 +8,33 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
 	"bohr/internal/cache"
+	"bohr/internal/core"
 	"bohr/internal/experiments"
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
 	"bohr/internal/obs/export"
 	"bohr/internal/olap"
 	"bohr/internal/parallel"
+	"bohr/internal/placement"
+	"bohr/internal/serve"
 	"bohr/internal/similarity"
 	"bohr/internal/stats"
+	"bohr/internal/workload"
 )
 
 // BenchResult is one benchmark's measurement.
@@ -51,6 +61,19 @@ type CacheStats struct {
 	ResidentBytes int64   `json:"resident_bytes"`
 }
 
+// ServeStat measures the multi-tenant query front end under one client
+// shape: N tenants each issuing requests sequentially over HTTP against
+// the fair scheduler, with the result cache either effective (every
+// tenant repeats the same statement) or bypassed.
+type ServeStat struct {
+	Tenants       int     `json:"tenants"`
+	Cached        bool    `json:"cached"`
+	Requests      int     `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
 // Snapshot is the document benchsnap writes.
 type Snapshot struct {
 	Tag        string        `json:"tag"`
@@ -61,6 +84,7 @@ type Snapshot struct {
 	TakenAt    string        `json:"taken_at"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 	Cache      *CacheStats   `json:"cache_stats,omitempty"`
+	Serve      []ServeStat   `json:"serve_stats,omitempty"`
 }
 
 // benchSetup mirrors the reduced setup of the repo-level bench_test.go so
@@ -213,6 +237,109 @@ func measureCacheStats() (*CacheStats, error) {
 	return st, nil
 }
 
+// uncachedBackend wraps a serve backend and withholds content hashes,
+// which turns the front end's result cache off without touching the
+// serving path — the bypass knob the cold-cache scenarios use.
+type uncachedBackend struct{ serve.Backend }
+
+func (uncachedBackend) ContentHash(string) (uint64, bool) { return 0, false }
+
+// serveSystem prepares the small Bohr-placed system the serving
+// scenarios query — the same substrate `bohrd serve -quick` runs.
+func serveSystem() (*core.System, string, error) {
+	s := experiments.QuickSetup()
+	s.Datasets = 1
+	s.RowsPerSite = 300
+	c, w, err := s.Populated(workload.BigDataScan, false, 0)
+	if err != nil {
+		return nil, "", err
+	}
+	sys, err := core.New(c, w, placement.Bohr, s.PlacementOptions(0))
+	if err != nil {
+		return nil, "", err
+	}
+	if _, err := sys.Prepare(context.Background()); err != nil {
+		return nil, "", err
+	}
+	ds := sys.Workload.Datasets[0]
+	dim := ds.Schema.Dims()[0]
+	query := "SELECT " + dim + ", SUM(measure) FROM " + ds.Name + " GROUP BY " + dim + " LIMIT 10"
+	return sys, query, nil
+}
+
+// measureServe runs one client shape: `tenants` concurrent clients, each
+// issuing its share of ~256 requests sequentially, against a fresh front
+// end (MaxConcurrent 8, quota 2 — the bohrd serve defaults). Every
+// client sends the same statement, so with the cache on the first miss
+// fills the entry and the rest hit; with the cache bypassed every
+// request runs the engine under the fair scheduler.
+func measureServe(sys *core.System, query string, tenants int, cached bool) (ServeStat, error) {
+	var backend serve.Backend = serve.NewEngineBackend(sys)
+	if !cached {
+		backend = uncachedBackend{backend}
+	}
+	fe := serve.New(backend, serve.Config{
+		Sched: serve.SchedConfig{MaxConcurrent: 8, TenantQuota: 2, MaxQueue: 1024},
+	}, nil)
+	ts := httptest.NewServer(fe.Handler())
+	defer ts.Close()
+
+	perTenant := 256 / tenants
+	if perTenant < 1 {
+		perTenant = 1
+	}
+	total := perTenant * tenants
+	lat := make([]float64, total)
+	errs := make(chan error, tenants)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"tenant":"t%02d","query":%q}`, t, query)
+			for i := 0; i < perTenant; i++ {
+				t0 := time.Now()
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&struct{}{}); err != nil {
+					resp.Body.Close()
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("serve bench: status %d", resp.StatusCode)
+					return
+				}
+				lat[t*perTenant+i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return ServeStat{}, err
+	}
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return ServeStat{
+		Tenants:       tenants,
+		Cached:        cached,
+		Requests:      total,
+		ThroughputRPS: float64(total) / elapsed.Seconds(),
+		P50MS:         pct(0.50),
+		P99MS:         pct(0.99),
+	}, nil
+}
+
 func benchMinhashBatch(width int) func(*testing.B) {
 	return func(b *testing.B) {
 		h, err := similarity.NewMinHasher(128, 7)
@@ -231,7 +358,7 @@ func benchMinhashBatch(width int) func(*testing.B) {
 }
 
 func main() {
-	tag := flag.String("tag", "pr5", "snapshot tag; output defaults to BENCH_<tag>.json")
+	tag := flag.String("tag", "pr6", "snapshot tag; output defaults to BENCH_<tag>.json")
 	out := flag.String("out", "", "output path (overrides -tag naming)")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark measuring time (testing -benchtime)")
 	testing.Init()
@@ -321,6 +448,23 @@ func main() {
 	doc.Cache = cs
 	fmt.Fprintf(os.Stderr, "benchsnap: cache hit rate %.2f, %d evictions, %d resident bytes\n",
 		cs.HitRate, cs.Evictions, cs.ResidentBytes)
+	sys, query, err := serveSystem()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: serve setup: %v\n", err)
+		os.Exit(1)
+	}
+	for _, tenants := range []int{1, 8, 64} {
+		for _, cached := range []bool{false, true} {
+			st, err := measureServe(sys, query, tenants, cached)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsnap: serve %d tenants: %v\n", tenants, err)
+				os.Exit(1)
+			}
+			doc.Serve = append(doc.Serve, st)
+			fmt.Fprintf(os.Stderr, "benchsnap: serve %2d tenants cached=%-5v %7.0f req/s p50 %6.2fms p99 %6.2fms\n",
+				st.Tenants, st.Cached, st.ThroughputRPS, st.P50MS, st.P99MS)
+		}
+	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)

@@ -21,10 +21,9 @@ import (
 	"strings"
 	"time"
 
-	"bohr/internal/cache"
+	"bohr/internal/cliflags"
 	"bohr/internal/core"
 	"bohr/internal/experiments"
-	"bohr/internal/parallel"
 )
 
 func main() {
@@ -38,22 +37,11 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override random seed")
 		quick    = flag.Bool("quick", false, "use the small quick setup")
 		jsonOut  = flag.String("json", "", "write the machine-readable core.Report document to this file")
-		width    = flag.Int("width", 0, "worker pool width for parallel kernels (0 = GOMAXPROCS or $BOHR_PARALLEL_WIDTH, 1 = sequential)")
-		cacheEnt = flag.Int("cache-entries", -1, "memo cache entry cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_ENTRIES)")
-		cacheB   = flag.Int64("cache-bytes", -1, "memo cache resident-byte cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_BYTES)")
 	)
+	var common cliflags.Common
+	common.Register(flag.CommandLine)
 	flag.Parse()
-	parallel.SetDefaultWidth(*width)
-	if *cacheEnt >= 0 || *cacheB >= 0 {
-		caps := cache.DefaultCaps()
-		if *cacheEnt >= 0 {
-			caps.Entries = *cacheEnt
-		}
-		if *cacheB >= 0 {
-			caps.Bytes = *cacheB
-		}
-		cache.SetDefaultCaps(caps)
-	}
+	common.Apply()
 
 	s := experiments.DefaultSetup()
 	if *quick {

@@ -10,20 +10,20 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"bohr/internal/cache"
+	"bohr/internal/cliflags"
 	"bohr/internal/core"
 	"bohr/internal/experiments"
 	"bohr/internal/faults"
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
 	"bohr/internal/obs/export"
-	"bohr/internal/parallel"
 	"bohr/internal/placement"
 	"bohr/internal/sql"
 	"bohr/internal/stats"
@@ -32,14 +32,15 @@ import (
 
 // cliOpts carries the parsed command line into run.
 type cliOpts struct {
-	kindName, schemeName    string
-	datasets, rows, probeK  int
-	locality, dynamic       bool
-	seed                    int64
-	sqlText, faultSpec      string
-	jsonOut                 bool
-	critPath                bool
-	traceOut, telemetryAddr string
+	kindName, schemeName   string
+	datasets, rows, probeK int
+	locality, dynamic      bool
+	seed                   int64
+	sqlText, faultSpec     string
+	jsonOut                bool
+	critPath               bool
+	traceOut               string
+	common                 cliflags.Common
 }
 
 func main() {
@@ -57,22 +58,9 @@ func main() {
 	flag.StringVar(&o.faultSpec, "faults", "", `fault schedule, e.g. "crash:site=2,start=40,end=70;degrade:site=0,start=0,end=120,factor=0.3"`)
 	flag.BoolVar(&o.critPath, "critpath", false, "print each query's critical-path decomposition after the run")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's trace as Chrome trace-event JSON (chrome://tracing) to this file")
-	flag.StringVar(&o.telemetryAddr, "telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address during the run (e.g. 127.0.0.1:9100)")
-	width := flag.Int("width", 0, "worker pool width for parallel kernels (0 = GOMAXPROCS or $BOHR_PARALLEL_WIDTH, 1 = sequential)")
-	cacheEntries := flag.Int("cache-entries", -1, "memo cache entry cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_ENTRIES)")
-	cacheBytes := flag.Int64("cache-bytes", -1, "memo cache resident-byte cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_BYTES)")
+	o.common.Register(flag.CommandLine)
 	flag.Parse()
-	parallel.SetDefaultWidth(*width)
-	if *cacheEntries >= 0 || *cacheBytes >= 0 {
-		caps := cache.DefaultCaps()
-		if *cacheEntries >= 0 {
-			caps.Entries = *cacheEntries
-		}
-		if *cacheBytes >= 0 {
-			caps.Bytes = *cacheBytes
-		}
-		cache.SetDefaultCaps(caps)
-	}
+	o.common.Apply()
 
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)
@@ -80,37 +68,12 @@ func main() {
 	}
 }
 
-func parseKind(name string) (workload.Kind, error) {
-	switch strings.ToLower(name) {
-	case "bigdata-scan":
-		return workload.BigDataScan, nil
-	case "bigdata-udf":
-		return workload.BigDataUDF, nil
-	case "bigdata-aggr":
-		return workload.BigDataAggr, nil
-	case "tpcds":
-		return workload.TPCDS, nil
-	case "facebook":
-		return workload.Facebook, nil
-	}
-	return 0, fmt.Errorf("unknown workload %q", name)
-}
-
-func parseScheme(name string) (placement.SchemeID, error) {
-	for _, id := range placement.AllSchemes() {
-		if strings.EqualFold(id.String(), name) {
-			return id, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown scheme %q", name)
-}
-
 func run(o cliOpts) error {
-	kind, err := parseKind(o.kindName)
+	kind, err := cliflags.ParseKind(o.kindName)
 	if err != nil {
 		return err
 	}
-	scheme, err := parseScheme(o.schemeName)
+	scheme, err := cliflags.ParseScheme(o.schemeName)
 	if err != nil {
 		return err
 	}
@@ -152,7 +115,7 @@ func run(o cliOpts) error {
 			col = obs.NewCollector()
 			opts = opts.With(placement.WithObs(col))
 		}
-		rep, err := core.RunDynamic(empty, w, scheme, opts, core.DefaultDynamicConfig())
+		rep, err := core.RunDynamic(context.Background(), empty, w, scheme, core.DefaultDynamicConfig(), core.WithPlacement(opts))
 		if err != nil {
 			return err
 		}
@@ -179,20 +142,20 @@ func run(o cliOpts) error {
 		return nil
 	}
 
-	vanilla, err := core.VanillaBaseline(c.Clone(), w)
+	vanilla, err := core.VanillaBaseline(context.Background(), c.Clone(), w)
 	if err != nil {
 		return err
 	}
 	opts := s.PlacementOptions(0)
-	needObs := o.jsonOut || o.critPath || o.traceOut != "" || o.telemetryAddr != ""
+	needObs := o.jsonOut || o.critPath || o.traceOut != "" || o.common.TelemetryAddr != ""
 	var col *obs.Collector
 	if needObs {
 		col = obs.NewCollector()
 		opts = opts.With(placement.WithObs(col))
 	}
-	if o.telemetryAddr != "" {
+	if o.common.TelemetryAddr != "" {
 		srv := export.New(col)
-		addr, err := srv.Start(o.telemetryAddr)
+		addr, err := srv.Start(o.common.TelemetryAddr)
 		if err != nil {
 			return err
 		}
@@ -203,7 +166,7 @@ func run(o cliOpts) error {
 	if err != nil {
 		return err
 	}
-	prep, err := sys.Prepare()
+	prep, err := sys.Prepare(context.Background())
 	if err != nil {
 		return err
 	}
@@ -219,7 +182,7 @@ func run(o cliOpts) error {
 		return runSQL(sys, w, o.sqlText)
 	}
 
-	rep, err := sys.RunAll()
+	rep, err := sys.RunAll(context.Background())
 	if err != nil {
 		return err
 	}
@@ -287,7 +250,7 @@ func runSQL(sys *core.System, w *workload.Workload, text string) error {
 	if err != nil {
 		return err
 	}
-	res, err := sys.RunQuery(plan.Query)
+	res, err := sys.RunQuery(context.Background(), plan.Query)
 	if err != nil {
 		return err
 	}

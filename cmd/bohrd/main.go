@@ -1,23 +1,33 @@
-// Command bohrd runs the live-TCP pieces of the Bohr reproduction.
+// Command bohrd runs the live pieces of the Bohr reproduction as
+// subcommands sharing one flag surface (see internal/cliflags).
+//
+// Serve mode runs the multi-tenant query daemon: data is generated and
+// placed once, then POST /v1/query accepts SQL + a tenant ID, with
+// telemetry on the same listener:
+//
+//	bohrd serve -workload bigdata-scan -scheme bohr -telemetry-addr 127.0.0.1:8080
+//	curl -s http://127.0.0.1:8080/v1/query -d \
+//	  '{"tenant":"alice","query":"SELECT url, SUM(measure) FROM ds0 GROUP BY url LIMIT 3"}'
 //
 // Worker mode starts one site daemon:
 //
-//	bohrd -mode worker -site 0 -listen 127.0.0.1:7000 -up 10
+//	bohrd worker -site 0 -listen 127.0.0.1:7000 -up 10
 //
 // Load mode pushes CSV records ("coord1,coord2,...,value" per line) to a
 // worker:
 //
-//	bohrd -mode load -workers 127.0.0.1:7000,127.0.0.1:7001 \
+//	bohrd load -workers 127.0.0.1:7000,127.0.0.1:7001 \
 //	      -site 0 -dataset logs -schema url,country -file data.csv
 //
 // Query mode runs a distributed projection/aggregate across workers:
 //
-//	bohrd -mode query -workers 127.0.0.1:7000,127.0.0.1:7001 \
+//	bohrd query -workers 127.0.0.1:7000,127.0.0.1:7001 \
 //	      -dataset logs -dims url -agg sum
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,43 +36,35 @@ import (
 	"strconv"
 	"strings"
 
+	"bohr/internal/cliflags"
 	"bohr/internal/core"
 	"bohr/internal/engine"
+	"bohr/internal/experiments"
 	"bohr/internal/netio"
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
 	"bohr/internal/obs/export"
+	"bohr/internal/serve"
 )
 
 func main() {
-	var (
-		mode    = flag.String("mode", "worker", "worker | load | query")
-		site    = flag.Int("site", 0, "site ID (worker, load)")
-		listen  = flag.String("listen", "127.0.0.1:0", "listen address (worker)")
-		up      = flag.Float64("up", 0, "uplink shaping in MB/s, 0 = unshaped (worker)")
-		seed    = flag.Int64("seed", 1, "random seed (worker)")
-		workers = flag.String("workers", "", "comma-separated worker addresses (load, query)")
-		dataset = flag.String("dataset", "", "dataset name (load, query)")
-		schema  = flag.String("schema", "", "comma-separated dimension names (load)")
-		file    = flag.String("file", "", "CSV file of records (load); - for stdin")
-		dims    = flag.String("dims", "", "comma-separated projection dimensions (query)")
-		agg     = flag.String("agg", "sum", "sum | count | max | min (query)")
-		queryID = flag.String("id", "q", "query identifier (query)")
-		telAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (worker, query)")
-		jsonOut = flag.Bool("json", false, "emit a core.Report JSON (stitched trace + metrics + critical path) instead of rows (query)")
-	)
-	flag.Parse()
-
+	if len(os.Args) < 2 || strings.HasPrefix(os.Args[1], "-") {
+		fmt.Fprintln(os.Stderr, "bohrd: usage: bohrd <serve|worker|load|query> [flags]")
+		os.Exit(2)
+	}
+	sub, args := os.Args[1], os.Args[2:]
 	var err error
-	switch *mode {
+	switch sub {
+	case "serve":
+		err = runServe(args)
 	case "worker":
-		err = runWorker(*site, *listen, *up, *seed, *telAddr)
+		err = runWorker(args)
 	case "load":
-		err = runLoad(splitCSV(*workers), *site, *dataset, splitCSV(*schema), *file)
+		err = runLoad(args)
 	case "query":
-		err = runQuery(splitCSV(*workers), *dataset, splitCSV(*dims), *agg, *queryID, *telAddr, *jsonOut)
+		err = runQuery(args)
 	default:
-		err = fmt.Errorf("unknown mode %q", *mode)
+		err = fmt.Errorf("unknown subcommand %q (want serve, worker, load or query)", sub)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bohrd: %v\n", err)
@@ -70,35 +72,142 @@ func main() {
 	}
 }
 
-func splitCSV(s string) []string {
-	if s == "" {
-		return nil
-	}
-	parts := strings.Split(s, ",")
-	for i := range parts {
-		parts[i] = strings.TrimSpace(parts[i])
-	}
-	return parts
-}
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("bohrd serve", flag.ExitOnError)
+	var common cliflags.Common
+	common.Register(fs)
+	var (
+		kindName   = fs.String("workload", "bigdata-scan", "workload to generate and serve")
+		schemeName = fs.String("scheme", "bohr", "placement scheme")
+		datasets   = fs.Int("datasets", 0, "datasets per workload (0 = default)")
+		rows       = fs.Int("rows", 0, "rows per site per dataset (0 = default)")
+		seed       = fs.Int64("seed", 0, "random seed (0 = default)")
+		quick      = fs.Bool("quick", true, "use the small quick setup")
+		maxConc    = fs.Int("max-concurrent", 8, "queries executing at once across tenants")
+		quota      = fs.Int("tenant-quota", 2, "concurrently executing queries per tenant")
+		maxQueue   = fs.Int("max-queue", 64, "waiting requests before admission control rejects")
+		weights    = fs.String("weights", "", `tenant scheduling weights, e.g. "alice=3,bob=1"`)
+	)
+	fs.Parse(args)
+	common.Apply()
 
-func runWorker(site int, listen string, up float64, seed int64, telAddr string) error {
-	w, err := netio.NewWorker(site, listen, up, seed)
+	kind, err := cliflags.ParseKind(*kindName)
 	if err != nil {
 		return err
 	}
-	if telAddr != "" {
+	scheme, err := cliflags.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	s := experiments.DefaultSetup()
+	if *quick {
+		s = experiments.QuickSetup()
+	}
+	if *datasets > 0 {
+		s.Datasets = *datasets
+	}
+	if *rows > 0 {
+		s.RowsPerSite = *rows
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	cluster, w, err := s.Populated(kind, false, 0)
+	if err != nil {
+		return err
+	}
+	col := obs.NewCollector(obs.WithWallClock())
+	opts := s.PlacementOptions(0)
+	opts.Obs = col
+	sys, err := core.New(cluster, w, scheme, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bohrd: placing %d datasets under %s...\n", len(w.Datasets), scheme)
+	if _, err := sys.Prepare(context.Background()); err != nil {
+		return err
+	}
+
+	schedCfg := serve.SchedConfig{
+		MaxConcurrent: *maxConc, TenantQuota: *quota, MaxQueue: *maxQueue,
+		Weights: map[string]float64{},
+	}
+	for _, pair := range cliflags.SplitCSV(*weights) {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("bad -weights entry %q (want tenant=weight)", pair)
+		}
+		wgt, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad weight in %q: %w", pair, err)
+		}
+		schedCfg.Weights[name] = wgt
+	}
+	cfg := serve.Config{Sched: schedCfg}
+	if caps, ok := common.Caps(); ok {
+		cfg.CacheCaps = caps
+	}
+	fe := serve.New(serve.NewEngineBackend(sys), cfg, col)
+
+	srv := export.New(col)
+	srv.Handle("/v1/", fe.Handler())
+	srv.GaugeFunc("serve.sched.inflight", func() float64 { return float64(fe.Scheduler().Inflight()) })
+	srv.GaugeFunc("serve.sched.queue_depth", func() float64 { return float64(fe.Scheduler().QueueDepth()) })
+	listen := common.TelemetryAddr
+	if listen == "" {
+		listen = "127.0.0.1:8080"
+	}
+	addr, err := srv.Start(listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	var names []string
+	for _, ds := range w.Datasets {
+		names = append(names, ds.Name)
+		if len(names) == 5 {
+			names = append(names, "...")
+			break
+		}
+	}
+	fmt.Printf("bohrd: serving %d datasets (%s) on http://%s/v1/query (metrics on /metrics)\n",
+		len(w.Datasets), strings.Join(names, ","), addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return nil
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("bohrd worker", flag.ExitOnError)
+	var common cliflags.Common
+	common.Register(fs)
+	var (
+		site   = fs.Int("site", 0, "site ID")
+		listen = fs.String("listen", "127.0.0.1:0", "listen address")
+		up     = fs.Float64("up", 0, "uplink shaping in MB/s, 0 = unshaped")
+		seed   = fs.Int64("seed", 1, "random seed")
+	)
+	fs.Parse(args)
+	common.Apply()
+
+	w, err := netio.NewWorker(*site, *listen, *up, *seed)
+	if err != nil {
+		return err
+	}
+	if common.TelemetryAddr != "" {
 		srv := export.New(w.Obs())
 		srv.GaugeFunc("netio.live_conns", func() float64 { return float64(w.LiveConns()) })
-		addr, err := srv.Start(telAddr)
+		addr, err := srv.Start(common.TelemetryAddr)
 		if err != nil {
 			w.Close()
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("bohrd: site %d telemetry on http://%s/metrics\n", site, addr)
+		fmt.Printf("bohrd: site %d telemetry on http://%s/metrics\n", *site, addr)
 	}
 	fmt.Printf("bohrd: site %d listening on %s (uplink %s)\n",
-		site, w.Addr(), shapeDesc(up))
+		*site, w.Addr(), shapeDesc(*up))
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
@@ -112,13 +221,27 @@ func shapeDesc(up float64) string {
 	return fmt.Sprintf("%.1f MB/s", up)
 }
 
-func runLoad(addrs []string, site int, dataset string, schema []string, file string) error {
-	if dataset == "" || len(schema) == 0 {
-		return fmt.Errorf("load mode needs -dataset and -schema")
+func runLoad(args []string) error {
+	fs := flag.NewFlagSet("bohrd load", flag.ExitOnError)
+	var common cliflags.Common
+	common.Register(fs)
+	var (
+		workers = fs.String("workers", "", "comma-separated worker addresses")
+		site    = fs.Int("site", 0, "destination site ID")
+		dataset = fs.String("dataset", "", "dataset name")
+		schema  = fs.String("schema", "", "comma-separated dimension names")
+		file    = fs.String("file", "", "CSV file of records; - for stdin")
+	)
+	fs.Parse(args)
+	common.Apply()
+
+	schemaDims := cliflags.SplitCSV(*schema)
+	if *dataset == "" || len(schemaDims) == 0 {
+		return fmt.Errorf("load needs -dataset and -schema")
 	}
 	in := os.Stdin
-	if file != "" && file != "-" {
-		f, err := os.Open(file)
+	if *file != "" && *file != "-" {
+		f, err := os.Open(*file)
 		if err != nil {
 			return err
 		}
@@ -135,8 +258,8 @@ func runLoad(addrs []string, site int, dataset string, schema []string, file str
 			continue
 		}
 		parts := strings.Split(text, ",")
-		if len(parts) != len(schema)+1 {
-			return fmt.Errorf("line %d: got %d fields, want %d coords + value", line, len(parts), len(schema))
+		if len(parts) != len(schemaDims)+1 {
+			return fmt.Errorf("line %d: got %d fields, want %d coords + value", line, len(parts), len(schemaDims))
 		}
 		val, err := strconv.ParseFloat(strings.TrimSpace(parts[len(parts)-1]), 64)
 		if err != nil {
@@ -151,24 +274,38 @@ func runLoad(addrs []string, site int, dataset string, schema []string, file str
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	ctl, err := netio.Dial(addrs)
+	ctl, err := netio.Dial(context.Background(), cliflags.SplitCSV(*workers))
 	if err != nil {
 		return err
 	}
 	defer ctl.Close()
-	if err := ctl.Put(site, dataset, schema, records); err != nil {
+	if err := ctl.Put(context.Background(), *site, *dataset, schemaDims, records); err != nil {
 		return err
 	}
-	fmt.Printf("bohrd: loaded %d records into %q at site %d\n", len(records), dataset, site)
+	fmt.Printf("bohrd: loaded %d records into %q at site %d\n", len(records), *dataset, *site)
 	return nil
 }
 
-func runQuery(addrs []string, dataset string, dims []string, agg, id, telAddr string, jsonOut bool) error {
-	if dataset == "" {
-		return fmt.Errorf("query mode needs -dataset")
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("bohrd query", flag.ExitOnError)
+	var common cliflags.Common
+	common.Register(fs)
+	var (
+		workers = fs.String("workers", "", "comma-separated worker addresses")
+		dataset = fs.String("dataset", "", "dataset name")
+		dims    = fs.String("dims", "", "comma-separated projection dimensions")
+		agg     = fs.String("agg", "sum", "sum | count | max | min")
+		queryID = fs.String("id", "q", "query identifier")
+		jsonOut = fs.Bool("json", false, "emit a core.Report JSON (stitched trace + metrics + critical path) instead of rows")
+	)
+	fs.Parse(args)
+	common.Apply()
+
+	if *dataset == "" {
+		return fmt.Errorf("query needs -dataset")
 	}
 	var op engine.CombineOp
-	switch strings.ToLower(agg) {
+	switch strings.ToLower(*agg) {
 	case "sum":
 		op = engine.OpSum
 	case "count":
@@ -178,9 +315,9 @@ func runQuery(addrs []string, dataset string, dims []string, agg, id, telAddr st
 	case "min":
 		op = engine.OpMin
 	default:
-		return fmt.Errorf("unknown aggregate %q", agg)
+		return fmt.Errorf("unknown aggregate %q", *agg)
 	}
-	ctl, err := netio.Dial(addrs)
+	ctl, err := netio.Dial(context.Background(), cliflags.SplitCSV(*workers))
 	if err != nil {
 		return err
 	}
@@ -189,23 +326,23 @@ func runQuery(addrs []string, dataset string, dims []string, agg, id, telAddr st
 	// carry the trace context so workers ship their subtrees back.
 	col := obs.NewCollector(obs.WithWallClock())
 	ctl.SetObs(col)
-	if telAddr != "" {
+	if common.TelemetryAddr != "" {
 		srv := export.New(col)
 		srv.GaugeFunc("netio.inflight_queries", func() float64 { return float64(ctl.InflightQueries()) })
-		addr, err := srv.Start(telAddr)
+		addr, err := srv.Start(common.TelemetryAddr)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bohrd: telemetry on http://%s/metrics\n", addr)
 	}
-	res, err := ctl.RunQuery(netio.QueryDTO{
-		ID: id, Dataset: dataset, Dims: dims, Combine: op,
+	res, err := ctl.RunQuery(context.Background(), netio.QueryDTO{
+		ID: *queryID, Dataset: *dataset, Dims: cliflags.SplitCSV(*dims), Combine: op,
 	}, nil)
 	if err != nil {
 		return err
 	}
-	if jsonOut {
+	if *jsonOut {
 		r := &core.Report{
 			SchemaVersion: core.ReportSchemaVersion,
 			Experiment:    "bohrd",
@@ -221,7 +358,7 @@ func runQuery(addrs []string, dataset string, dims []string, agg, id, telAddr st
 		return nil
 	}
 	fmt.Printf("bohrd: query %q finished in %v, %d cross-site records, per-site intermediate %v\n",
-		id, res.Elapsed, res.ShuffledRecords, res.IntermediatePerSite)
+		*queryID, res.Elapsed, res.ShuffledRecords, res.IntermediatePerSite)
 	limit := len(res.Output)
 	if limit > 20 {
 		limit = 20

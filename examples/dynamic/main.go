@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -38,7 +39,7 @@ func run() error {
 		}
 
 		// Static reference: all data present up front.
-		staticDoc, err := core.Run(cluster.Clone(), w, placement.Bohr, s.PlacementOptions(0))
+		staticDoc, err := core.Run(context.Background(), cluster.Clone(), w, placement.Bohr, core.WithPlacement(s.PlacementOptions(0)))
 		if err != nil {
 			return err
 		}
@@ -51,7 +52,7 @@ func run() error {
 		}
 		dyn := core.DefaultDynamicConfig()
 		dyn.Queries = 16 // 0.25 + 15 × 0.05 delivers the full corpus
-		rep, err := core.RunDynamic(empty, w, placement.Bohr, s.PlacementOptions(0), dyn)
+		rep, err := core.RunDynamic(context.Background(), empty, w, placement.Bohr, dyn, core.WithPlacement(s.PlacementOptions(0)))
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func startSites() (*netio.Controller, []*netio.Worker, error) {
 		workers = append(workers, w)
 		addrs = append(addrs, w.Addr())
 	}
-	ctl, err := netio.Dial(addrs)
+	ctl, err := netio.Dial(context.Background(), addrs)
 	if err != nil {
 		return nil, workers, err
 	}
@@ -64,7 +65,7 @@ func startSites() (*netio.Controller, []*netio.Worker, error) {
 				Val: rng.Float64() * 10,
 			}
 		}
-		if err := ctl.Put(i, dataset, schema, recs); err != nil {
+		if err := ctl.Put(context.Background(), i, dataset, schema, recs); err != nil {
 			return nil, workers, err
 		}
 	}
@@ -92,7 +93,7 @@ func run() error {
 		// sends its top cells; the controller scores them everywhere and
 		// moves records toward the most similar fast site.
 		const bottleneck = 6
-		probeStats, err := ctl.Stats(bottleneck, dataset, []string{"url"}, 30)
+		probeStats, err := ctl.Stats(context.Background(), bottleneck, dataset, []string{"url"}, 30)
 		if err != nil {
 			return 0, err
 		}
@@ -101,7 +102,7 @@ func run() error {
 			if site == bottleneck || site > 2 { // fast tier is sites 0-2
 				continue
 			}
-			score, err := ctl.Score(site, dataset, []string{"url"}, probeStats.Top)
+			score, err := ctl.Score(context.Background(), site, dataset, []string{"url"}, probeStats.Top)
 			if err != nil {
 				return 0, err
 			}
@@ -110,18 +111,18 @@ func run() error {
 				bestSite, bestScore = site, score
 			}
 		}
-		dstStats, err := ctl.Stats(bestSite, dataset, nil, 500)
+		dstStats, err := ctl.Stats(context.Background(), bestSite, dataset, nil, 500)
 		if err != nil {
 			return 0, err
 		}
-		moved, err := ctl.Move(bottleneck, bestSite, dataset, 2000, similar, dstStats.Top)
+		moved, err := ctl.Move(context.Background(), bottleneck, bestSite, dataset, 2000, similar, dstStats.Top)
 		if err != nil {
 			return 0, err
 		}
 		fmt.Printf("  moved %d records from the bottleneck to site %d (similarity-aware: %v)\n",
 			moved, bestSite, similar)
 
-		res, err := ctl.RunQuery(netio.QueryDTO{
+		res, err := ctl.RunQuery(context.Background(), netio.QueryDTO{
 			ID: queryID, Dataset: dataset, Dims: []string{"url"}, Combine: engine.OpSum,
 		}, nil)
 		if err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	vanilla, err := core.VanillaBaseline(cluster.Clone(), w)
+	vanilla, err := core.VanillaBaseline(context.Background(), cluster.Clone(), w)
 	if err != nil {
 		return err
 	}
@@ -41,7 +42,7 @@ func run() error {
 	fmt.Printf("%-12s %10s %14s %12s\n", "Scheme", "QCT", "Intermediate", "Reduction")
 
 	for _, id := range placement.AllSchemes() {
-		rep, err := core.Run(cluster.Clone(), w, id, s.PlacementOptions(0))
+		rep, err := core.Run(context.Background(), cluster.Clone(), w, id, core.WithPlacement(s.PlacementOptions(0)))
 		if err != nil {
 			return err
 		}
@@ -56,10 +57,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := sys.Prepare(); err != nil {
+	if _, err := sys.Prepare(context.Background()); err != nil {
 		return err
 	}
-	res, err := sys.RunQuery(w.Datasets[0].DominantQuery().Query)
+	res, err := sys.RunQuery(context.Background(), w.Datasets[0].DominantQuery().Query)
 	if err != nil {
 		return err
 	}

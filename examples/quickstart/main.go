@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,8 +58,8 @@ func run() error {
 		}
 		// One-shot pipeline: Prepare (probes, placement, movement in the
 		// lag) + the full workload run, as one machine-readable report.
-		rep, err := core.Run(cluster, w, id,
-			placement.NewOptions(placement.WithLag(30), placement.WithProbeK(30), placement.WithSeed(1)))
+		rep, err := core.Run(context.Background(), cluster, w, id,
+			core.WithLag(30), core.WithProbeK(30), core.WithSeed(1))
 		if err != nil {
 			return 0, 0, err
 		}

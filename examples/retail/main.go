@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -62,7 +63,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	prep, err := sys.Prepare()
+	prep, err := sys.Prepare(context.Background())
 	if err != nil {
 		return err
 	}
@@ -78,7 +79,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := sys.RunQuery(plan.Query)
+		res, err := sys.RunQuery(context.Background(), plan.Query)
 		if err != nil {
 			return err
 		}

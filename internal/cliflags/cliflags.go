@@ -1,0 +1,111 @@
+// Package cliflags is the one place the cmd tools define their shared
+// flag surface: worker-pool width, memo-cache capacity, and the
+// telemetry address register identically on every FlagSet that embeds
+// Common, so bohrctl, bohrbench, and every bohrd subcommand accept the
+// same knobs with the same semantics instead of hand-rolling drift.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"bohr/internal/cache"
+	"bohr/internal/parallel"
+	"bohr/internal/placement"
+	"bohr/internal/workload"
+)
+
+// Common is the flag set every cmd tool shares.
+type Common struct {
+	// Width is the worker pool width for parallel kernels (0 =
+	// GOMAXPROCS or $BOHR_PARALLEL_WIDTH, 1 = sequential).
+	Width int
+	// CacheEntries caps memo cache entries per cache (0 = unlimited,
+	// -1 = default or $BOHR_CACHE_ENTRIES).
+	CacheEntries int
+	// CacheBytes caps memo cache resident bytes per cache (0 =
+	// unlimited, -1 = default or $BOHR_CACHE_BYTES).
+	CacheBytes int64
+	// TelemetryAddr serves /metrics, /healthz and /debug/pprof when
+	// non-empty (e.g. 127.0.0.1:9100).
+	TelemetryAddr string
+}
+
+// Register installs the shared flags on a FlagSet (use flag.CommandLine
+// for single-command tools).
+func (c *Common) Register(fs *flag.FlagSet) {
+	fs.IntVar(&c.Width, "width", 0,
+		"worker pool width for parallel kernels (0 = GOMAXPROCS or $BOHR_PARALLEL_WIDTH, 1 = sequential)")
+	fs.IntVar(&c.CacheEntries, "cache-entries", -1,
+		"memo cache entry cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_ENTRIES)")
+	fs.Int64Var(&c.CacheBytes, "cache-bytes", -1,
+		"memo cache resident-byte cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_BYTES)")
+	fs.StringVar(&c.TelemetryAddr, "telemetry-addr", "",
+		"serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
+}
+
+// Apply pushes the parsed values into the process-wide defaults (pool
+// width, memo-cache caps). Call once, after FlagSet.Parse.
+func (c *Common) Apply() {
+	parallel.SetDefaultWidth(c.Width)
+	if caps, ok := c.Caps(); ok {
+		cache.SetDefaultCaps(caps)
+	}
+}
+
+// Caps resolves the flag values into explicit cache capacities; ok is
+// false when both flags are at their "keep the default" sentinel.
+func (c *Common) Caps() (caps cache.Caps, ok bool) {
+	if c.CacheEntries < 0 && c.CacheBytes < 0 {
+		return cache.Caps{}, false
+	}
+	caps = cache.DefaultCaps()
+	if c.CacheEntries >= 0 {
+		caps.Entries = c.CacheEntries
+	}
+	if c.CacheBytes >= 0 {
+		caps.Bytes = c.CacheBytes
+	}
+	return caps, true
+}
+
+// SplitCSV splits a comma-separated flag value, trimming whitespace;
+// empty input yields nil.
+func SplitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// ParseKind resolves a workload name flag value.
+func ParseKind(name string) (workload.Kind, error) {
+	switch strings.ToLower(name) {
+	case "bigdata-scan":
+		return workload.BigDataScan, nil
+	case "bigdata-udf":
+		return workload.BigDataUDF, nil
+	case "bigdata-aggr":
+		return workload.BigDataAggr, nil
+	case "tpcds":
+		return workload.TPCDS, nil
+	case "facebook":
+		return workload.Facebook, nil
+	}
+	return 0, fmt.Errorf("unknown workload %q", name)
+}
+
+// ParseScheme resolves a placement scheme name flag value.
+func ParseScheme(name string) (placement.SchemeID, error) {
+	for _, id := range placement.AllSchemes() {
+		if strings.EqualFold(id.String(), name) {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q", name)
+}

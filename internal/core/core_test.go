@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -59,10 +60,10 @@ func TestPrepareAndRunAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.RunQuery(w.Datasets[0].Queries[0].Query); err == nil {
+	if _, err := sys.RunQuery(context.Background(), w.Datasets[0].Queries[0].Query); err == nil {
 		t.Fatal("queries before Prepare should error")
 	}
-	prep, err := sys.Prepare()
+	prep, err := sys.Prepare(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,14 +79,14 @@ func TestPrepareAndRunAll(t *testing.T) {
 		t.Fatal("Bohr must spend probe-checking time")
 	}
 	// Prepare is idempotent: a second call returns the cached report.
-	again, err := sys.Prepare()
+	again, err := sys.Prepare(context.Background())
 	if err != nil {
 		t.Fatalf("second Prepare should be a no-op, got %v", err)
 	}
 	if again != prep {
 		t.Fatal("second Prepare should return the cached report")
 	}
-	rep, err := sys.RunAll()
+	rep, err := sys.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestPrepareAndRunAll(t *testing.T) {
 
 func TestVanillaBaselineAndDataReduction(t *testing.T) {
 	c, w := setup(t, workload.BigDataScan)
-	vanilla, err := VanillaBaseline(c.Clone(), w)
+	vanilla, err := VanillaBaseline(context.Background(), c.Clone(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,10 +118,10 @@ func TestVanillaBaselineAndDataReduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Prepare(); err != nil {
+	if _, err := sys.Prepare(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.RunAll()
+	rep, err := sys.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestDynamicConfigValidate(t *testing.T) {
 	c, w := setup(t, workload.TPCDS)
 	empty, _ := engine.NewCluster(c.Top, 1, 2, 100)
 	for i, cfg := range bad {
-		if _, err := RunDynamic(empty, w, placement.Bohr, placement.Options{}, cfg); err == nil {
+		if _, err := RunDynamic(context.Background(), empty, w, placement.Bohr, cfg, WithPlacement(placement.Options{})); err == nil {
 			t.Fatalf("case %d should error", i)
 		}
 	}
@@ -182,7 +183,7 @@ func TestDynamicConfigValidate(t *testing.T) {
 
 func TestRunDynamicNeedsEmptyCluster(t *testing.T) {
 	c, w := setup(t, workload.TPCDS) // populated
-	if _, err := RunDynamic(c, w, placement.Bohr, placement.Options{}, DefaultDynamicConfig()); err == nil {
+	if _, err := RunDynamic(context.Background(), c, w, placement.Bohr, DefaultDynamicConfig(), WithPlacement(placement.Options{})); err == nil {
 		t.Fatal("populated cluster should error")
 	}
 }
@@ -191,7 +192,7 @@ func TestRunDynamic(t *testing.T) {
 	c, w := setup(t, workload.TPCDS)
 	empty, _ := engine.NewCluster(c.Top, 1, 4, 100)
 	dyn := DynamicConfig{InitialFraction: 0.25, BatchFraction: 0.05, ReplanEvery: 5, Queries: 12}
-	rep, err := RunDynamic(empty, w, placement.Bohr, placement.Options{Seed: 3}, dyn)
+	rep, err := RunDynamic(context.Background(), empty, w, placement.Bohr, dyn, WithPlacement(placement.Options{Seed: 3}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,10 +227,10 @@ func TestDynamicCloseToStatic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := static.Prepare(); err != nil {
+	if _, err := static.Prepare(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	staticRep, err := static.RunAll()
+	staticRep, err := static.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestDynamicCloseToStatic(t *testing.T) {
 	empty, _ := engine.NewCluster(c.Top, 1, 4, 100)
 	// Deliver everything by the end: 0.25 + 15×0.05 = 1.0.
 	dyn := DynamicConfig{InitialFraction: 0.25, BatchFraction: 0.05, ReplanEvery: 5, Queries: 16}
-	dynRep, err := RunDynamic(empty, w, placement.Bohr, placement.Options{Seed: 4}, dyn)
+	dynRep, err := RunDynamic(context.Background(), empty, w, placement.Bohr, dyn, WithPlacement(placement.Options{Seed: 4}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bohr/internal/engine"
@@ -72,9 +73,14 @@ type DynamicReport struct {
 // checking and placement re-run with up-to-date information.
 //
 // The cluster passed in must be EMPTY of the workload's datasets: the
-// runner controls data arrival.
-func RunDynamic(c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID,
-	opts placement.Options, dyn DynamicConfig) (*DynamicReport, error) {
+// runner controls data arrival. The context is honored at arrival
+// boundaries (before each replan, each query round, each batch delivery)
+// and at the engine's chunk boundaries below them.
+func RunDynamic(ctx context.Context, c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID,
+	dyn DynamicConfig, options ...Option) (*DynamicReport, error) {
+	rc := resolve(options)
+	defer rc.apply()()
+	opts := rc.placement
 	if err := dyn.validate(); err != nil {
 		return nil, err
 	}
@@ -154,6 +160,9 @@ func RunDynamic(c *engine.Cluster, w *workload.Workload, scheme placement.Scheme
 	shares := planShares(plan, c.N())
 
 	for qi := 0; qi < dyn.Queries; qi++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: dynamic arrival %d: %w", qi, err)
+		}
 		// Each query arrival is one logical-clock round for the memo
 		// caches: a sequential point where over-capacity entries age out
 		// deterministically (eviction never changes results, so reports
@@ -179,7 +188,7 @@ func RunDynamic(c *engine.Cluster, w *workload.Workload, scheme placement.Scheme
 		for i, ds := range w.Datasets {
 			cfgs[i] = plan.JobConfigFor(ds.DominantQuery().Query)
 		}
-		results, err := c.RunConcurrent(cfgs)
+		results, err := c.RunConcurrent(ctx, cfgs)
 		if err != nil {
 			return nil, fmt.Errorf("core: dynamic query arrival %d: %w", qi, err)
 		}
@@ -209,6 +218,16 @@ func RunDynamic(c *engine.Cluster, w *workload.Workload, scheme placement.Scheme
 	opts.SigCache.Advance()
 	rep.MeanQCT = stats.Mean(rep.QCTs)
 	return rep, nil
+}
+
+// RunDynamicWithOptions is the pre-context positional form of RunDynamic.
+//
+// Deprecated: use RunDynamic with a context and functional options; this
+// bridge exists only so stragglers migrate deliberately, and it will be
+// removed.
+func RunDynamicWithOptions(c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID,
+	opts placement.Options, dyn DynamicConfig) (*DynamicReport, error) {
+	return RunDynamic(context.Background(), c, w, scheme, dyn, WithPlacement(opts))
 }
 
 // planShares computes, per dataset and source site, the fraction of the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -25,7 +26,7 @@ func dynCacheRun(t *testing.T, w *workload.Workload, c *engine.Cluster, caps cac
 	sc := similarity.NewSignatureCacheSized(nil, caps)
 	opts := placement.Options{Seed: 3, CubeCache: cc, SigCache: sc}
 	dyn := DynamicConfig{InitialFraction: 0.25, BatchFraction: 0.05, ReplanEvery: 3, Queries: 9}
-	rep, err := RunDynamic(empty, w, scheme, opts, dyn)
+	rep, err := RunDynamic(context.Background(), empty, w, scheme, dyn, WithPlacement(opts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestDynamicCacheBounded(t *testing.T) {
 	// (q8, q12) see unchanged sites — the recurring fast path the cube
 	// cache exists for.
 	dyn := DynamicConfig{InitialFraction: 0.25, BatchFraction: 0.25, ReplanEvery: 4, Queries: 16}
-	if _, err := RunDynamic(empty, w, placement.Bohr, opts, dyn); err != nil {
+	if _, err := RunDynamic(context.Background(), empty, w, placement.Bohr, dyn, WithPlacement(opts)); err != nil {
 		t.Fatal(err)
 	}
 	if caps.Entries > 0 && cc.Len() > caps.Entries {

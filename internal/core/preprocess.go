@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bohr/internal/obs"
@@ -79,14 +80,18 @@ func (p *Preprocessor) Ingest(site int, rows ...olap.Row) error {
 }
 
 // PrepareFor eagerly catches up the dimension cube an incoming query needs
-// at every site and returns the per-site cubes.
-func (p *Preprocessor) PrepareFor(dims []string) ([]*olap.Cube, error) {
+// at every site and returns the per-site cubes. The context is honored at
+// each site boundary, so a cancelled caller stops folding mid-fan-out.
+func (p *Preprocessor) PrepareFor(ctx context.Context, dims []string) ([]*olap.Cube, error) {
 	id := olap.QueryTypeFor(dims)
 	if _, ok := p.types[id]; !ok {
 		return nil, fmt.Errorf("core: query type %q not registered for %q", id, p.Dataset)
 	}
 	out := make([]*olap.Cube, len(p.Sites))
 	for site, cs := range p.Sites {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: prepare %q site %d: %w", p.Dataset, site, err)
+		}
 		cube, err := cs.Prepare(id)
 		if err != nil {
 			return nil, fmt.Errorf("core: prepare %q site %d: %w", p.Dataset, site, err)
@@ -118,9 +123,9 @@ func (p *Preprocessor) Probes(site, k int) ([]similarity.Probe, error) {
 
 // CrossSim scores one site's probe of one query type against every other
 // site's dimension cube, returning the similarity row S_{site,j}.
-func (p *Preprocessor) CrossSim(site int, dims []string, k int) ([]float64, error) {
+func (p *Preprocessor) CrossSim(ctx context.Context, site int, dims []string, k int) ([]float64, error) {
 	id := olap.QueryTypeFor(dims)
-	cubes, err := p.PrepareFor(dims)
+	cubes, err := p.PrepareFor(ctx, dims)
 	if err != nil {
 		return nil, err
 	}

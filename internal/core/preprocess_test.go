@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"bohr/internal/olap"
@@ -64,7 +65,7 @@ func TestPreprocessorIngestBuffering(t *testing.T) {
 	if p.Sites[0].PendingRows(id) != 1 {
 		t.Fatalf("pending = %d", p.Sites[0].PendingRows(id))
 	}
-	cubes, err := p.PrepareFor(dims)
+	cubes, err := p.PrepareFor(context.Background(), dims)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestPreprocessorPrepareForUnknownType(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.PrepareFor([]string{"nope"}); err == nil {
+	if _, err := p.PrepareFor(context.Background(), []string{"nope"}); err == nil {
 		t.Fatal("unknown query type should error")
 	}
 }
@@ -118,7 +119,7 @@ func TestPreprocessorProbesAndCrossSim(t *testing.T) {
 		t.Fatal("out-of-range site should error")
 	}
 
-	row, err := p.CrossSim(0, ds.Queries[0].Dims, 30)
+	row, err := p.CrossSim(context.Background(), 0, ds.Queries[0].Dims, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestPreprocessorProbesAndCrossSim(t *testing.T) {
 	if row[1] == 0 && row[2] == 0 {
 		t.Fatal("expected visible cross-site similarity")
 	}
-	if _, err := p.CrossSim(0, []string{"nope"}, 30); err == nil {
+	if _, err := p.CrossSim(context.Background(), 0, []string{"nope"}, 30); err == nil {
 		t.Fatal("unknown dims should error")
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"bohr/internal/engine"
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
@@ -121,16 +123,32 @@ func (s *System) Report() *Report {
 // hand-rolled New/Prepare/RunAll dance for callers that only want the
 // result document; keep the System form when you need to issue further
 // queries against the prepared cluster.
-func Run(c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID, opts placement.Options) (*Report, error) {
-	sys, err := New(c, w, scheme, opts)
+//
+// The context is the run's lifetime: it is honored at phase boundaries
+// (planning, movement) and at the engine's chunk boundaries, so a
+// deadline or cancellation stops the pipeline within one stage. Options
+// configure placement (WithPlacement adopts a whole placement.Options
+// struct), the pool width, and the memo-cache capacity.
+func Run(ctx context.Context, c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID, opts ...Option) (*Report, error) {
+	rc := resolve(opts)
+	defer rc.apply()()
+	sys, err := New(c, w, scheme, rc.placement)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sys.Prepare(); err != nil {
+	if _, err := sys.Prepare(ctx); err != nil {
 		return nil, err
 	}
-	if _, err := sys.RunAll(); err != nil {
+	if _, err := sys.RunAll(ctx); err != nil {
 		return nil, err
 	}
 	return sys.Report(), nil
+}
+
+// RunWithOptions is the pre-context positional form of Run.
+//
+// Deprecated: use Run with a context and functional options; this bridge
+// exists only so stragglers migrate deliberately, and it will be removed.
+func RunWithOptions(c *engine.Cluster, w *workload.Workload, scheme placement.SchemeID, opts placement.Options) (*Report, error) {
+	return Run(context.Background(), c, w, scheme, WithPlacement(opts))
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"testing"
@@ -103,7 +104,7 @@ func TestRunOneShot(t *testing.T) {
 		placement.WithLag(30), placement.WithProbeK(30),
 		placement.WithSeed(7), placement.WithObs(col),
 	)
-	rep, err := Run(c.Clone(), w, placement.Bohr, opts)
+	rep, err := Run(context.Background(), c.Clone(), w, placement.Bohr, WithPlacement(opts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,10 +148,10 @@ func TestRunOneShot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Prepare(); err != nil {
+	if _, err := sys.Prepare(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	run2, err := sys.RunAll()
+	run2, err := sys.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bohr/internal/engine"
@@ -70,10 +71,15 @@ type PrepareReport struct {
 // Prepare runs the offline pipeline: similarity checking via probes,
 // placement planning, and data movement. It mutates the cluster's data
 // placement. Prepare is idempotent: a second call is a no-op returning the
-// cached report of the first.
-func (s *System) Prepare() (*PrepareReport, error) {
+// cached report of the first. The context is honored at phase boundaries
+// (before planning, before movement); a cancelled Prepare leaves the
+// cluster's placement untouched.
+func (s *System) Prepare(ctx context.Context) (*PrepareReport, error) {
 	if s.plan != nil {
 		return s.prepRep, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepare: %w", err)
 	}
 	opts := s.Opts
 	opts.Obs = s.Obs
@@ -104,6 +110,9 @@ func (s *System) Prepare() (*PrepareReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: prepare move: %w", err)
+	}
 	moved, err := plan.Execute(s.Cluster, stats.Split(s.Opts.Seed, 1001))
 	if err != nil {
 		return nil, err
@@ -127,14 +136,16 @@ func (s *System) Prepare() (*PrepareReport, error) {
 // Plan exposes the computed plan (nil before Prepare).
 func (s *System) Plan() *placement.Plan { return s.plan }
 
-// RunQuery executes one query under the prepared plan.
-func (s *System) RunQuery(q engine.Query) (*engine.RunResult, error) {
+// RunQuery executes one query under the prepared plan. The context is
+// honored at the engine's chunk boundaries, so a cancelled query stops
+// within one stage without perturbing later queries' results.
+func (s *System) RunQuery(ctx context.Context, q engine.Query) (*engine.RunResult, error) {
 	if s.plan == nil {
 		return nil, fmt.Errorf("core: Prepare must run before queries")
 	}
 	cfg := s.plan.JobConfigFor(q)
 	cfg.Obs = s.Obs
-	return s.Cluster.Run(cfg)
+	return s.Cluster.Run(ctx, cfg)
 }
 
 // QueryReport is the outcome of one query execution.
@@ -164,7 +175,7 @@ type RunReport struct {
 // the way recurring queries over many datasets actually arrive and the way
 // §5's objective models them (every dataset's shuffle shares the WAN) —
 // and aggregates the metrics the paper reports.
-func (s *System) RunAll() (*RunReport, error) {
+func (s *System) RunAll(ctx context.Context) (*RunReport, error) {
 	if s.plan == nil {
 		return nil, fmt.Errorf("core: Prepare must run before queries")
 	}
@@ -185,7 +196,7 @@ func (s *System) RunAll() (*RunReport, error) {
 		cfgs[i].FaultClock = lag
 	}
 	run := s.Obs.StartSpan("run")
-	results, err := s.Cluster.RunConcurrent(cfgs)
+	results, err := s.Cluster.RunConcurrent(ctx, cfgs)
 	run.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: concurrent run: %w", err)
@@ -229,13 +240,13 @@ func (s *System) RunAll() (*RunReport, error) {
 // partition assignment — and returns the per-site intermediate volumes.
 // The paper's "data reduction ratio" measures savings against this
 // baseline.
-func VanillaBaseline(c *engine.Cluster, w *workload.Workload) ([]float64, error) {
+func VanillaBaseline(ctx context.Context, c *engine.Cluster, w *workload.Workload) ([]float64, error) {
 	inter := make([]float64, c.N())
 	cfgs := make([]engine.JobConfig, len(w.Datasets))
 	for i, ds := range w.Datasets {
 		cfgs[i] = engine.JobConfig{Query: ds.DominantQuery().Query}
 	}
-	results, err := c.RunConcurrent(cfgs)
+	results, err := c.RunConcurrent(ctx, cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("core: vanilla baseline: %w", err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -32,7 +33,7 @@ func TestTwoStageCountCorrectness(t *testing.T) {
 		Name: "count", Dataset: "jobs", Combine: OpCount,
 		MapCost: DefaultMapCost, ReduceCost: DefaultReduceCost,
 	}
-	res, err := c.Run(JobConfig{Query: q})
+	res, err := c.Run(context.Background(), JobConfig{Query: q})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +53,11 @@ func TestRunConcurrentSharesShuffle(t *testing.T) {
 		c.Data[0].Add("a", KV{Key: fmt.Sprintf("a%d", i), Val: 1})
 		c.Data[0].Add("b", KV{Key: fmt.Sprintf("b%d", i), Val: 1})
 	}
-	solo, err := c.Run(JobConfig{Query: ScanQuery("qa", "a")})
+	solo, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("qa", "a")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	both, err := c.RunConcurrent([]JobConfig{
+	both, err := c.RunConcurrent(context.Background(), []JobConfig{
 		{Query: ScanQuery("qa", "a")},
 		{Query: ScanQuery("qb", "b")},
 	})
@@ -85,7 +86,7 @@ func TestRunConcurrentMixedRounds(t *testing.T) {
 	c := testCluster(t)
 	c.Data[0].Add("a", KV{"x", 1}, KV{"y", 1})
 	c.Data[1].Add("b", KV{"p", 1})
-	res, err := c.RunConcurrent([]JobConfig{
+	res, err := c.RunConcurrent(context.Background(), []JobConfig{
 		{Query: ScanQuery("scan", "a")}, // 1 round
 		{Query: UDFQuery("pr", "b", 3)}, // 3 rounds
 	})
@@ -103,7 +104,7 @@ func TestRunConcurrentMixedRounds(t *testing.T) {
 func TestRunConcurrentValidatesEachJob(t *testing.T) {
 	c := testCluster(t)
 	c.Data[0].Add("a", KV{"x", 1})
-	_, err := c.RunConcurrent([]JobConfig{
+	_, err := c.RunConcurrent(context.Background(), []JobConfig{
 		{Query: ScanQuery("ok", "a")},
 		{Query: Query{}}, // invalid
 	})
@@ -118,11 +119,11 @@ func TestCubeInputReducesMapTime(t *testing.T) {
 	for i := 0; i < 4000; i++ {
 		c.Data[0].Add("d", KV{Key: fmt.Sprintf("k%d", i%50), Val: 1})
 	}
-	raw, err := c.Run(JobConfig{Query: ScanQuery("s", "d")})
+	raw, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "d")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cube, err := c.Run(JobConfig{Query: ScanQuery("s", "d"), CubeInput: true})
+	cube, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "d"), CubeInput: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,8 +147,8 @@ func TestCubeInputNeutralOnDistinctData(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		c.Data[0].Add("d", KV{Key: fmt.Sprintf("k%d", i), Val: 1})
 	}
-	raw, _ := c.Run(JobConfig{Query: ScanQuery("s", "d")})
-	cube, _ := c.Run(JobConfig{Query: ScanQuery("s", "d"), CubeInput: true})
+	raw, _ := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "d")})
+	cube, _ := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "d"), CubeInput: true})
 	if math.Abs(raw.Rounds[0].MapTime-cube.Rounds[0].MapTime) > 1e-12 {
 		t.Fatalf("all-distinct data should cost the same: %v vs %v",
 			raw.Rounds[0].MapTime, cube.Rounds[0].MapTime)
@@ -164,7 +165,7 @@ func TestProfileIntermediateMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run(JobConfig{Query: q})
+	res, err := c.Run(context.Background(), JobConfig{Query: q})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,8 +179,8 @@ func TestMapCostScaleStillWorks(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		c.Data[0].Add("d", KV{Key: fmt.Sprintf("k%d", i), Val: 1})
 	}
-	base, _ := c.Run(JobConfig{Query: ScanQuery("s", "d")})
-	scaled, _ := c.Run(JobConfig{Query: ScanQuery("s", "d"), MapCostScale: 0.5})
+	base, _ := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "d")})
+	scaled, _ := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "d"), MapCostScale: 0.5})
 	if math.Abs(scaled.Rounds[0].MapTime-base.Rounds[0].MapTime/2) > 1e-12 {
 		t.Fatalf("map scale 0.5: %v vs base %v", scaled.Rounds[0].MapTime, base.Rounds[0].MapTime)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"bohr/internal/faults"
@@ -12,7 +13,7 @@ func TestRunWithFaultsSlowsAndStaysDeterministic(t *testing.T) {
 		loadSkewed(c, "logs", 5)
 		return c
 	}
-	clean, err := mk().Run(JobConfig{Query: ScanQuery("q", "logs")})
+	clean, err := mk().Run(context.Background(), JobConfig{Query: ScanQuery("q", "logs")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestRunWithFaultsSlowsAndStaysDeterministic(t *testing.T) {
 		{Kind: faults.KindLinkDegrade, Site: 0, Start: 0, End: 1e4, Factor: 0.2},
 	}}
 	run := func() *RunResult {
-		res, err := mk().Run(JobConfig{Query: ScanQuery("q", "logs"), Faults: sched})
+		res, err := mk().Run(context.Background(), JobConfig{Query: ScanQuery("q", "logs"), Faults: sched})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func TestRunWithFaultsSlowsAndStaysDeterministic(t *testing.T) {
 	past := &faults.Schedule{Events: []faults.Event{
 		{Kind: faults.KindLinkBlackout, Site: 0, Start: 0, End: 30},
 	}}
-	res, err := mk().Run(JobConfig{Query: ScanQuery("q", "logs"), Faults: past, FaultClock: 30})
+	res, err := mk().Run(context.Background(), JobConfig{Query: ScanQuery("q", "logs"), Faults: past, FaultClock: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestRunWithFaultsSlowsAndStaysDeterministic(t *testing.T) {
 func TestRunConcurrentBlackoutStallsSharedShuffle(t *testing.T) {
 	c := testCluster(t)
 	loadSkewed(c, "logs", 5)
-	clean, err := c.Clone().Run(JobConfig{Query: ScanQuery("q", "logs")})
+	clean, err := c.Clone().Run(context.Background(), JobConfig{Query: ScanQuery("q", "logs")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestRunConcurrentBlackoutStallsSharedShuffle(t *testing.T) {
 	sched := &faults.Schedule{Events: []faults.Event{
 		{Kind: faults.KindLinkBlackout, Site: 0, Start: 0, End: 50},
 	}}
-	faulty, err := c.Clone().Run(JobConfig{Query: ScanQuery("q", "logs"), Faults: sched})
+	faulty, err := c.Clone().Run(context.Background(), JobConfig{Query: ScanQuery("q", "logs"), Faults: sched})
 	if err != nil {
 		t.Fatal(err)
 	}

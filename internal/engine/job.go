@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -80,8 +81,13 @@ type RunResult struct {
 // Run executes the query on the cluster and returns timing and volume
 // metrics. The cluster's data is not modified; rounds after the first
 // operate on reduce outputs held per site.
-func (c *Cluster) Run(cfg JobConfig) (*RunResult, error) {
-	res, err := c.RunConcurrent([]JobConfig{cfg})
+//
+// The context is honored at chunk boundaries — between stages and between
+// per-site map fan-out items, never inside a kernel — so a run that is not
+// cancelled produces byte-identical results regardless of when (or
+// whether) a deadline was attached.
+func (c *Cluster) Run(ctx context.Context, cfg JobConfig) (*RunResult, error) {
+	res, err := c.RunConcurrent(ctx, []JobConfig{cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +101,15 @@ func (c *Cluster) Run(cfg JobConfig) (*RunResult, error) {
 // jobs' flows. This is exactly the link sharing objective (2) of §5
 // optimizes for, and it is where joint placement pays off. Iterative
 // queries keep shuffling in later rounds after shorter jobs finish.
-func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
+//
+// Cancellation is checked at chunk boundaries (round starts, stage
+// transitions, per-site fan-out items): in-flight kernels finish their
+// current chunk, then the whole batch returns ctx.Err() without touching
+// further state.
+func (c *Cluster) RunConcurrent(ctx context.Context, cfgs []JobConfig) ([]*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: run: %w", err)
+	}
 	n := c.N()
 	type jobState struct {
 		cfg      JobConfig
@@ -176,6 +190,9 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 	}
 
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: run round %d: %w", round, err)
+		}
 		var flows []wan.Transfer
 		type roundState struct {
 			rm       RoundMetrics
@@ -212,6 +229,12 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 				mapT, assignT float64
 			}
 			outs, err := parallel.MapOrdered(0, n, func(i int) (siteMapOut, error) {
+				// One site's map+combine is the cancellation chunk: a
+				// cancelled batch stops launching new sites but never
+				// truncates a site already mapping.
+				if cerr := ctx.Err(); cerr != nil {
+					return siteMapOut{}, fmt.Errorf("engine: job %d site %d round %d: %w", ji, i, round, cerr)
+				}
 				inter, raw, mapT, assignT, merr := c.mapAndCombineOpts(job.input[i], job.q, i, job.assigner, job.ppe, job.cube)
 				if merr != nil {
 					return siteMapOut{}, fmt.Errorf("engine: job %d site %d round %d: %w", ji, i, round, merr)
@@ -278,6 +301,12 @@ func (c *Cluster) RunConcurrent(cfgs []JobConfig) ([]*RunResult, error) {
 			shuffleTime = c.Top.EstimateFaults(flows, fs, mapEnd)
 		}
 		reduceStart := mapEnd + shuffleTime
+
+		// Stage boundary: a cancellation arriving during the modeled
+		// shuffle stops the batch before any reducer runs.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("engine: run round %d reduce: %w", round, err)
+		}
 
 		// Reduce per job.
 		var maxReduce float64

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -99,17 +100,17 @@ func TestClusterClone(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	c := testCluster(t)
-	if _, err := c.Run(JobConfig{Query: Query{}}); err == nil {
+	if _, err := c.Run(context.Background(), JobConfig{Query: Query{}}); err == nil {
 		t.Fatal("invalid query should error")
 	}
 	q := ScanQuery("q", "ds")
-	if _, err := c.Run(JobConfig{Query: q, TaskFrac: []float64{1}}); err == nil {
+	if _, err := c.Run(context.Background(), JobConfig{Query: q, TaskFrac: []float64{1}}); err == nil {
 		t.Fatal("short task fractions should error")
 	}
-	if _, err := c.Run(JobConfig{Query: q, TaskFrac: []float64{0.5, 0.2, 0.1}}); err == nil {
+	if _, err := c.Run(context.Background(), JobConfig{Query: q, TaskFrac: []float64{0.5, 0.2, 0.1}}); err == nil {
 		t.Fatal("non-normalized task fractions should error")
 	}
-	if _, err := c.Run(JobConfig{Query: q, TaskFrac: []float64{1.5, -0.3, -0.2}}); err == nil {
+	if _, err := c.Run(context.Background(), JobConfig{Query: q, TaskFrac: []float64{1.5, -0.3, -0.2}}); err == nil {
 		t.Fatal("negative task fraction should error")
 	}
 }
@@ -119,7 +120,7 @@ func TestRunScanCorrectness(t *testing.T) {
 	// Known data: key k appears at two sites; scan sums values.
 	c.Data[0].Add("ds", KV{"k", 1}, KV{"k", 2}, KV{"x", 5})
 	c.Data[1].Add("ds", KV{"k", 4})
-	res, err := c.Run(JobConfig{Query: ScanQuery("scan", "ds")})
+	res, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("scan", "ds")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestRunAggregationGroups(t *testing.T) {
 	c := testCluster(t)
 	c.Data[0].Add("ds", KV{"us:a", 1}, KV{"us:b", 2}, KV{"eu:c", 4})
 	q := AggregationQuery("agg", "ds", func(k string) string { return k[:2] })
-	res, err := c.Run(JobConfig{Query: q})
+	res, err := c.Run(context.Background(), JobConfig{Query: q})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestRunUDFIterates(t *testing.T) {
 	c := testCluster(t)
 	c.Data[0].Add("ds", KV{"pageA", 1}, KV{"pageB", 1})
 	q := UDFQuery("pr", "ds", 3)
-	res, err := c.Run(JobConfig{Query: q})
+	res, err := c.Run(context.Background(), JobConfig{Query: q})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestRunCombinerReducesShuffle(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		c.Data[0].Add("ds", KV{"hot", 1})
 	}
-	res, err := c.Run(JobConfig{Query: ScanQuery("scan", "ds")})
+	res, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("scan", "ds")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestRunDistinctKeysNoCombining(t *testing.T) {
 	for i := 0; i < n; i++ {
 		c.Data[0].Add("ds", KV{fmt.Sprintf("k%d", i), 1})
 	}
-	res, err := c.Run(JobConfig{Query: ScanQuery("scan", "ds")})
+	res, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("scan", "ds")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestRunDistinctKeysNoCombining(t *testing.T) {
 func TestRunTaskFracZeroSiteReceivesNothing(t *testing.T) {
 	c := testCluster(t)
 	loadSkewed(c, "ds", 1)
-	res, err := c.Run(JobConfig{
+	res, err := c.Run(context.Background(), JobConfig{
 		Query:    ScanQuery("scan", "ds"),
 		TaskFrac: []float64{0, 0.5, 0.5},
 	})
@@ -230,11 +231,11 @@ func TestRunTaskFracZeroSiteReceivesNothing(t *testing.T) {
 func TestRunExtraQCTIncluded(t *testing.T) {
 	c := testCluster(t)
 	c.Data[0].Add("ds", KV{"k", 1})
-	base, err := c.Run(JobConfig{Query: ScanQuery("s", "ds")})
+	base, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "ds")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withExtra, err := c.Run(JobConfig{Query: ScanQuery("s", "ds"), ExtraQCT: 2.5})
+	withExtra, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "ds"), ExtraQCT: 2.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,11 +247,11 @@ func TestRunExtraQCTIncluded(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	c := testCluster(t)
 	loadSkewed(c, "ds", 7)
-	r1, err := c.Run(JobConfig{Query: ScanQuery("s", "ds")})
+	r1, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "ds")})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := c.Run(JobConfig{Query: ScanQuery("s", "ds")})
+	r2, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "ds")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestRunDoesNotMutateData(t *testing.T) {
 	c := testCluster(t)
 	c.Data[0].Add("ds", KV{"k", 1}, KV{"k2", 2})
 	before := len(c.Data[0].Records("ds"))
-	if _, err := c.Run(JobConfig{Query: ScanQuery("s", "ds")}); err != nil {
+	if _, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "ds")}); err != nil {
 		t.Fatal(err)
 	}
 	if len(c.Data[0].Records("ds")) != before {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -204,7 +205,7 @@ func TestSimilarMoveImprovesCombining(t *testing.T) {
 		if _, err := c.ApplyMoves([]MoveSpec{{Dataset: "ds", Src: 0, Dst: 2, MB: moveMB}}, m, rng); err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.Run(JobConfig{Query: ScanQuery("s", "ds")})
+		res, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "ds")})
 		if err != nil {
 			t.Fatal(err)
 		}

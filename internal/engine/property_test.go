@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -26,7 +27,7 @@ func TestRunConservesMassProperty(t *testing.T) {
 				c.Data[i].Add("d", KV{Key: fmt.Sprintf("k%d", rng.Intn(40)), Val: v})
 			}
 		}
-		res, err := c.Run(JobConfig{Query: ScanQuery("s", "d")})
+		res, err := c.Run(context.Background(), JobConfig{Query: ScanQuery("s", "d")})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -99,7 +100,7 @@ func resultOf(c *engine.Cluster, snap *coreSnapshot, plan *placement.Plan) func(
 		for i, ds := range snap.workload.Datasets {
 			cfgs[i] = plan.JobConfigFor(ds.DominantQuery().Query)
 		}
-		results, err := c.RunConcurrent(cfgs)
+		results, err := c.RunConcurrent(context.Background(), cfgs)
 		if err != nil {
 			return ablationResult{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bohr/internal/core"
@@ -35,10 +36,10 @@ func (s Setup) runScheme(id placement.SchemeID, snapshot *coreSnapshot, run int)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sys.Prepare(); err != nil {
+	if _, err := sys.Prepare(context.Background()); err != nil {
 		return nil, fmt.Errorf("experiments: %v prepare: %w", id, err)
 	}
-	rep, err := sys.RunAll()
+	rep, err := sys.RunAll(context.Background())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %v run: %w", id, err)
 	}
@@ -70,7 +71,7 @@ func (s Setup) snapshot(kind workload.Kind, locality bool, run int) (*coreSnapsh
 	if err != nil {
 		return nil, err
 	}
-	vanilla, err := core.VanillaBaseline(c.Clone(), w)
+	vanilla, err := core.VanillaBaseline(context.Background(), c.Clone(), w)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -153,10 +154,10 @@ func Table4(s Setup) ([]Table4Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := sys.Prepare(); err != nil {
+		if _, err := sys.Prepare(context.Background()); err != nil {
 			return nil, err
 		}
-		rep, err := sys.RunAll()
+		rep, err := sys.RunAll(context.Background())
 		if err != nil {
 			return nil, err
 		}
@@ -344,7 +345,8 @@ func Table7(s Setup) ([]Table7Row, error) {
 		}
 		dyn := core.DefaultDynamicConfig()
 		dyn.Queries = 16 // 0.25 + 15×0.05 = full corpus by the last query
-		drep, err := core.RunDynamic(emptyC, snap.workload, placement.Bohr, s.PlacementOptions(0), dyn)
+		drep, err := core.RunDynamic(context.Background(), emptyC, snap.workload, placement.Bohr, dyn,
+			core.WithPlacement(s.PlacementOptions(0)))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package netio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -108,13 +109,14 @@ type siteConn struct {
 }
 
 // Dial connects to the workers at the given addresses (index = site ID)
-// with the default Config.
-func Dial(addrs []string) (*Controller, error) {
-	return DialConfig(addrs, Config{})
+// with the default Config. The context bounds the initial connection
+// handshakes; it does not outlive the call.
+func Dial(ctx context.Context, addrs []string) (*Controller, error) {
+	return DialConfig(ctx, addrs, Config{})
 }
 
 // DialConfig is Dial with explicit resilience tuning.
-func DialConfig(addrs []string, cfg Config) (*Controller, error) {
+func DialConfig(ctx context.Context, addrs []string, cfg Config) (*Controller, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("netio: controller needs at least one worker")
 	}
@@ -126,7 +128,7 @@ func DialConfig(addrs []string, cfg Config) (*Controller, error) {
 		rng:   stats.NewRand(stats.Split(cfg.Seed, 0x5e71)),
 	}
 	for site := range addrs {
-		conn, err := c.dialSite(site)
+		conn, err := c.dialSite(ctx, site)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -136,14 +138,16 @@ func DialConfig(addrs []string, cfg Config) (*Controller, error) {
 	return c, nil
 }
 
-// dialSite opens one worker connection and verifies its identity.
-func (c *Controller) dialSite(site int) (net.Conn, error) {
+// dialSite opens one worker connection and verifies its identity. The
+// context can cut the connect and handshake short of DialTimeout.
+func (c *Controller) dialSite(ctx context.Context, site int) (net.Conn, error) {
 	addr := c.addrs[site]
-	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
+	d := net.Dialer{Timeout: c.cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netio: dial worker %d at %s: %w", site, addr, err)
 	}
-	conn.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	conn.SetDeadline(deadlineFor(ctx, c.cfg.RequestTimeout))
 	resp, err := call(conn, &Envelope{Type: MsgHello})
 	if err != nil {
 		conn.Close()
@@ -214,6 +218,28 @@ func idempotent(t MsgType) bool {
 	return false
 }
 
+// deadlineFor caps a relative I/O timeout by the context's deadline, so
+// a caller-supplied deadline tighter than the configured one wins.
+func deadlineFor(ctx context.Context, d time.Duration) time.Time {
+	t := time.Now().Add(d)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(t) {
+		return cd
+	}
+	return t
+}
+
+// sleepCtx waits d or until the context is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // backoff is exponential from RetryBase, capped at RetryCap, scaled by a
 // seeded jitter factor in [0.5, 1): deterministic for a fixed Config.Seed.
 func (c *Controller) backoff(attempt int) time.Duration {
@@ -228,8 +254,10 @@ func (c *Controller) backoff(attempt int) time.Duration {
 }
 
 // rpc issues one request to a site, retrying idempotent request types on
-// transient failures with exponential backoff.
-func (c *Controller) rpc(site int, req *Envelope) (*Envelope, error) {
+// transient failures with exponential backoff. The context is checked
+// before each attempt, bounds each attempt's connection deadline, and
+// aborts backoff sleeps, so a cancelled caller stops retrying promptly.
+func (c *Controller) rpc(ctx context.Context, site int, req *Envelope) (*Envelope, error) {
 	if site < 0 || site >= len(c.conns) {
 		return nil, fmt.Errorf("netio: site %d out of range", site)
 	}
@@ -238,7 +266,10 @@ func (c *Controller) rpc(site int, req *Envelope) (*Envelope, error) {
 		budget = c.cfg.Retries
 	}
 	for attempt := 0; ; attempt++ {
-		resp, err := c.attempt(site, req)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("netio: rpc to site %d: %w", site, err)
+		}
+		resp, err := c.attempt(ctx, site, req)
 		if err == nil {
 			return resp, nil
 		}
@@ -247,12 +278,17 @@ func (c *Controller) rpc(site int, req *Envelope) (*Envelope, error) {
 			c.obs.Count("netio.timeouts", 1)
 			c.event("timeout", site, fmt.Sprintf("req=%d: %v", req.Type, err))
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("netio: rpc to site %d: %w (after: %v)", site, cerr, err)
+		}
 		if attempt >= budget || !IsRetryable(err) {
 			return nil, err
 		}
 		c.obs.Count("netio.retries", 1)
 		c.event("retry", site, fmt.Sprintf("req=%d attempt=%d: %v", req.Type, attempt+1, err))
-		time.Sleep(c.backoff(attempt))
+		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+			return nil, fmt.Errorf("netio: rpc to site %d: %w", site, err)
+		}
 	}
 }
 
@@ -261,12 +297,12 @@ func (c *Controller) rpc(site int, req *Envelope) (*Envelope, error) {
 // bounds the whole round trip; reduce requests get extra room for the
 // server-side intermediate wait and carry that wait in TimeoutS so worker
 // and controller agree on it.
-func (c *Controller) attempt(site int, req *Envelope) (*Envelope, error) {
+func (c *Controller) attempt(ctx context.Context, site int, req *Envelope) (*Envelope, error) {
 	sc := c.conns[site]
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	if sc.conn == nil {
-		conn, err := c.dialSite(site)
+		conn, err := c.dialSite(ctx, site)
 		if err != nil {
 			return nil, err
 		}
@@ -279,8 +315,23 @@ func (c *Controller) attempt(site int, req *Envelope) (*Envelope, error) {
 			req.TimeoutS = c.cfg.ReduceTimeout.Seconds()
 		}
 	}
-	sc.conn.SetDeadline(time.Now().Add(deadline))
+	sc.conn.SetDeadline(deadlineFor(ctx, deadline))
+	// A cancellation watchdog yanks the deadline so in-flight reads and
+	// writes abort within milliseconds instead of riding out the timeout.
+	conn := sc.conn
+	watchdogDone := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		defer close(watchdogDone)
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
 	resp, err := call(sc.conn, req)
+	close(stop)
+	<-watchdogDone
 	if err != nil {
 		// A typed MsgErr leaves the stream aligned; anything else may
 		// have left a partial frame, so drop the connection and let the
@@ -299,8 +350,8 @@ func (c *Controller) attempt(site int, req *Envelope) (*Envelope, error) {
 }
 
 // Put stores records for a dataset at a site, registering its schema.
-func (c *Controller) Put(site int, dataset string, schema []string, records []engine.KV) error {
-	_, err := c.rpc(site, &Envelope{
+func (c *Controller) Put(ctx context.Context, site int, dataset string, schema []string, records []engine.KV) error {
+	_, err := c.rpc(ctx, site, &Envelope{
 		Type: MsgPut, Dataset: dataset, Schema: schema, Records: records,
 	})
 	return err
@@ -313,8 +364,8 @@ type SiteStats struct {
 }
 
 // Stats fetches record counts and the top-k projected cells from a site.
-func (c *Controller) Stats(site int, dataset string, dims []string, topK int) (*SiteStats, error) {
-	resp, err := c.rpc(site, &Envelope{Type: MsgStats, Dataset: dataset, Dims: dims, TopK: topK})
+func (c *Controller) Stats(ctx context.Context, site int, dataset string, dims []string, topK int) (*SiteStats, error) {
+	resp, err := c.rpc(ctx, site, &Envelope{Type: MsgStats, Dataset: dataset, Dims: dims, TopK: topK})
 	if err != nil {
 		return nil, err
 	}
@@ -323,8 +374,8 @@ func (c *Controller) Stats(site int, dataset string, dims []string, topK int) (*
 
 // Score sends a probe (cells from the bottleneck site) to a site and
 // returns its similarity score (§4.2 over real sockets).
-func (c *Controller) Score(site int, dataset string, dims []string, probe []ProbeCellDTO) (float64, error) {
-	resp, err := c.rpc(site, &Envelope{Type: MsgScore, Dataset: dataset, Dims: dims, Cells: probe})
+func (c *Controller) Score(ctx context.Context, site int, dataset string, dims []string, probe []ProbeCellDTO) (float64, error) {
+	resp, err := c.rpc(ctx, site, &Envelope{Type: MsgScore, Dataset: dataset, Dims: dims, Cells: probe})
 	if err != nil {
 		return 0, err
 	}
@@ -334,7 +385,7 @@ func (c *Controller) Score(site int, dataset string, dims []string, probe []Prob
 // Move instructs src to select count records (similarity-aware against the
 // provided destination cells when similar is true) and push them to dst
 // through its shaped uplink. It returns the number of records moved.
-func (c *Controller) Move(src, dst int, dataset string, count int, similar bool, dstCells []ProbeCellDTO) (int, error) {
+func (c *Controller) Move(ctx context.Context, src, dst int, dataset string, count int, similar bool, dstCells []ProbeCellDTO) (int, error) {
 	if dst < 0 || dst >= len(c.addrs) {
 		return 0, fmt.Errorf("netio: destination %d out of range", dst)
 	}
@@ -345,7 +396,7 @@ func (c *Controller) Move(src, dst int, dataset string, count int, similar bool,
 	name := fmt.Sprintf("netio:move:%d->%d", src, dst)
 	c.traceCtx(req, name, name)
 	sp := c.obs.StartSpan(name)
-	resp, err := c.rpc(src, req)
+	resp, err := c.rpc(ctx, src, req)
 	sp.End()
 	if err != nil {
 		return 0, err
@@ -372,8 +423,11 @@ type QueryResult struct {
 // reduces what it received and the controller merges the outputs. On a
 // retryable failure the whole query is re-executed up to QueryRetries
 // times — safe because reducers key intermediate batches by source site,
-// so a re-scatter replaces rather than double-counts.
-func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, error) {
+// so a re-scatter replaces rather than double-counts. The context cancels
+// the whole scatter/gather: every per-site RPC inherits it, so a client
+// disconnect or deadline unwinds the in-flight fan-out instead of leaking
+// goroutines past their I/O deadlines.
+func (c *Controller) RunQuery(ctx context.Context, q QueryDTO, taskFrac []float64) (*QueryResult, error) {
 	n := c.N()
 	if q.ID == "" {
 		return nil, fmt.Errorf("netio: query needs an ID")
@@ -392,19 +446,21 @@ func (c *Controller) RunQuery(q QueryDTO, taskFrac []float64) (*QueryResult, err
 		c.obs.Gauge("netio.inflight_queries", float64(atomic.AddInt64(&c.inflight, -1)))
 	}()
 	for attempt := 0; ; attempt++ {
-		res, err := c.runQueryOnce(q, taskFrac)
+		res, err := c.runQueryOnce(ctx, q, taskFrac)
 		if err == nil {
 			return res, nil
 		}
-		if attempt >= c.cfg.QueryRetries || !IsRetryable(err) {
+		if attempt >= c.cfg.QueryRetries || !IsRetryable(err) || ctx.Err() != nil {
 			return nil, err
 		}
 		c.obs.Count("netio.retries", 1)
-		time.Sleep(c.backoff(attempt))
+		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+			return nil, fmt.Errorf("netio: query %s: %w", q.ID, err)
+		}
 	}
 }
 
-func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult, error) {
+func (c *Controller) runQueryOnce(ctx context.Context, q QueryDTO, taskFrac []float64) (*QueryResult, error) {
 	n := c.N()
 	start := time.Now()
 	sp := c.obs.StartSpan("netio:" + q.ID)
@@ -429,7 +485,7 @@ func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult,
 				Type: MsgRunMap, Query: q, TaskFrac: taskFrac, Peers: c.addrs,
 			}
 			c.traceCtx(req, q.ID, "netio:"+q.ID)
-			resp, err := c.rpc(site, req)
+			resp, err := c.rpc(ctx, site, req)
 			if err != nil {
 				outs <- mapOut{site: site, err: err}
 				return
@@ -467,6 +523,9 @@ func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult,
 	if mapErr != nil {
 		return nil, mapErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("netio: query %s before reduce: %w", q.ID, err)
+	}
 	for site := 0; site < n; site++ {
 		sp.Attach(mapTraces[site])
 		c.obs.MergeSnapshot(mapMetrics[site])
@@ -490,7 +549,7 @@ func (c *Controller) runQueryOnce(q QueryDTO, taskFrac []float64) (*QueryResult,
 				Type: MsgReduce, Query: q, Expected: expected[site],
 			}
 			c.traceCtx(req, q.ID, "netio:"+q.ID)
-			resp, err := c.rpc(site, req)
+			resp, err := c.rpc(ctx, site, req)
 			if err != nil {
 				reds <- redOut{site: site, err: err}
 				return

@@ -2,6 +2,7 @@ package netio
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -97,7 +98,7 @@ func liveCluster(t *testing.T, n int, upMBps float64) (*Controller, []*Worker) {
 		workers = append(workers, w)
 		addrs = append(addrs, w.Addr())
 	}
-	ctl, err := Dial(addrs)
+	ctl, err := Dial(context.Background(), addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,10 +114,10 @@ func liveCluster(t *testing.T, n int, upMBps float64) (*Controller, []*Worker) {
 func key(coords ...string) string { return strings.Join(coords, "\x1f") }
 
 func TestDialValidation(t *testing.T) {
-	if _, err := Dial(nil); err == nil {
+	if _, err := Dial(context.Background(), nil); err == nil {
 		t.Fatal("no workers should error")
 	}
-	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+	if _, err := Dial(context.Background(), []string{"127.0.0.1:1"}); err == nil {
 		t.Fatal("unreachable worker should error")
 	}
 }
@@ -124,19 +125,19 @@ func TestDialValidation(t *testing.T) {
 func TestPutStatsScore(t *testing.T) {
 	ctl, _ := liveCluster(t, 2, 0)
 	schema := []string{"url", "country"}
-	if err := ctl.Put(0, "logs", schema, []engine.KV{
+	if err := ctl.Put(context.Background(), 0, "logs", schema, []engine.KV{
 		{Key: key("u1", "US"), Val: 1},
 		{Key: key("u1", "JP"), Val: 1},
 		{Key: key("u2", "US"), Val: 1},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctl.Put(1, "logs", schema, []engine.KV{
+	if err := ctl.Put(context.Background(), 1, "logs", schema, []engine.KV{
 		{Key: key("u1", "DE"), Val: 1},
 	}); err != nil {
 		t.Fatal(err)
 	}
-	st, err := ctl.Stats(0, "logs", []string{"url"}, 10)
+	st, err := ctl.Stats(context.Background(), 0, "logs", []string{"url"}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestPutStatsScore(t *testing.T) {
 		t.Fatalf("top cell = %+v", st.Top[0])
 	}
 	// Probe from site 0 against site 1: u1 matches (2 of 3 mass).
-	score, err := ctl.Score(1, "logs", []string{"url"}, st.Top)
+	score, err := ctl.Score(context.Background(), 1, "logs", []string{"url"}, st.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,8 +159,8 @@ func TestPutStatsScore(t *testing.T) {
 
 func TestStatsUnknownDimension(t *testing.T) {
 	ctl, _ := liveCluster(t, 1, 0)
-	_ = ctl.Put(0, "d", []string{"a"}, []engine.KV{{Key: "x", Val: 1}})
-	if _, err := ctl.Stats(0, "d", []string{"zzz"}, 5); err == nil {
+	_ = ctl.Put(context.Background(), 0, "d", []string{"a"}, []engine.KV{{Key: "x", Val: 1}})
+	if _, err := ctl.Stats(context.Background(), 0, "d", []string{"zzz"}, 5); err == nil {
 		t.Fatal("unknown dimension should error")
 	}
 }
@@ -171,19 +172,19 @@ func TestMoveTransfersRecords(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		recs = append(recs, engine.KV{Key: fmt.Sprintf("k%d", i%10), Val: 1})
 	}
-	if err := ctl.Put(0, "d", schema, recs); err != nil {
+	if err := ctl.Put(context.Background(), 0, "d", schema, recs); err != nil {
 		t.Fatal(err)
 	}
-	dstStats, _ := ctl.Stats(1, "d", nil, 100)
-	moved, err := ctl.Move(0, 1, "d", 40, true, dstStats.Top)
+	dstStats, _ := ctl.Stats(context.Background(), 1, "d", nil, 100)
+	moved, err := ctl.Move(context.Background(), 0, 1, "d", 40, true, dstStats.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if moved != 40 {
 		t.Fatalf("moved = %d", moved)
 	}
-	s0, _ := ctl.Stats(0, "d", nil, 0)
-	s1, _ := ctl.Stats(1, "d", nil, 0)
+	s0, _ := ctl.Stats(context.Background(), 0, "d", nil, 0)
+	s1, _ := ctl.Stats(context.Background(), 1, "d", nil, 0)
 	if s0.Records != 60 || s1.Records != 40 {
 		t.Fatalf("post-move counts = %d / %d", s0.Records, s1.Records)
 	}
@@ -203,11 +204,11 @@ func TestDistributedQueryMatchesLocal(t *testing.T) {
 			recs = append(recs, kv)
 			all = append(all, kv)
 		}
-		if err := ctl.Put(site, "logs", schema, recs); err != nil {
+		if err := ctl.Put(context.Background(), site, "logs", schema, recs); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := ctl.RunQuery(QueryDTO{
+	res, err := ctl.RunQuery(context.Background(), QueryDTO{
 		ID: "q1", Dataset: "logs", Dims: []string{"url"}, Combine: engine.OpSum,
 	}, nil)
 	if err != nil {
@@ -238,9 +239,9 @@ func TestDistributedQueryMatchesLocal(t *testing.T) {
 func TestDistributedCountQuery(t *testing.T) {
 	ctl, _ := liveCluster(t, 2, 0)
 	schema := []string{"class"}
-	_ = ctl.Put(0, "jobs", schema, []engine.KV{{Key: "a", Val: 9}, {Key: "a", Val: 9}, {Key: "b", Val: 9}})
-	_ = ctl.Put(1, "jobs", schema, []engine.KV{{Key: "a", Val: 9}})
-	res, err := ctl.RunQuery(QueryDTO{
+	_ = ctl.Put(context.Background(), 0, "jobs", schema, []engine.KV{{Key: "a", Val: 9}, {Key: "a", Val: 9}, {Key: "b", Val: 9}})
+	_ = ctl.Put(context.Background(), 1, "jobs", schema, []engine.KV{{Key: "a", Val: 9}})
+	res, err := ctl.RunQuery(context.Background(), QueryDTO{
 		ID: "count1", Dataset: "jobs", Dims: []string{"class"}, Combine: engine.OpCount,
 	}, nil)
 	if err != nil {
@@ -257,9 +258,9 @@ func TestDistributedCountQuery(t *testing.T) {
 
 func TestTaskFracRoutesReduceWork(t *testing.T) {
 	ctl, _ := liveCluster(t, 2, 0)
-	_ = ctl.Put(0, "d", []string{"k"}, []engine.KV{{Key: "x", Val: 1}, {Key: "y", Val: 1}})
+	_ = ctl.Put(context.Background(), 0, "d", []string{"k"}, []engine.KV{{Key: "x", Val: 1}, {Key: "y", Val: 1}})
 	// All reduce tasks at site 1: everything shuffles there.
-	res, err := ctl.RunQuery(QueryDTO{ID: "q", Dataset: "d", Combine: engine.OpSum}, []float64{0, 1})
+	res, err := ctl.RunQuery(context.Background(), QueryDTO{ID: "q", Dataset: "d", Combine: engine.OpSum}, []float64{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,11 +283,11 @@ func TestStitchedDistributedTrace(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			recs = append(recs, engine.KV{Key: fmt.Sprintf("k%02d", i%10), Val: 1})
 		}
-		if err := ctl.Put(site, "d", []string{"k"}, recs); err != nil {
+		if err := ctl.Put(context.Background(), site, "d", []string{"k"}, recs); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := ctl.RunQuery(QueryDTO{ID: "q1", Dataset: "d", Combine: engine.OpSum}, nil); err != nil {
+	if _, err := ctl.RunQuery(context.Background(), QueryDTO{ID: "q1", Dataset: "d", Combine: engine.OpSum}, nil); err != nil {
 		t.Fatal(err)
 	}
 	q := col.Trace().Find("netio:q1")
@@ -340,10 +341,10 @@ func TestStitchedDistributedTrace(t *testing.T) {
 
 func TestRunQueryValidation(t *testing.T) {
 	ctl, _ := liveCluster(t, 2, 0)
-	if _, err := ctl.RunQuery(QueryDTO{Dataset: "d"}, nil); err == nil {
+	if _, err := ctl.RunQuery(context.Background(), QueryDTO{Dataset: "d"}, nil); err == nil {
 		t.Fatal("missing query ID should error")
 	}
-	if _, err := ctl.RunQuery(QueryDTO{ID: "q", Dataset: "d"}, []float64{1}); err == nil {
+	if _, err := ctl.RunQuery(context.Background(), QueryDTO{ID: "q", Dataset: "d"}, []float64{1}); err == nil {
 		t.Fatal("short task fractions should error")
 	}
 }
@@ -361,11 +362,11 @@ func TestShapedUplinkSlowsMovement(t *testing.T) {
 	}
 	timeMove := func(upMBps float64) time.Duration {
 		ctl, _ := liveCluster(t, 2, upMBps)
-		if err := ctl.Put(0, "d", []string{"k"}, mkRecs()); err != nil {
+		if err := ctl.Put(context.Background(), 0, "d", []string{"k"}, mkRecs()); err != nil {
 			t.Fatal(err)
 		}
 		start := time.Now()
-		if _, err := ctl.Move(0, 1, "d", 10_000, false, nil); err != nil {
+		if _, err := ctl.Move(context.Background(), 0, 1, "d", 10_000, false, nil); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)

@@ -1,6 +1,7 @@
 package netio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -50,13 +51,13 @@ func TestRemoteErrorTypes(t *testing.T) {
 	}
 
 	// Missing schema / dimension: not-found, fatal.
-	if _, err := ctl.Stats(0, "nope", []string{"x"}, 5); !errors.As(err, &re) || re.Code != CodeNotFound {
+	if _, err := ctl.Stats(context.Background(), 0, "nope", []string{"x"}, 5); !errors.As(err, &re) || re.Code != CodeNotFound {
 		t.Fatalf("missing schema error = %v, want not-found RemoteError", err)
 	}
-	if err := ctl.Put(0, "d", []string{"a"}, []engine.KV{{Key: "x", Val: 1}}); err != nil {
+	if err := ctl.Put(context.Background(), 0, "d", []string{"a"}, []engine.KV{{Key: "x", Val: 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Stats(0, "d", []string{"zzz"}, 5); !errors.As(err, &re) || re.Code != CodeNotFound {
+	if _, err := ctl.Stats(context.Background(), 0, "d", []string{"zzz"}, 5); !errors.As(err, &re) || re.Code != CodeNotFound {
 		t.Fatalf("missing dimension error = %v, want not-found RemoteError", err)
 	}
 	if IsRetryable(re) {
@@ -171,7 +172,7 @@ func TestChaosWorkerKillRestart(t *testing.T) {
 		addrs = append(addrs, w.Addr())
 	}
 	col := obs.NewCollector()
-	ctl, err := DialConfig(addrs, fastConfig())
+	ctl, err := DialConfig(context.Background(), addrs, fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,12 +192,12 @@ func TestChaosWorkerKillRestart(t *testing.T) {
 		for i := 0; i < 40; i++ {
 			recs = append(recs, engine.KV{Key: fmt.Sprintf("k%d", (i+site)%9), Val: float64(i%4) + 1})
 		}
-		if err := ctl.Put(site, "d", schema, recs); err != nil {
+		if err := ctl.Put(context.Background(), site, "d", schema, recs); err != nil {
 			t.Fatal(err)
 		}
 	}
 	taskFrac := []float64{0.1, 0.1, 0.8}
-	clean, err := ctl.RunQuery(QueryDTO{ID: "pre", Dataset: "d", Combine: engine.OpSum}, taskFrac)
+	clean, err := ctl.RunQuery(context.Background(), QueryDTO{ID: "pre", Dataset: "d", Combine: engine.OpSum}, taskFrac)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestChaosWorkerKillRestart(t *testing.T) {
 		}
 		restarted <- w
 	}()
-	res, err := ctl.RunQuery(QueryDTO{ID: "chaos", Dataset: "d", Combine: engine.OpSum}, taskFrac)
+	res, err := ctl.RunQuery(context.Background(), QueryDTO{ID: "chaos", Dataset: "d", Combine: engine.OpSum}, taskFrac)
 	if w := <-restarted; w != nil {
 		workers[2] = w
 	}
@@ -265,7 +266,7 @@ func TestInjectorDropsForceRetries(t *testing.T) {
 		addrs = append(addrs, w.Addr())
 	}
 	col := obs.NewCollector()
-	ctl, err := DialConfig(addrs, fastConfig())
+	ctl, err := DialConfig(context.Background(), addrs, fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestInjectorDropsForceRetries(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		recs = append(recs, engine.KV{Key: fmt.Sprintf("k%d", i%5), Val: 1})
 	}
-	if err := ctl.Put(0, "d", []string{"k"}, recs); err != nil {
+	if err := ctl.Put(context.Background(), 0, "d", []string{"k"}, recs); err != nil {
 		t.Fatal(err)
 	}
 	// Attach the injector only after loading: the controller's existing
@@ -290,7 +291,7 @@ func TestInjectorDropsForceRetries(t *testing.T) {
 	// Everything reduces at site 1, so site 0 must push through its faulty
 	// uplink; an attempt survives only if every framed write beats a p=0.5
 	// coin, and the retry budget absorbs the failures.
-	res, err := ctl.RunQuery(QueryDTO{ID: "drop", Dataset: "d", Combine: engine.OpSum}, []float64{0, 1})
+	res, err := ctl.RunQuery(context.Background(), QueryDTO{ID: "drop", Dataset: "d", Combine: engine.OpSum}, []float64{0, 1})
 	if err != nil {
 		t.Fatalf("query under drop faults failed: %v", err)
 	}

@@ -28,6 +28,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	gauges map[string]func() float64
+	extra  map[string]http.Handler
 	ln     net.Listener
 	srv    *http.Server
 }
@@ -46,10 +47,28 @@ func (s *Server) GaugeFunc(name string, f func() float64) {
 	s.gauges[name] = f
 }
 
+// Handle mounts an application handler on the telemetry mux (for example
+// a query front end's /v1/ tree), so data-plane and observability
+// endpoints share one listener. Register before Start; patterns follow
+// net/http ServeMux semantics and must not collide with the built-ins.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.extra == nil {
+		s.extra = map[string]http.Handler{}
+	}
+	s.extra[pattern] = h
+}
+
 // Handler returns the telemetry handler tree, for embedding or testing
 // without a listener.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.mu.Lock()
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
+	s.mu.Unlock()
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"testing"
 
 	"bohr/internal/engine"
@@ -38,7 +39,7 @@ func TestProfileVolumesMatchesEngine(t *testing.T) {
 		t.Fatalf("datasets = %d", len(f))
 	}
 	// With no moves the profile equals a plain run's intermediate volumes.
-	res, err := c.Run(engine.JobConfig{Query: w.Datasets[0].DominantQuery().Query})
+	res, err := c.Run(context.Background(), engine.JobConfig{Query: w.Datasets[0].DominantQuery().Query})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -257,7 +258,7 @@ func TestBohrReducesIntermediateVsIridiumC(t *testing.T) {
 		var total float64
 		for _, ds := range w.Datasets {
 			q := ds.DominantQuery().Query
-			res, err := c.Run(plan.JobConfigFor(q))
+			res, err := c.Run(context.Background(), plan.JobConfigFor(q))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -290,7 +291,7 @@ func TestBohrSimBeatsIridiumC(t *testing.T) {
 		}
 		var total float64
 		for _, ds := range w.Datasets {
-			res, err := c.Run(plan.JobConfigFor(ds.DominantQuery().Query))
+			res, err := c.Run(context.Background(), plan.JobConfigFor(ds.DominantQuery().Query))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -304,7 +305,7 @@ func TestAssignerReducesIntermediateData(t *testing.T) {
 	}
 	run := func(a engine.Assigner) float64 {
 		c := build()
-		res, err := c.Run(engine.JobConfig{
+		res, err := c.Run(context.Background(), engine.JobConfig{
 			Query:    engine.ScanQuery("s", "ds"),
 			Assigner: a,
 		})

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"bohr/internal/cache"
+	"bohr/internal/engine"
+	"bohr/internal/obs"
+	"bohr/internal/sql"
+)
+
+// ResultCache memoizes finished query results on the bounded LRU store.
+// Keys pair the statement's canonical rendering with a hash of the
+// dataset contents the statement read, so textual variants of one query
+// hit the same entry while any data change misses (and the stale entry
+// ages out instead of being served).
+type ResultCache struct {
+	store *cache.Store[string, []engine.KV]
+}
+
+// NewResultCache builds a result cache with the given capacity; col may
+// be nil. The store registers serve.results.{entries,bytes,evictions}
+// level counters on the collector.
+func NewResultCache(caps cache.Caps, col *obs.Collector) *ResultCache {
+	return &ResultCache{
+		store: cache.New("serve.results", caps, col, func(k string, rows []engine.KV) int64 {
+			n := int64(len(k))
+			for _, kv := range rows {
+				n += int64(len(kv.Key)) + 8
+			}
+			return n
+		}),
+	}
+}
+
+// Key derives the cache key for a statement over data with the given
+// content hash.
+func (rc *ResultCache) Key(stmt *sql.Statement, contentHash uint64) string {
+	return fmt.Sprintf("%s\x00%016x", Normalize(stmt), contentHash)
+}
+
+// Get returns the cached rows for the key, if present.
+func (rc *ResultCache) Get(key string) ([]engine.KV, bool) {
+	return rc.store.Get(key)
+}
+
+// Insert stores finished rows under the key and advances the store's
+// logical clock one round, so entries untouched for a full capacity
+// cycle age out LRU.
+func (rc *ResultCache) Insert(key string, rows []engine.KV) {
+	rc.store.Put(key, rows)
+	rc.store.Advance()
+}
+
+// Len reports live entries (for tests).
+func (rc *ResultCache) Len() int { return rc.store.Len() }
+
+// Normalize renders a parsed statement canonically: uppercase keywords,
+// single spacing, lowercased identifiers in parse order. Two query texts
+// that parse to the same statement normalize identically, so whitespace
+// and case variants share one cache entry.
+func Normalize(stmt *sql.Statement) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range stmt.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Agg != sql.AggNone {
+			fmt.Fprintf(&b, "%s(%s)", it.Agg, strings.ToLower(it.Column))
+		} else {
+			b.WriteString(strings.ToLower(it.Column))
+		}
+	}
+	fmt.Fprintf(&b, " FROM %s", strings.ToLower(stmt.Dataset))
+	if len(stmt.Where) > 0 {
+		b.WriteString(" WHERE ")
+		for i, c := range stmt.Where {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			fmt.Fprintf(&b, "%s %s %s", strings.ToLower(c.Column), c.Op, c.Value)
+		}
+	}
+	if len(stmt.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range stmt.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strings.ToLower(g))
+		}
+	}
+	if stmt.OrderBy != "" {
+		fmt.Fprintf(&b, " ORDER BY %s", stmt.OrderBy)
+		if stmt.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if stmt.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", stmt.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"testing"
+
+	"bohr/internal/cache"
+	"bohr/internal/engine"
+	"bohr/internal/sql"
+)
+
+func mustParse(t *testing.T, q string) *sql.Statement {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return stmt
+}
+
+func TestNormalizeCollapsesVariants(t *testing.T) {
+	base := mustParse(t, "SELECT url, SUM(measure) FROM logs WHERE country = 'US' GROUP BY url ORDER BY value DESC LIMIT 5")
+	variants := []string{
+		"select url,   sum(measure) from logs where country='US' group by url order by value desc limit 5",
+		"SELECT url, SUM(measure)\nFROM logs\nWHERE country = 'US'\nGROUP BY url ORDER BY value DESC LIMIT 5",
+	}
+	want := Normalize(base)
+	for _, v := range variants {
+		if got := Normalize(mustParse(t, v)); got != want {
+			t.Fatalf("Normalize(%q) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestNormalizeDistinguishesStatements(t *testing.T) {
+	a := Normalize(mustParse(t, "SELECT url, SUM(measure) FROM logs GROUP BY url"))
+	for _, q := range []string{
+		"SELECT url, SUM(measure) FROM logs GROUP BY url LIMIT 5",
+		"SELECT url, COUNT(*) FROM logs GROUP BY url",
+		"SELECT url, SUM(measure) FROM other GROUP BY url",
+		"SELECT url, SUM(measure) FROM logs WHERE url = 'x' GROUP BY url",
+	} {
+		if b := Normalize(mustParse(t, q)); b == a {
+			t.Fatalf("distinct statement %q normalized to the same key %q", q, a)
+		}
+	}
+}
+
+func TestResultCacheKeyIncludesContentHash(t *testing.T) {
+	rc := NewResultCache(cache.Caps{Entries: 8}, nil)
+	stmt := mustParse(t, "SELECT url, SUM(measure) FROM logs GROUP BY url")
+	rows := []engine.KV{{Key: "a", Val: 1}}
+	k1 := rc.Key(stmt, 0x1111)
+	k2 := rc.Key(stmt, 0x2222)
+	if k1 == k2 {
+		t.Fatal("keys over different content hashes collide")
+	}
+	rc.Insert(k1, rows)
+	if _, ok := rc.Get(k2); ok {
+		t.Fatal("changed data (new content hash) still hit the old entry")
+	}
+	got, ok := rc.Get(k1)
+	if !ok || len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("Get(k1) = %v, %v", got, ok)
+	}
+}
+
+func TestResultCacheEvictsLRU(t *testing.T) {
+	rc := NewResultCache(cache.Caps{Entries: 2}, nil)
+	stmt := mustParse(t, "SELECT url, SUM(measure) FROM logs GROUP BY url")
+	for i := uint64(0); i < 5; i++ {
+		rc.Insert(rc.Key(stmt, i), []engine.KV{{Key: "x", Val: float64(i)}})
+	}
+	if got := rc.Len(); got > 2 {
+		t.Fatalf("cache holds %d entries, cap 2", got)
+	}
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bohr/internal/core"
+	"bohr/internal/experiments"
+	"bohr/internal/obs"
+	"bohr/internal/placement"
+	"bohr/internal/sql"
+	"bohr/internal/workload"
+)
+
+// smallSystem prepares a tiny real system (cluster + workload + Bohr
+// placement) for end-to-end serving tests.
+func smallSystem(t *testing.T) *core.System {
+	t.Helper()
+	s := experiments.QuickSetup()
+	s.Datasets = 1
+	s.RowsPerSite = 120
+	c, w, err := s.Populated(workload.BigDataScan, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := s.PlacementOptions(0)
+	sys, err := core.New(c, w, placement.Bohr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEngineBackendServesRealQueries(t *testing.T) {
+	sys := smallSystem(t)
+	backend := NewEngineBackend(sys)
+	ds := sys.Workload.Datasets[0]
+
+	if backend.Schema("nope") != nil {
+		t.Fatal("unknown dataset resolved a schema")
+	}
+	schema := backend.Schema(ds.Name)
+	if schema == nil {
+		t.Fatalf("dataset %q has no schema", ds.Name)
+	}
+	h1, ok := backend.ContentHash(ds.Name)
+	if !ok {
+		t.Fatalf("dataset %q has no content hash", ds.Name)
+	}
+	if h2, _ := backend.ContentHash(ds.Name); h2 != h1 {
+		t.Fatal("content hash unstable across calls")
+	}
+	if _, ok := backend.ContentHash("nope"); ok {
+		t.Fatal("unknown dataset produced a content hash")
+	}
+
+	col := obs.NewCollector(obs.WithWallClock())
+	fe := New(backend, Config{}, col)
+	ts := httptest.NewServer(fe.Handler())
+	defer ts.Close()
+
+	dim := schema.Dims()[0]
+	query := "SELECT " + dim + ", SUM(measure) FROM " + ds.Name + " GROUP BY " + dim + " LIMIT 5"
+	resp, out := postQuery(t, ts.URL, "alice", query)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Cached || out.RowCount == 0 {
+		t.Fatalf("response = %+v, want uncached rows", out)
+	}
+	// The repeat is a cache hit with identical rows.
+	resp2, out2 := postQuery(t, ts.URL, "bob", query)
+	if resp2.StatusCode != http.StatusOK || !out2.Cached {
+		t.Fatalf("repeat = %d %+v, want cached", resp2.StatusCode, out2)
+	}
+	if len(out2.Rows) != len(out.Rows) || out2.Rows[0] != out.Rows[0] {
+		t.Fatalf("cached rows %v != fresh rows %v", out2.Rows, out.Rows)
+	}
+
+	// A pre-cancelled context unwinds inside the engine (chunk-boundary
+	// contract) before any work runs.
+	plan, err := sql.CompileString(query, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := backend.Run(cancelled, plan); err == nil {
+		t.Fatal("cancelled engine run succeeded")
+	}
+}

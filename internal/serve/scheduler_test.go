@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"bohr/internal/obs"
+)
+
+func TestSchedulerImmediateGrantAndRelease(t *testing.T) {
+	s := NewScheduler(SchedConfig{MaxConcurrent: 2, TenantQuota: 2}, nil)
+	rel1, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Inflight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+	rel1()
+	if got := s.Inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestSchedulerQueueOverflowRejects(t *testing.T) {
+	col := obs.NewCollector()
+	s := NewScheduler(SchedConfig{MaxConcurrent: 1, TenantQuota: 1, MaxQueue: 1}, col)
+	rel, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// One waiter fits; the next must bounce.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r, err := s.Acquire(context.Background(), "b")
+		if err == nil {
+			r()
+		}
+	}()
+	waitFor(t, func() bool { return s.QueueDepth() == 1 })
+	if _, err := s.Acquire(context.Background(), "c"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow acquire = %v, want ErrOverloaded", err)
+	}
+	snap := col.MetricsSnapshot()
+	if snap.Counters["serve.rejected"] != 1 {
+		t.Fatalf("serve.rejected = %v, want 1", snap.Counters["serve.rejected"])
+	}
+	rel()
+	<-done
+}
+
+func TestSchedulerAcquireCancellation(t *testing.T) {
+	s := NewScheduler(SchedConfig{MaxConcurrent: 1, TenantQuota: 1, MaxQueue: 8}, nil)
+	rel, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "b")
+		errc <- err
+	}()
+	waitFor(t, func() bool { return s.QueueDepth() == 1 })
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire did not return")
+	}
+	if got := s.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth after cancellation = %d, want 0", got)
+	}
+	// The slot is untouched: releasing and re-acquiring works.
+	rel()
+	rel2, err := s.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+// TestSchedulerQuotaNonStarvation saturates tenant A far beyond its quota
+// and verifies tenant B's requests are still granted promptly.
+func TestSchedulerQuotaNonStarvation(t *testing.T) {
+	s := NewScheduler(SchedConfig{MaxConcurrent: 2, TenantQuota: 1, MaxQueue: 64}, nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Tenant A floods: each granted slot is held briefly, and a fresh
+	// request replaces every finished one.
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rel, err := s.Acquire(context.Background(), "a")
+				if err != nil {
+					continue
+				}
+				time.Sleep(time.Millisecond)
+				rel()
+			}
+		}()
+	}
+	// Tenant B issues 20 sequential requests; every one must be granted
+	// well before the flood drains.
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		rel, err := s.Acquire(ctx, "b")
+		cancel()
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("tenant B starved on request %d: %v", i, err)
+		}
+		time.Sleep(time.Millisecond)
+		rel()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSchedulerWeightedShares parks 30 waiters per tenant behind a held
+// slot and replays the grant order: with 3:1 weights and full contention
+// the stride schedule must hand the heavy tenant ~3 of every 4 grants
+// until its queue drains.
+func TestSchedulerWeightedShares(t *testing.T) {
+	s := NewScheduler(SchedConfig{
+		MaxConcurrent: 1, TenantQuota: 1, MaxQueue: 128,
+		Weights: map[string]float64{"heavy": 3, "light": 1},
+	}, nil)
+	hold, err := s.Acquire(context.Background(), "heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perTenant = 30
+	order := make(chan string, 2*perTenant)
+	var wg sync.WaitGroup
+	for i := 0; i < perTenant; i++ {
+		for _, tenant := range []string{"heavy", "light"} {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				rel, err := s.Acquire(context.Background(), tenant)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// inflight is capped at 1, so recording before release
+				// makes the channel order the grant order.
+				order <- tenant
+				rel()
+			}(tenant)
+		}
+	}
+	waitFor(t, func() bool { return s.QueueDepth() == 2*perTenant })
+	hold()
+	wg.Wait()
+	close(order)
+	heavyIn40 := 0
+	for i := 0; i < 40; i++ {
+		if <-order == "heavy" {
+			heavyIn40++
+		}
+	}
+	// The exact stride pattern grants heavy 30 of the first 40 (its queue
+	// drains right then); allow one grant of slack at the window edges.
+	if heavyIn40 < 28 || heavyIn40 > 31 {
+		t.Fatalf("heavy got %d of the first 40 grants, want ~30 (3:1 weights)", heavyIn40)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+	"time"
+
+	"bohr/internal/cache"
+	"bohr/internal/core"
+	"bohr/internal/engine"
+	"bohr/internal/obs"
+	"bohr/internal/olap"
+	"bohr/internal/sql"
+)
+
+// Backend executes compiled statements for the front end. Run must honor
+// the context at the engine's chunk boundaries, so cancelled requests
+// unwind within one stage.
+type Backend interface {
+	// Schema resolves a dataset's schema, or nil when unknown.
+	Schema(dataset string) *olap.Schema
+	// ContentHash returns a stable hash of the dataset's current
+	// contents, keying the result cache.
+	ContentHash(dataset string) (uint64, bool)
+	// Run executes the plan's engine query and returns the raw reduce
+	// output (pre ORDER BY / LIMIT).
+	Run(ctx context.Context, plan *sql.Plan) ([]engine.KV, error)
+}
+
+// EngineBackend serves queries against a prepared core.System: the
+// simulated cluster with data already placed, the same substrate bohrctl
+// drives. Data is static while serving, so per-dataset content hashes
+// are computed once and memoized.
+type EngineBackend struct {
+	sys *core.System
+
+	mu     sync.Mutex
+	hashes map[string]uint64
+}
+
+// NewEngineBackend wraps a prepared system (Prepare must have run).
+func NewEngineBackend(sys *core.System) *EngineBackend {
+	return &EngineBackend{sys: sys, hashes: map[string]uint64{}}
+}
+
+// Schema resolves the dataset's schema from the system's workload.
+func (b *EngineBackend) Schema(dataset string) *olap.Schema {
+	for _, ds := range b.sys.Workload.Datasets {
+		if ds.Name == dataset {
+			return ds.Schema
+		}
+	}
+	return nil
+}
+
+// ContentHash hashes the dataset's records across all sites (FNV-1a over
+// site, key, value in site order). Serving does not mutate data, so the
+// hash is memoized on first use.
+func (b *EngineBackend) ContentHash(dataset string) (uint64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if h, ok := b.hashes[dataset]; ok {
+		return h, true
+	}
+	c := b.sys.Cluster
+	found := false
+	h := fnv.New64a()
+	for site := 0; site < c.N(); site++ {
+		recs := c.Data[site].Records(dataset)
+		if len(recs) == 0 {
+			continue
+		}
+		found = true
+		fmt.Fprintf(h, "site=%d;", site)
+		for _, kv := range recs {
+			fmt.Fprintf(h, "%s=%g;", kv.Key, kv.Val)
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	sum := h.Sum64()
+	b.hashes[dataset] = sum
+	return sum, true
+}
+
+// Run executes the plan under the system's placement.
+func (b *EngineBackend) Run(ctx context.Context, plan *sql.Plan) ([]engine.KV, error) {
+	res, err := b.sys.RunQuery(ctx, plan.Query)
+	if err != nil {
+		return nil, err
+	}
+	return res.Output, nil
+}
+
+// Config tunes the front end.
+type Config struct {
+	// Sched configures the fair scheduler (zero value = defaults).
+	Sched SchedConfig
+	// CacheCaps bounds the result cache; the zero value adopts the
+	// process-wide cache defaults.
+	CacheCaps cache.Caps
+	// DefaultTimeout caps a request's execution when the client did not
+	// send timeout_ms (default 30s; negative disables).
+	DefaultTimeout time.Duration
+}
+
+// Server is the multi-tenant query front end. Mount Handler on an HTTP
+// mux (the telemetry server's, via export.Server.Handle) and POST
+// /v1/query documents at it.
+type Server struct {
+	backend Backend
+	sched   *Scheduler
+	results *ResultCache
+	col     *obs.Collector
+	timeout time.Duration
+}
+
+// New assembles a front end over a backend; col may be nil.
+func New(b Backend, cfg Config, col *obs.Collector) *Server {
+	caps := cfg.CacheCaps
+	if caps == (cache.Caps{}) {
+		caps = cache.DefaultCaps()
+	}
+	timeout := cfg.DefaultTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	return &Server{
+		backend: b,
+		sched:   NewScheduler(cfg.Sched, col),
+		results: NewResultCache(caps, col),
+		col:     col,
+		timeout: timeout,
+	}
+}
+
+// Scheduler exposes the fair scheduler (for gauges and tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	// Tenant identifies the caller for quota and fairness accounting.
+	Tenant string `json:"tenant"`
+	// Query is one statement in the internal/sql dialect.
+	Query string `json:"query"`
+	// TimeoutMS caps execution; 0 adopts the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// QueryRow is one result row.
+type QueryRow struct {
+	Key string  `json:"key"`
+	Val float64 `json:"val"`
+}
+
+// QueryResponse is the POST /v1/query result document.
+type QueryResponse struct {
+	Tenant    string     `json:"tenant"`
+	Rows      []QueryRow `json:"rows"`
+	RowCount  int        `json:"row_count"`
+	Cached    bool       `json:"cached"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the front end's /v1/ handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.serveQuery)
+	return mux
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Tenant == "" {
+		s.fail(w, http.StatusBadRequest, "tenant is required")
+		return
+	}
+	if req.Query == "" {
+		s.fail(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	stmt, err := sql.Parse(req.Query)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	schema := s.backend.Schema(stmt.Dataset)
+	if schema == nil {
+		s.fail(w, http.StatusNotFound, "unknown dataset %q", stmt.Dataset)
+		return
+	}
+	plan, err := sql.Compile(stmt, schema)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The request context carries client disconnects; the per-tenant
+	// deadline rides on top of it.
+	ctx := r.Context()
+	timeout := s.timeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	start := time.Now()
+	s.count("serve.requests", 1)
+	s.count("serve.tenant."+req.Tenant+".requests", 1)
+
+	// Result cache: textual variants of one statement over unchanged
+	// data are answered without touching the scheduler or the engine.
+	var key string
+	if hash, ok := s.backend.ContentHash(stmt.Dataset); ok {
+		key = s.results.Key(stmt, hash)
+		if rows, ok := s.results.Get(key); ok {
+			s.count("serve.cache.hits", 1)
+			s.count("serve.tenant."+req.Tenant+".cache.hits", 1)
+			s.reply(w, req.Tenant, plan.PostProcess(rows), true, start)
+			return
+		}
+	}
+	s.count("serve.cache.misses", 1)
+
+	release, err := s.sched.Acquire(ctx, req.Tenant)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.fail(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		s.count("serve.cancelled", 1)
+		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer release()
+
+	rows, err := s.backend.Run(ctx, plan)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.count("serve.cancelled", 1)
+			s.fail(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if key != "" {
+		s.results.Insert(key, rows)
+	}
+	s.observe("serve.tenant."+req.Tenant+".latency_s", time.Since(start).Seconds())
+	s.observe("serve.latency_s", time.Since(start).Seconds())
+	s.reply(w, req.Tenant, plan.PostProcess(rows), false, start)
+}
+
+func (s *Server) reply(w http.ResponseWriter, tenant string, rows []engine.KV, cached bool, start time.Time) {
+	out := make([]QueryRow, len(rows))
+	for i, kv := range rows {
+		out[i] = QueryRow{Key: kv.Key, Val: kv.Val}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(QueryResponse{
+		Tenant: tenant, Rows: out, RowCount: len(out),
+		Cached: cached, ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) count(name string, v float64)   { s.col.Count(name, v) }
+func (s *Server) observe(name string, v float64) { s.col.Observe(name, v) }

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -159,7 +160,7 @@ func TestCompileAndRun(t *testing.T) {
 	if plan.Query.Dataset != "logs" {
 		t.Fatalf("dataset = %q", plan.Query.Dataset)
 	}
-	res, err := c.Run(engine.JobConfig{Query: plan.Query})
+	res, err := c.Run(context.Background(), engine.JobConfig{Query: plan.Query})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestCompileWhereFilters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run(engine.JobConfig{Query: plan.Query})
+	res, err := c.Run(context.Background(), engine.JobConfig{Query: plan.Query})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestCompileNumericComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Run(engine.JobConfig{Query: plan.Query})
+	res, err := c.Run(context.Background(), engine.JobConfig{Query: plan.Query})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestCompileAggregateOps(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", tc.q, err)
 		}
-		res, err := c.Run(engine.JobConfig{Query: plan.Query})
+		res, err := c.Run(context.Background(), engine.JobConfig{Query: plan.Query})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.q, err)
 		}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -249,7 +250,7 @@ func TestPopulatedQueriesRun(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, q := range w.Datasets[0].Queries {
-			res, err := c.Run(engine.JobConfig{Query: q.Query})
+			res, err := c.Run(context.Background(), engine.JobConfig{Query: q.Query})
 			if err != nil {
 				t.Fatalf("%v/%s: %v", kind, q.Query.Name, err)
 			}
