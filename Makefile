@@ -41,7 +41,7 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/obs/... \
 		./internal/netio/... ./internal/faults/... \
 		./internal/parallel/... ./internal/olap/... ./internal/similarity/... \
-		./internal/cache/... ./internal/serve/...
+		./internal/cache/... ./internal/serve/... ./internal/ingest/...
 
 # fuzz-short runs each native fuzz target briefly against its checked-in
 # seed corpus — a smoke round, not a campaign. One -fuzz invocation per
@@ -49,6 +49,7 @@ race:
 fuzz-short:
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime 5s
 	$(GO) test ./internal/faults -run '^$$' -fuzz FuzzParse -fuzztime 5s
+	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzRecordCodec -fuzztime 5s
 
 # determinism: two bohrctl runs with the same seed and fault schedule must
 # emit byte-identical JSON reports, and the report must be byte-identical
@@ -98,4 +99,4 @@ bench:
 # bench-snapshot appends to the perf trajectory: one JSON document of
 # benchmark measurements per PR (BENCH_<tag>.json at the repo root).
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -tag pr6
+	$(GO) run ./cmd/benchsnap -tag pr7

@@ -25,6 +25,7 @@ import (
 	"bohr/internal/cache"
 	"bohr/internal/core"
 	"bohr/internal/experiments"
+	"bohr/internal/ingest"
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
 	"bohr/internal/obs/export"
@@ -74,6 +75,20 @@ type ServeStat struct {
 	P99MS         float64 `json:"p99_ms"`
 }
 
+// IngestStat measures the streaming-ingestion path under one shape: a
+// single source streaming records over HTTP into a live system, either
+// unconstrained (throughput) or against a deliberately small admission
+// window (backpressure), where the client must absorb 429s and resend.
+type IngestStat struct {
+	Scenario       string  `json:"scenario"`
+	Records        int     `json:"records"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	BatchesFlushed uint64  `json:"batches_flushed"`
+	ClientRetries  uint64  `json:"client_retries"`
+	Overloaded     uint64  `json:"overloaded"`
+	Deduped        uint64  `json:"deduped"`
+}
+
 // Snapshot is the document benchsnap writes.
 type Snapshot struct {
 	Tag        string        `json:"tag"`
@@ -85,6 +100,7 @@ type Snapshot struct {
 	Benchmarks []BenchResult `json:"benchmarks"`
 	Cache      *CacheStats   `json:"cache_stats,omitempty"`
 	Serve      []ServeStat   `json:"serve_stats,omitempty"`
+	Ingest     []IngestStat  `json:"ingest_stats,omitempty"`
 }
 
 // benchSetup mirrors the reduced setup of the repo-level bench_test.go so
@@ -340,6 +356,63 @@ func measureServe(sys *core.System, query string, tenants int, cached bool) (Ser
 	}, nil
 }
 
+// measureIngest streams `records` from one client source into a fresh
+// front end over HTTP and reports end-to-end throughput (push + drain).
+// The pipeline config controls the shape: a roomy MaxPending measures raw
+// throughput; a tight one forces the backpressure loop (429 → seeded
+// backoff → whole-batch resend, deduped server-side).
+func measureIngest(scenario string, cfg ingest.Config, records int) (IngestStat, error) {
+	sys, _, err := serveSystem()
+	if err != nil {
+		return IngestStat{}, err
+	}
+	ds := sys.Workload.Datasets[0]
+	dims := ds.Schema.NumDims()
+	fe := serve.New(serve.NewEngineBackend(sys), serve.Config{}, nil)
+	pipe, err := fe.EnableIngest(cfg)
+	if err != nil {
+		return IngestStat{}, err
+	}
+	defer pipe.Close()
+	ts := httptest.NewServer(fe.Handler())
+	defer ts.Close()
+
+	cli := ingest.NewClient(ts.URL+"/v1/ingest", "bench", ingest.ClientConfig{
+		BatchRecords: cfg.MaxBatchRecords, RetryBase: time.Millisecond, RetryAttempts: 64,
+	})
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < records; i++ {
+		coords := make([]string, dims)
+		for j := range coords {
+			coords[j] = fmt.Sprintf("ing%d-%d", j, i%16)
+		}
+		if err := cli.Add(ctx, ds.Name, i%sys.Cluster.N(), coords, 1); err != nil {
+			return IngestStat{}, err
+		}
+	}
+	if err := cli.Flush(ctx); err != nil {
+		return IngestStat{}, err
+	}
+	if err := pipe.Flush(ctx); err != nil {
+		return IngestStat{}, err
+	}
+	elapsed := time.Since(start)
+	st := pipe.Stats()
+	if st.RecordsDelivered != uint64(records) {
+		return IngestStat{}, fmt.Errorf("ingest bench: delivered %d of %d records", st.RecordsDelivered, records)
+	}
+	return IngestStat{
+		Scenario:       scenario,
+		Records:        records,
+		ThroughputRPS:  float64(records) / elapsed.Seconds(),
+		BatchesFlushed: st.BatchesFlushed,
+		ClientRetries:  cli.Stats().Retries,
+		Overloaded:     st.Overloaded + st.Throttled,
+		Deduped:        st.Deduped,
+	}, nil
+}
+
 func benchMinhashBatch(width int) func(*testing.B) {
 	return func(b *testing.B) {
 		h, err := similarity.NewMinHasher(128, 7)
@@ -358,7 +431,7 @@ func benchMinhashBatch(width int) func(*testing.B) {
 }
 
 func main() {
-	tag := flag.String("tag", "pr6", "snapshot tag; output defaults to BENCH_<tag>.json")
+	tag := flag.String("tag", "pr7", "snapshot tag; output defaults to BENCH_<tag>.json")
 	out := flag.String("out", "", "output path (overrides -tag naming)")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark measuring time (testing -benchtime)")
 	testing.Init()
@@ -464,6 +537,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchsnap: serve %2d tenants cached=%-5v %7.0f req/s p50 %6.2fms p99 %6.2fms\n",
 				st.Tenants, st.Cached, st.ThroughputRPS, st.P50MS, st.P99MS)
 		}
+	}
+	for _, sc := range []struct {
+		name    string
+		cfg     ingest.Config
+		records int
+	}{
+		{"throughput: 1 source, batches of 256, no admission limits",
+			ingest.Config{MaxBatchRecords: 256, FlushInterval: -1}, 5000},
+		{"backpressure: 1 source, batches of 64, pending capped at 256",
+			ingest.Config{MaxBatchRecords: 64, FlushInterval: -1, MaxPending: 256}, 2000},
+	} {
+		st, err := measureIngest(sc.name, sc.cfg, sc.records)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: ingest %q: %v\n", sc.name, err)
+			os.Exit(1)
+		}
+		doc.Ingest = append(doc.Ingest, st)
+		fmt.Fprintf(os.Stderr, "benchsnap: ingest %-55s %7.0f rec/s, %d batches, %d retries, %d overloads\n",
+			sc.name, st.ThroughputRPS, st.BatchesFlushed, st.ClientRetries, st.Overloaded)
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -13,11 +13,15 @@
 //
 //	bohrd worker -site 0 -listen 127.0.0.1:7000 -up 10
 //
-// Load mode pushes CSV records ("coord1,coord2,...,value" per line) to a
-// worker:
+// Load mode pushes CSV records ("coord1,coord2,...,value" per line)
+// either in bulk to a worker or as a stream to a serve daemon's ingest
+// endpoint (at-least-once, with per-source offsets so a restarted
+// loader can resume with -offset and replays dedupe server-side):
 //
 //	bohrd load -workers 127.0.0.1:7000,127.0.0.1:7001 \
 //	      -site 0 -dataset logs -schema url,country -file data.csv
+//	bohrd load -server http://127.0.0.1:8080 -source web-tier \
+//	      -site 0 -dataset ds0 -schema url,country -file data.csv
 //
 // Query mode runs a distributed projection/aggregate across workers:
 //
@@ -40,6 +44,7 @@ import (
 	"bohr/internal/core"
 	"bohr/internal/engine"
 	"bohr/internal/experiments"
+	"bohr/internal/ingest"
 	"bohr/internal/netio"
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
@@ -76,6 +81,8 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("bohrd serve", flag.ExitOnError)
 	var common cliflags.Common
 	common.Register(fs)
+	var ing cliflags.Ingest
+	ing.Register(fs)
 	var (
 		kindName   = fs.String("workload", "bigdata-scan", "workload to generate and serve")
 		schemeName = fs.String("scheme", "bohr", "placement scheme")
@@ -148,11 +155,18 @@ func runServe(args []string) error {
 		cfg.CacheCaps = caps
 	}
 	fe := serve.New(serve.NewEngineBackend(sys), cfg, col)
+	sys.SetReplanEvery(ing.Replan)
+	pipe, err := fe.EnableIngest(ing.Config(s.Seed))
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
 
 	srv := export.New(col)
 	srv.Handle("/v1/", fe.Handler())
 	srv.GaugeFunc("serve.sched.inflight", func() float64 { return float64(fe.Scheduler().Inflight()) })
 	srv.GaugeFunc("serve.sched.queue_depth", func() float64 { return float64(fe.Scheduler().QueueDepth()) })
+	srv.GaugeFunc("ingest.queue_depth", func() float64 { return float64(pipe.Pending()) })
 	listen := common.TelemetryAddr
 	if listen == "" {
 		listen = "127.0.0.1:8080"
@@ -170,7 +184,7 @@ func runServe(args []string) error {
 			break
 		}
 	}
-	fmt.Printf("bohrd: serving %d datasets (%s) on http://%s/v1/query (metrics on /metrics)\n",
+	fmt.Printf("bohrd: serving %d datasets (%s) on http://%s/v1/query (ingest on /v1/ingest, metrics on /metrics)\n",
 		len(w.Datasets), strings.Join(names, ","), addr)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -225,12 +239,18 @@ func runLoad(args []string) error {
 	fs := flag.NewFlagSet("bohrd load", flag.ExitOnError)
 	var common cliflags.Common
 	common.Register(fs)
+	var ing cliflags.Ingest
+	ing.Register(fs)
 	var (
-		workers = fs.String("workers", "", "comma-separated worker addresses")
+		workers = fs.String("workers", "", "comma-separated worker addresses (netio bulk load)")
+		server  = fs.String("server", "", "bohrd serve base URL for streaming ingest (e.g. http://127.0.0.1:8080)")
+		source  = fs.String("source", "loader", "ingest source name (offsets are per source)")
+		offset  = fs.Uint64("offset", 1, "first ingest offset to assign (resume a restarted source here)")
 		site    = fs.Int("site", 0, "destination site ID")
 		dataset = fs.String("dataset", "", "dataset name")
 		schema  = fs.String("schema", "", "comma-separated dimension names")
 		file    = fs.String("file", "", "CSV file of records; - for stdin")
+		seed    = fs.Int64("seed", 1, "random seed for retry backoff jitter")
 	)
 	fs.Parse(args)
 	common.Apply()
@@ -238,6 +258,9 @@ func runLoad(args []string) error {
 	schemaDims := cliflags.SplitCSV(*schema)
 	if *dataset == "" || len(schemaDims) == 0 {
 		return fmt.Errorf("load needs -dataset and -schema")
+	}
+	if (*workers == "") == (*server == "") {
+		return fmt.Errorf("load needs exactly one of -workers (bulk) or -server (streaming)")
 	}
 	in := os.Stdin
 	if *file != "" && *file != "-" {
@@ -248,7 +271,57 @@ func runLoad(args []string) error {
 		defer f.Close()
 		in = f
 	}
+
+	// Streaming mode: push batches at POST /v1/ingest through the ingest
+	// client, which assigns monotonic per-source offsets and retries 429s
+	// with seeded backoff (the server's dedupe makes resends safe).
+	if *server != "" {
+		cli := ingest.NewClient(strings.TrimRight(*server, "/")+"/v1/ingest", *source, ingest.ClientConfig{
+			BatchRecords: ing.Batch,
+			Seed:         *seed,
+			StartOffset:  *offset,
+		})
+		ctx := context.Background()
+		rows := 0
+		err := scanCSV(in, schemaDims, func(coords []string, val float64) error {
+			rows++
+			return cli.Add(ctx, *dataset, *site, coords, val)
+		})
+		if err != nil {
+			return err
+		}
+		if err := cli.Flush(ctx); err != nil {
+			return err
+		}
+		st := cli.Stats()
+		fmt.Printf("bohrd: streamed %d records into %q at site %d as source %q (accepted %d, deduped %d, retries %d, next offset %d)\n",
+			rows, *dataset, *site, *source, st.Accepted, st.Deduped, st.Retries, cli.NextOffset())
+		return nil
+	}
+
 	var records []engine.KV
+	err := scanCSV(in, schemaDims, func(coords []string, val float64) error {
+		records = append(records, engine.KV{Key: strings.Join(coords, "\x1f"), Val: val})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ctl, err := netio.Dial(context.Background(), cliflags.SplitCSV(*workers))
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	if err := ctl.Put(context.Background(), *site, *dataset, schemaDims, records); err != nil {
+		return err
+	}
+	fmt.Printf("bohrd: loaded %d records into %q at site %d\n", len(records), *dataset, *site)
+	return nil
+}
+
+// scanCSV reads "coord1,...,coordN,value" lines (blank and # lines
+// skipped) and hands each parsed record to emit.
+func scanCSV(in *os.File, schemaDims []string, emit func(coords []string, val float64) error) error {
 	sc := bufio.NewScanner(in)
 	line := 0
 	for sc.Scan() {
@@ -269,21 +342,11 @@ func runLoad(args []string) error {
 		for i := range coords {
 			coords[i] = strings.TrimSpace(coords[i])
 		}
-		records = append(records, engine.KV{Key: strings.Join(coords, "\x1f"), Val: val})
+		if err := emit(coords, val); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	ctl, err := netio.Dial(context.Background(), cliflags.SplitCSV(*workers))
-	if err != nil {
-		return err
-	}
-	defer ctl.Close()
-	if err := ctl.Put(context.Background(), *site, *dataset, schemaDims, records); err != nil {
-		return err
-	}
-	fmt.Printf("bohrd: loaded %d records into %q at site %d\n", len(records), *dataset, *site)
-	return nil
+	return sc.Err()
 }
 
 func runQuery(args []string) error {

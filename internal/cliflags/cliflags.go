@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"strings"
+	"time"
 
 	"bohr/internal/cache"
+	"bohr/internal/ingest"
 	"bohr/internal/parallel"
 	"bohr/internal/placement"
 	"bohr/internal/workload"
@@ -68,6 +70,49 @@ func (c *Common) Caps() (caps cache.Caps, ok bool) {
 		caps.Bytes = c.CacheBytes
 	}
 	return caps, true
+}
+
+// Ingest is the shared flag surface for the streaming-ingestion
+// pipeline: every tool that runs or drives an ingest endpoint (bohrd
+// serve, bohrd load) registers the same -ingest-* knobs with the same
+// semantics.
+type Ingest struct {
+	// Batch is the size flush trigger in records.
+	Batch int
+	// Interval is the time flush trigger (negative disables the timer).
+	Interval time.Duration
+	// Queue caps one source's buffered records before 429.
+	Queue int
+	// Rate throttles one source's admission in records/second (0 =
+	// unlimited).
+	Rate float64
+	// Replan re-runs placement every N applied batches (0 disables).
+	Replan int
+}
+
+// Register installs the shared ingest flags on a FlagSet.
+func (g *Ingest) Register(fs *flag.FlagSet) {
+	fs.IntVar(&g.Batch, "ingest-batch", 256,
+		"ingest batch size: records buffered per source before a size-triggered flush")
+	fs.DurationVar(&g.Interval, "ingest-interval", 200*time.Millisecond,
+		"ingest flush interval for partial batches (negative disables the timer)")
+	fs.IntVar(&g.Queue, "ingest-queue", 4096,
+		"max buffered records per source before admission control returns 429")
+	fs.Float64Var(&g.Rate, "ingest-rate", 0,
+		"per-source ingest admission rate in records/second (0 = unlimited)")
+	fs.IntVar(&g.Replan, "ingest-replan", 0,
+		"replan placement every N applied ingest batches (0 disables live replans)")
+}
+
+// Config resolves the flags into a pipeline configuration.
+func (g Ingest) Config(seed int64) ingest.Config {
+	return ingest.Config{
+		MaxBatchRecords: g.Batch,
+		FlushInterval:   g.Interval,
+		MaxPending:      g.Queue,
+		SourceRate:      g.Rate,
+		Seed:            seed,
+	}
 }
 
 // SplitCSV splits a comma-separated flag value, trimming whitespace;

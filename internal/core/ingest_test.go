@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"bohr/internal/olap"
+	"bohr/internal/placement"
+	"bohr/internal/workload"
+)
+
+func preparedSystem(t *testing.T) (*System, *workload.Dataset) {
+	t.Helper()
+	c, w := setup(t, workload.TPCDS)
+	sys, err := New(c, w, placement.Bohr, placement.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sys, w.Datasets[0]
+}
+
+func liveRows(ds *workload.Dataset, n int) []olap.Row {
+	rows := make([]olap.Row, n)
+	for i := range rows {
+		coords := make([]string, ds.Schema.NumDims())
+		for j := range coords {
+			coords[j] = fmt.Sprintf("live%d-%d", i%3, j)
+		}
+		rows[i] = olap.Row{Coords: coords, Measure: float64(i + 1)}
+	}
+	return rows
+}
+
+func totalRecords(s *System, dataset string) int {
+	n := 0
+	for i := 0; i < s.Cluster.N(); i++ {
+		n += len(s.Cluster.Data[i].Records(dataset))
+	}
+	return n
+}
+
+func TestIngestBatchAppliesRows(t *testing.T) {
+	sys, ds := preparedSystem(t)
+	before := totalRecords(sys, ds.Name)
+	rows := liveRows(ds, 10)
+	replanned, err := sys.IngestBatch(context.Background(), []Arrival{
+		{Dataset: ds.Name, Site: 0, Rows: rows[:6]},
+		{Dataset: ds.Name, Site: 1, Rows: rows[6:]},
+	})
+	if err != nil {
+		t.Fatalf("IngestBatch: %v", err)
+	}
+	if replanned {
+		t.Fatal("replanned with replanEvery unset")
+	}
+	// Movement may relocate the new rows between sites, but the total is
+	// conserved: nothing lost, nothing duplicated.
+	if got := totalRecords(sys, ds.Name); got != before+10 {
+		t.Fatalf("cluster holds %d records, want %d", got, before+10)
+	}
+	if sys.IngestBatches() != 1 {
+		t.Fatalf("IngestBatches = %d, want 1", sys.IngestBatches())
+	}
+}
+
+func TestIngestBatchValidatesAllOrNothing(t *testing.T) {
+	sys, ds := preparedSystem(t)
+	before := totalRecords(sys, ds.Name)
+	good := Arrival{Dataset: ds.Name, Site: 0, Rows: liveRows(ds, 2)}
+	for name, bad := range map[string]Arrival{
+		"unknown dataset": {Dataset: "nope", Site: 0, Rows: liveRows(ds, 1)},
+		"site too high":   {Dataset: ds.Name, Site: sys.Cluster.N(), Rows: liveRows(ds, 1)},
+		"negative site":   {Dataset: ds.Name, Site: -1, Rows: liveRows(ds, 1)},
+		"empty rows":      {Dataset: ds.Name, Site: 0},
+		"wrong dims": {Dataset: ds.Name, Site: 0,
+			Rows: []olap.Row{{Coords: []string{"only-one"}, Measure: 1}}},
+		"reserved separator": {Dataset: ds.Name, Site: 0,
+			Rows: []olap.Row{{Coords: append([]string{"a\x1fb"},
+				liveRows(ds, 1)[0].Coords[1:]...), Measure: 1}}},
+	} {
+		_, err := sys.IngestBatch(context.Background(), []Arrival{good, bad})
+		if !errors.Is(err, ErrBadArrival) {
+			t.Fatalf("%s: err = %v, want ErrBadArrival", name, err)
+		}
+		if !strings.Contains(err.Error(), "core:") && err == nil {
+			t.Fatalf("%s: unhelpful error %v", name, err)
+		}
+	}
+	// All-or-nothing: the good arrival sharing a batch with a bad one must
+	// not have been applied.
+	if got := totalRecords(sys, ds.Name); got != before {
+		t.Fatalf("rejected batches leaked %d records", got-before)
+	}
+	if sys.IngestBatches() != 0 {
+		t.Fatalf("IngestBatches = %d after only rejected batches", sys.IngestBatches())
+	}
+}
+
+func TestIngestBatchReplanCadence(t *testing.T) {
+	sys, ds := preparedSystem(t)
+	sys.SetReplanEvery(2)
+	for i := 0; i < 5; i++ {
+		replanned, err := sys.IngestBatch(context.Background(), []Arrival{
+			{Dataset: ds.Name, Site: i % sys.Cluster.N(), Rows: liveRows(ds, 3)},
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if want := (i+1)%2 == 0; replanned != want {
+			t.Fatalf("batch %d: replanned = %v, want %v", i, replanned, want)
+		}
+	}
+	if sys.IngestReplans() != 2 {
+		t.Fatalf("IngestReplans = %d, want 2 (after batches 2 and 4)", sys.IngestReplans())
+	}
+	if sys.Plan() == nil {
+		t.Fatal("replanning lost the plan")
+	}
+	// Queries still run under the refreshed plan.
+	if _, err := sys.RunAll(context.Background()); err != nil {
+		t.Fatalf("RunAll after live replans: %v", err)
+	}
+}
+
+func TestIngestBatchRequiresPrepare(t *testing.T) {
+	c, w := setup(t, workload.TPCDS)
+	sys, err := New(c, w, placement.Bohr, placement.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.IngestBatch(context.Background(), []Arrival{
+		{Dataset: w.Datasets[0].Name, Site: 0, Rows: liveRows(w.Datasets[0], 1)},
+	}); err == nil {
+		t.Fatal("ingest before Prepare succeeded")
+	}
+}

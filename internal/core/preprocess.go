@@ -70,13 +70,15 @@ func (p *Preprocessor) AttachObs(col *obs.Collector) {
 }
 
 // Ingest buffers newly generated rows at a site: the base cube updates
-// immediately, dimension cubes stay pending until PrepareFor or
-// FlushBackground — exactly the §4.1 buffering discipline.
+// immediately (as one pre-aggregated batch fold), dimension cubes stay
+// pending until PrepareFor or FlushBackground — exactly the §4.1
+// buffering discipline. A bad row rejects the whole batch without
+// touching the cube set, so the streaming pipeline can drop it cleanly.
 func (p *Preprocessor) Ingest(site int, rows ...olap.Row) error {
 	if site < 0 || site >= len(p.Sites) {
 		return fmt.Errorf("core: ingest: site %d out of range [0,%d)", site, len(p.Sites))
 	}
-	return p.Sites[site].Insert(rows...)
+	return p.Sites[site].InsertBatch(rows)
 }
 
 // PrepareFor eagerly catches up the dimension cube an incoming query needs

@@ -33,6 +33,15 @@ type System struct {
 	moved   *engine.MoveResult
 	prepRep *PrepareReport
 	lastRun *RunReport
+
+	// Live-ingest state (see ingest.go): per-dataset cube maintainers,
+	// the current plan's movement shares for forwarding new batches, and
+	// the replan cadence counters.
+	preps         map[string]*Preprocessor
+	shares        map[string][][]float64
+	replanEvery   int
+	ingestBatches int
+	ingestReplans int
 }
 
 // New validates and assembles a system. The cluster must already hold the
@@ -119,6 +128,9 @@ func (s *System) Prepare(ctx context.Context) (*PrepareReport, error) {
 	}
 	s.plan = plan
 	s.moved = moved
+	// Newly ingested batches follow the plan's movement decision until
+	// the next replan (§8.6 step 2), so remember its per-site shares.
+	s.shares = planShares(plan, s.Cluster.N())
 	rep := &PrepareReport{
 		MoveDuration: moved.Duration,
 		CheckTime:    plan.CheckTime,

@@ -1,0 +1,47 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRecordCodec drives the wire codec with arbitrary bytes: DecodeRecord
+// must never panic, and every line it accepts must re-encode canonically —
+// encode(decode(line)) decodes back to the same record, and a second
+// decode/encode round is a fixed point.
+func FuzzRecordCodec(f *testing.F) {
+	f.Add("s|1|ds0|0|1.5")
+	f.Add("web-tier|42|logs|3|-0.25|url=/a|US")
+	f.Add("a%7Cb|7|d%0As|1|1e300||p%7Cq|%25")
+	f.Add("s|18446744073709551615|d|0|0|%1f")
+	f.Add("s|0|ds|0|1")
+	f.Add("|||||")
+	f.Add("s|1|ds|0|NaN")
+	f.Add("s%|1|ds|0|1")
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := DecodeRecord(line)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		canon := EncodeRecord(r)
+		r2, err := DecodeRecord(canon)
+		if err != nil {
+			t.Fatalf("canonical line %q rejected: %v", canon, err)
+		}
+		if again := EncodeRecord(r2); again != canon {
+			t.Fatalf("encode not a fixed point: %q -> %q", canon, again)
+		}
+		if r2.Source != r.Source || r2.Offset != r.Offset || r2.Dataset != r.Dataset ||
+			r2.Site != r.Site || len(r2.Coords) != len(r.Coords) {
+			t.Fatalf("round trip changed record: %+v -> %+v", r, r2)
+		}
+		for i := range r.Coords {
+			if r2.Coords[i] != r.Coords[i] {
+				t.Fatalf("coord %d changed: %q -> %q", i, r.Coords[i], r2.Coords[i])
+			}
+		}
+		if strings.ContainsAny(canon, "\n\r") {
+			t.Fatalf("canonical line %q breaks framing", canon)
+		}
+	})
+}

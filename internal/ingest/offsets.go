@@ -1,0 +1,50 @@
+package ingest
+
+// offsetTracker remembers which offsets of one source have been accepted,
+// so a restarted source replaying its stream is deduplicated instead of
+// double-applied. It keeps a contiguous watermark (every offset ≤
+// watermark accepted) plus a sparse set of accepted offsets above it; an
+// in-order stream compacts the set to empty, so memory stays O(gap) —
+// bounded in practice by the pipeline's per-source admission cap, since a
+// source cannot open a wider gap than it has records in flight.
+type offsetTracker struct {
+	watermark uint64
+	above     map[uint64]struct{}
+}
+
+// admit records the offset as accepted and reports whether it was new.
+// Duplicates — at or below the watermark, or already in the sparse set —
+// return false and change nothing.
+func (t *offsetTracker) admit(off uint64) bool {
+	if off <= t.watermark {
+		return false
+	}
+	if _, dup := t.above[off]; dup {
+		return false
+	}
+	if t.above == nil {
+		t.above = make(map[uint64]struct{})
+	}
+	t.above[off] = struct{}{}
+	for {
+		if _, ok := t.above[t.watermark+1]; !ok {
+			break
+		}
+		delete(t.above, t.watermark+1)
+		t.watermark++
+	}
+	return true
+}
+
+// seen reports whether the offset has been accepted.
+func (t *offsetTracker) seen(off uint64) bool {
+	if off <= t.watermark {
+		return true
+	}
+	_, ok := t.above[off]
+	return ok
+}
+
+// Watermark is the highest offset below which every offset has been
+// accepted.
+func (t *offsetTracker) Watermark() uint64 { return t.watermark }

@@ -1,0 +1,62 @@
+package ingest
+
+import "testing"
+
+func TestOffsetTrackerInOrder(t *testing.T) {
+	var tr offsetTracker
+	for off := uint64(1); off <= 100; off++ {
+		if !tr.admit(off) {
+			t.Fatalf("fresh offset %d not admitted", off)
+		}
+	}
+	if tr.Watermark() != 100 {
+		t.Fatalf("watermark = %d, want 100", tr.Watermark())
+	}
+	if len(tr.above) != 0 {
+		t.Fatalf("in-order stream left %d sparse entries", len(tr.above))
+	}
+	for off := uint64(1); off <= 100; off++ {
+		if tr.admit(off) {
+			t.Fatalf("replayed offset %d admitted twice", off)
+		}
+		if !tr.seen(off) {
+			t.Fatalf("accepted offset %d not seen", off)
+		}
+	}
+	if tr.seen(101) {
+		t.Fatal("unseen offset reported seen")
+	}
+}
+
+func TestOffsetTrackerOutOfOrderCompacts(t *testing.T) {
+	var tr offsetTracker
+	// Arrive 2,3,5 first: watermark stays 0, all sparse.
+	for _, off := range []uint64{2, 3, 5} {
+		if !tr.admit(off) {
+			t.Fatalf("offset %d not admitted", off)
+		}
+	}
+	if tr.Watermark() != 0 {
+		t.Fatalf("watermark = %d before gap fill", tr.Watermark())
+	}
+	// Filling 1 compacts through the contiguous run 1-3.
+	if !tr.admit(1) {
+		t.Fatal("gap offset 1 not admitted")
+	}
+	if tr.Watermark() != 3 {
+		t.Fatalf("watermark = %d after filling 1, want 3", tr.Watermark())
+	}
+	// Filling 4 compacts through 5.
+	if !tr.admit(4) {
+		t.Fatal("gap offset 4 not admitted")
+	}
+	if tr.Watermark() != 5 || len(tr.above) != 0 {
+		t.Fatalf("watermark = %d, sparse = %d; want 5, 0", tr.Watermark(), len(tr.above))
+	}
+	// Everything admitted so far is a dup now.
+	for off := uint64(1); off <= 5; off++ {
+		if tr.admit(off) {
+			t.Fatalf("offset %d re-admitted", off)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"bohr/internal/obs"
+	"bohr/internal/stats"
+)
+
+// ErrOverloaded is returned by Push when admission control rejects a
+// record — the source's buffer is at capacity or the source is over its
+// admission rate. The HTTP endpoint maps it to 429; clients back off and
+// resend (the dedupe tracker makes resending the whole batch safe).
+var ErrOverloaded = errors.New("ingest: source overloaded, retry later")
+
+// ErrThrottled is the rate-limit flavor of ErrOverloaded: the source
+// exceeded its admission rate. errors.Is(ErrThrottled, ErrOverloaded)
+// holds, so one check covers both backpressure causes.
+var ErrThrottled = fmt.Errorf("%w (admission rate exceeded)", ErrOverloaded)
+
+// ErrClosed is returned by Push after Close.
+var ErrClosed = errors.New("ingest: pipeline closed")
+
+// errRejected marks a permanent delivery failure: the applier judged the
+// batch malformed (unknown dataset, bad coordinates), so retrying cannot
+// help and the records are dropped instead of wedging the pipeline.
+var errRejected = errors.New("ingest: batch rejected")
+
+// Reject wraps an applier error as permanent: the pipeline drops the
+// batch (counting ingest.rejected) instead of retrying it forever.
+func Reject(err error) error { return fmt.Errorf("%w: %w", errRejected, err) }
+
+// IsRejected reports whether an applier error was marked permanent.
+func IsRejected(err error) bool { return errors.Is(err, errRejected) }
+
+// Applier consumes delivered batches. Apply must be atomic-ish from the
+// pipeline's view: on a nil return the batch counts as applied; on a
+// Reject-wrapped return it is dropped; on any other error it is retried
+// with seeded backoff and, once attempts are exhausted, requeued for the
+// next flush trigger — at-least-once delivery.
+type Applier interface {
+	Apply(ctx context.Context, b Batch) error
+}
+
+// ApplierFunc adapts a function to the Applier interface.
+type ApplierFunc func(ctx context.Context, b Batch) error
+
+// Apply calls f.
+func (f ApplierFunc) Apply(ctx context.Context, b Batch) error { return f(ctx, b) }
+
+// Config tunes the pipeline. The zero value adopts the defaults noted on
+// each field.
+type Config struct {
+	// MaxBatchRecords is the size flush trigger: a source's buffer is
+	// delivered as soon as it holds this many records (default 256).
+	MaxBatchRecords int
+	// FlushInterval is the time flush trigger: every interval, all
+	// buffers — full or not — are delivered (default 200ms; negative
+	// disables the timer, leaving size triggers and explicit Flush).
+	FlushInterval time.Duration
+	// MaxPending caps one source's buffered-plus-inflight records;
+	// beyond it Push returns ErrOverloaded (default 4096).
+	MaxPending int
+	// SourceRate is the per-source admission rate in records/second with
+	// a one-second burst; beyond it Push returns ErrThrottled (0 =
+	// unlimited).
+	SourceRate float64
+	// RetryAttempts is how many times a failed delivery retries before
+	// the batch is requeued for the next trigger (default 4).
+	RetryAttempts int
+	// RetryBase is the backoff base: retry n sleeps base·2ⁿ scaled by a
+	// seeded jitter in [1,2) (default 10ms).
+	RetryBase time.Duration
+	// Seed feeds the backoff jitter generator.
+	Seed int64
+	// Now overrides the clock for the rate limiter (tests); nil means
+	// time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatchRecords <= 0 {
+		c.MaxBatchRecords = 256
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 200 * time.Millisecond
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 4096
+	}
+	if c.RetryAttempts < 0 {
+		c.RetryAttempts = 0
+	} else if c.RetryAttempts == 0 {
+		c.RetryAttempts = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Stats is a snapshot of the pipeline's counters (all monotonic).
+type Stats struct {
+	// Accepted records admitted into a buffer.
+	Accepted uint64
+	// Deduped records dropped as replays of an already-accepted
+	// (source, offset).
+	Deduped uint64
+	// Throttled records rejected by the per-source admission rate.
+	Throttled uint64
+	// Overloaded records rejected by the per-source buffer cap.
+	Overloaded uint64
+	// BatchesFlushed batches delivered successfully.
+	BatchesFlushed uint64
+	// RecordsDelivered records delivered successfully.
+	RecordsDelivered uint64
+	// Retries delivery attempts beyond each batch's first.
+	Retries uint64
+	// DeliveryFailures batches requeued after exhausting retries.
+	DeliveryFailures uint64
+	// Rejected records dropped on a permanent (Reject-wrapped) applier
+	// error.
+	Rejected uint64
+}
+
+// sourceState is one partition of the pipeline.
+type sourceState struct {
+	buf      []Record
+	inflight int
+	offsets  offsetTracker
+	tokens   float64
+	lastFill time.Time
+	hasRate  bool
+}
+
+// PushResult reports what Push did with the records it was given.
+type PushResult struct {
+	Accepted int `json:"accepted"`
+	Deduped  int `json:"deduped"`
+}
+
+// Pipeline is the partitioned streaming-ingestion pipeline. One
+// background worker owns delivery, so batches of one source apply in
+// acceptance order; Push never blocks on the applier.
+type Pipeline struct {
+	cfg     Config
+	applier Applier
+	col     *obs.Collector
+
+	mu      sync.Mutex
+	sources map[string]*sourceState
+	pending int
+	stats   Stats
+	closed  bool
+
+	// deliverMu serializes deliveries (worker ticks, size kicks, and
+	// explicit Flush calls), keeping per-source batch order intact.
+	deliverMu sync.Mutex
+	rng       *rand.Rand // backoff jitter; guarded by deliverMu
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a pipeline over an applier and starts its flush worker; col
+// may be nil. Close releases the worker.
+func New(cfg Config, applier Applier, col *obs.Collector) *Pipeline {
+	p := &Pipeline{
+		cfg:     cfg.withDefaults(),
+		applier: applier,
+		col:     col,
+		sources: make(map[string]*sourceState),
+		rng:     stats.NewRand(stats.Split(cfg.Seed, 7001)),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	// Zero-register the headline counters so they appear in metric
+	// snapshots before the first record lands.
+	p.col.Count("ingest.accepted", 0)
+	p.col.Count("ingest.replay.deduped", 0)
+	p.col.Count("ingest.throttled", 0)
+	p.col.Count("ingest.overloaded", 0)
+	p.col.Count("ingest.batches.flushed", 0)
+	p.col.Gauge("ingest.queue_depth", 0)
+	go p.worker()
+	return p
+}
+
+// Push admits records into their sources' buffers. Replayed offsets are
+// dropped (counted in PushResult.Deduped); a record over the source's
+// rate or buffer cap stops the push and returns ErrThrottled or
+// ErrOverloaded alongside the partial result — everything already
+// accepted stays accepted, and the caller may simply resend the whole
+// batch after backing off. Push never blocks on delivery.
+func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error) {
+	var res PushResult
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	kick := false
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return res, ErrClosed
+	}
+	var pushErr error
+	for _, r := range recs {
+		if r.Source == "" || r.Offset == 0 {
+			pushErr = fmt.Errorf("ingest: record needs a source and a 1-based offset")
+			break
+		}
+		st := p.sourceLocked(r.Source)
+		if st.offsets.seen(r.Offset) {
+			res.Deduped++
+			p.stats.Deduped++
+			p.col.Count("ingest.replay.deduped", 1)
+			continue
+		}
+		if p.cfg.SourceRate > 0 && !p.takeTokenLocked(st) {
+			p.stats.Throttled++
+			p.col.Count("ingest.throttled", 1)
+			pushErr = ErrThrottled
+			break
+		}
+		if len(st.buf)+st.inflight >= p.cfg.MaxPending {
+			p.stats.Overloaded++
+			p.col.Count("ingest.overloaded", 1)
+			pushErr = ErrOverloaded
+			break
+		}
+		st.offsets.admit(r.Offset)
+		st.buf = append(st.buf, r)
+		p.pending++
+		res.Accepted++
+		p.stats.Accepted++
+		p.col.Count("ingest.accepted", 1)
+		if len(st.buf) >= p.cfg.MaxBatchRecords {
+			kick = true
+		}
+	}
+	p.col.Gauge("ingest.queue_depth", float64(p.pending))
+	p.mu.Unlock()
+	if kick {
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
+	return res, pushErr
+}
+
+// takeTokenLocked runs the per-source token bucket: capacity one second
+// of SourceRate (at least one record), refilled continuously.
+func (p *Pipeline) takeTokenLocked(st *sourceState) bool {
+	burst := p.cfg.SourceRate
+	if burst < 1 {
+		burst = 1
+	}
+	now := p.cfg.Now()
+	if !st.hasRate {
+		st.hasRate = true
+		st.tokens = burst
+		st.lastFill = now
+	}
+	st.tokens += now.Sub(st.lastFill).Seconds() * p.cfg.SourceRate
+	st.lastFill = now
+	if st.tokens > burst {
+		st.tokens = burst
+	}
+	if st.tokens < 1 {
+		return false
+	}
+	st.tokens--
+	return true
+}
+
+func (p *Pipeline) sourceLocked(name string) *sourceState {
+	st, ok := p.sources[name]
+	if !ok {
+		st = &sourceState{}
+		p.sources[name] = st
+	}
+	return st
+}
+
+// worker owns timed and size-triggered flushes until Close.
+func (p *Pipeline) worker() {
+	defer close(p.done)
+	var tickC <-chan time.Time
+	if p.cfg.FlushInterval > 0 {
+		t := time.NewTicker(p.cfg.FlushInterval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.kick:
+			p.flush(context.Background(), false)
+		case <-tickC:
+			p.flush(context.Background(), true)
+		}
+	}
+}
+
+// Flush synchronously delivers every buffered record, partial batches
+// included, and returns the first delivery error (requeued batches
+// still count as errors here; they stay buffered for the next trigger).
+func (p *Pipeline) Flush(ctx context.Context) error {
+	return p.flush(ctx, true)
+}
+
+// flush repeatedly cuts the next due batch — sources in name order, so
+// flushing is deterministic given the same buffered state — and delivers
+// it. With all=false only full buffers (size trigger) are cut.
+func (p *Pipeline) flush(ctx context.Context, all bool) error {
+	p.deliverMu.Lock()
+	defer p.deliverMu.Unlock()
+	var firstErr error
+	// A source whose delivery failed (requeued) must not be retried in
+	// the same pass, or a dead applier turns Flush into a hot loop.
+	tried := make(map[string]bool)
+	for {
+		p.mu.Lock()
+		names := make([]string, 0, len(p.sources))
+		for name := range p.sources {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var src string
+		var batch []Record
+		for _, name := range names {
+			st := p.sources[name]
+			if tried[name] || len(st.buf) == 0 {
+				continue
+			}
+			if !all && len(st.buf) < p.cfg.MaxBatchRecords {
+				continue
+			}
+			n := len(st.buf)
+			if n > p.cfg.MaxBatchRecords {
+				n = p.cfg.MaxBatchRecords
+			}
+			batch = append([]Record(nil), st.buf[:n]...)
+			st.buf = append([]Record(nil), st.buf[n:]...)
+			st.inflight += n
+			src = name
+			break
+		}
+		p.mu.Unlock()
+		if batch == nil {
+			return firstErr
+		}
+		if err := p.deliver(ctx, src, batch); err != nil {
+			tried[src] = true
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+}
+
+// deliver applies one batch with seeded-backoff retries. Success and
+// permanent rejection settle the records; transient failure beyond the
+// retry budget puts them back at the head of the source's buffer for the
+// next trigger (at-least-once).
+func (p *Pipeline) deliver(ctx context.Context, src string, batch []Record) error {
+	n := len(batch)
+	for attempt := 0; ; attempt++ {
+		err := p.applier.Apply(ctx, Batch{Source: src, Records: batch})
+		if err == nil {
+			p.settle(src, n, func() {
+				p.stats.BatchesFlushed++
+				p.stats.RecordsDelivered += uint64(n)
+				p.col.Count("ingest.batches.flushed", 1)
+				p.col.Count("ingest.records.delivered", float64(n))
+			})
+			return nil
+		}
+		if IsRejected(err) {
+			p.settle(src, n, func() {
+				p.stats.Rejected += uint64(n)
+				p.col.Count("ingest.rejected", float64(n))
+			})
+			return err
+		}
+		if attempt >= p.cfg.RetryAttempts || ctx.Err() != nil {
+			p.mu.Lock()
+			st := p.sourceLocked(src)
+			st.buf = append(append([]Record(nil), batch...), st.buf...)
+			st.inflight -= n
+			p.stats.DeliveryFailures++
+			p.col.Count("ingest.delivery.failures", 1)
+			p.mu.Unlock()
+			return err
+		}
+		p.mu.Lock()
+		p.stats.Retries++
+		p.mu.Unlock()
+		p.col.Count("ingest.retries", 1)
+		// Seeded exponential backoff with jitter in [1,2), abortable by
+		// shutdown or caller cancellation.
+		d := time.Duration(float64(p.cfg.RetryBase<<uint(attempt)) * (1 + p.rng.Float64()))
+		select {
+		case <-time.After(d):
+		case <-p.stop:
+		case <-ctx.Done():
+		}
+	}
+}
+
+// settle finalizes n inflight records of a source and applies the
+// outcome's counter updates under the pipeline lock.
+func (p *Pipeline) settle(src string, n int, counters func()) {
+	p.mu.Lock()
+	st := p.sourceLocked(src)
+	st.inflight -= n
+	p.pending -= n
+	counters()
+	p.col.Gauge("ingest.queue_depth", float64(p.pending))
+	p.mu.Unlock()
+}
+
+// Close stops the flush worker, drains every buffer with one final
+// synchronous flush, and leaves the pipeline rejecting further pushes.
+// It is idempotent.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
+	return p.Flush(context.Background())
+}
+
+// Stats snapshots the pipeline counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Pending reports records buffered or in delivery.
+func (p *Pipeline) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+// Watermark reports a source's contiguous accepted-offset watermark
+// (0 for an unknown source).
+func (p *Pipeline) Watermark(source string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.sources[source]
+	if !ok {
+		return 0
+	}
+	return st.offsets.Watermark()
+}

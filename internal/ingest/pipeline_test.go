@@ -1,0 +1,350 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recApplier records delivered batches and can be told to fail the next N
+// applies (transiently or permanently).
+type recApplier struct {
+	mu        sync.Mutex
+	batches   []Batch
+	failNext  int
+	permanent bool
+	applies   int
+}
+
+func (a *recApplier) Apply(ctx context.Context, b Batch) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.applies++
+	if a.failNext > 0 {
+		a.failNext--
+		if a.permanent {
+			return Reject(errors.New("bad batch"))
+		}
+		return errors.New("transient fault")
+	}
+	cp := b
+	cp.Records = append([]Record(nil), b.Records...)
+	a.batches = append(a.batches, cp)
+	return nil
+}
+
+func (a *recApplier) delivered() []Batch {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Batch(nil), a.batches...)
+}
+
+func (a *recApplier) records() int {
+	n := 0
+	for _, b := range a.delivered() {
+		n += len(b.Records)
+	}
+	return n
+}
+
+func rec(source string, off uint64) Record {
+	return Record{Source: source, Offset: off, Dataset: "ds", Site: 0,
+		Coords: []string{fmt.Sprint(off)}, Measure: 1}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestPipelineSizeTriggeredFlush(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{MaxBatchRecords: 4, FlushInterval: -1}, app, nil)
+	defer p.Close()
+	for off := uint64(1); off <= 4; off++ {
+		if _, err := p.Push(context.Background(), rec("s", off)); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+	}
+	// No timer: the only trigger is the full buffer.
+	waitFor(t, "size-triggered delivery", func() bool { return app.records() == 4 })
+	got := app.delivered()
+	if len(got) != 1 || got[0].Source != "s" {
+		t.Fatalf("delivered %+v, want one 4-record batch from s", got)
+	}
+	for i, r := range got[0].Records {
+		if r.Offset != uint64(i+1) {
+			t.Fatalf("batch out of order: %+v", got[0].Records)
+		}
+	}
+	if st := p.Stats(); st.BatchesFlushed != 1 || st.RecordsDelivered != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPipelineIntervalFlushDeliversPartialBatch(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{MaxBatchRecords: 1000, FlushInterval: 5 * time.Millisecond}, app, nil)
+	defer p.Close()
+	if _, err := p.Push(context.Background(), rec("s", 1), rec("s", 2)); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	waitFor(t, "interval-triggered delivery", func() bool { return app.records() == 2 })
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after flush", p.Pending())
+	}
+}
+
+func TestPipelineOverloadBackpressure(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{MaxBatchRecords: 1000, FlushInterval: -1, MaxPending: 3}, app, nil)
+	defer p.Close()
+	res, err := p.Push(context.Background(),
+		rec("hot", 1), rec("hot", 2), rec("hot", 3), rec("hot", 4), rec("hot", 5))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if res.Accepted != 3 {
+		t.Fatalf("accepted %d of 5 with cap 3", res.Accepted)
+	}
+	// Another source is unaffected: partitioned admission control.
+	if _, err := p.Push(context.Background(), rec("cold", 1)); err != nil {
+		t.Fatalf("cold source rejected: %v", err)
+	}
+	if st := p.Stats(); st.Overloaded == 0 {
+		t.Fatalf("stats %+v: overload not counted", st)
+	}
+	// Draining the buffer reopens admission.
+	if err := p.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if _, err := p.Push(context.Background(), rec("hot", 4)); err != nil {
+		t.Fatalf("post-drain push rejected: %v", err)
+	}
+}
+
+func TestPipelineThrottlesHotSource(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	app := &recApplier{}
+	p := New(Config{FlushInterval: -1, SourceRate: 2, Now: clock}, app, nil)
+	defer p.Close()
+	// Burst = SourceRate tokens (2, but min 1): two records pass, third
+	// throttles.
+	res, err := p.Push(context.Background(), rec("s", 1), rec("s", 2), rec("s", 3))
+	if !errors.Is(err, ErrThrottled) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrThrottled (an ErrOverloaded)", err)
+	}
+	if res.Accepted != 2 {
+		t.Fatalf("accepted %d, want 2", res.Accepted)
+	}
+	// Time refills tokens at SourceRate per second.
+	now = now.Add(time.Second)
+	if _, err := p.Push(context.Background(), rec("s", 3), rec("s", 4)); err != nil {
+		t.Fatalf("post-refill push: %v", err)
+	}
+	if st := p.Stats(); st.Throttled != 1 {
+		t.Fatalf("stats %+v: want 1 throttled", st)
+	}
+}
+
+func TestPipelineRetriesTransientFaults(t *testing.T) {
+	app := &recApplier{failNext: 2}
+	p := New(Config{FlushInterval: -1, RetryAttempts: 4, RetryBase: time.Millisecond}, app, nil)
+	defer p.Close()
+	if _, err := p.Push(context.Background(), rec("s", 1)); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if err := p.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush after retries: %v", err)
+	}
+	if app.records() != 1 {
+		t.Fatalf("delivered %d records", app.records())
+	}
+	if st := p.Stats(); st.Retries != 2 || st.DeliveryFailures != 0 {
+		t.Fatalf("stats %+v: want 2 retries, 0 failures", st)
+	}
+}
+
+func TestPipelineRequeuesAfterRetryBudget(t *testing.T) {
+	app := &recApplier{failNext: 100}
+	p := New(Config{FlushInterval: -1, RetryAttempts: 1, RetryBase: time.Millisecond}, app, nil)
+	defer p.Close()
+	if _, err := p.Push(context.Background(), rec("s", 1), rec("s", 2)); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if err := p.Flush(context.Background()); err == nil {
+		t.Fatal("Flush succeeded against a dead applier")
+	}
+	if p.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 requeued records", p.Pending())
+	}
+	// The applier heals; the requeued batch delivers in original order —
+	// at-least-once, nothing lost.
+	app.mu.Lock()
+	app.failNext = 0
+	app.mu.Unlock()
+	if err := p.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush after heal: %v", err)
+	}
+	got := app.delivered()
+	if len(got) != 1 || len(got[0].Records) != 2 ||
+		got[0].Records[0].Offset != 1 || got[0].Records[1].Offset != 2 {
+		t.Fatalf("delivered %+v, want offsets 1,2 in order", got)
+	}
+	if st := p.Stats(); st.DeliveryFailures == 0 {
+		t.Fatalf("stats %+v: failure not counted", st)
+	}
+}
+
+func TestPipelineDropsRejectedBatch(t *testing.T) {
+	app := &recApplier{failNext: 1, permanent: true}
+	p := New(Config{FlushInterval: -1}, app, nil)
+	defer p.Close()
+	if _, err := p.Push(context.Background(), rec("s", 1)); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if err := p.Flush(context.Background()); !IsRejected(err) {
+		t.Fatalf("Flush = %v, want rejection", err)
+	}
+	// The poison batch is dropped, not retried: pending drains and the
+	// next push flows normally.
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after rejection", p.Pending())
+	}
+	if st := p.Stats(); st.Rejected != 1 || st.Retries != 0 {
+		t.Fatalf("stats %+v: want 1 rejected, 0 retries", st)
+	}
+	if _, err := p.Push(context.Background(), rec("s", 2)); err != nil {
+		t.Fatalf("push after rejection: %v", err)
+	}
+	if err := p.Flush(context.Background()); err != nil {
+		t.Fatalf("flush after rejection: %v", err)
+	}
+	if app.records() != 1 {
+		t.Fatalf("delivered %d records", app.records())
+	}
+}
+
+func TestPipelineDedupesReplayedOffsets(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{FlushInterval: -1}, app, nil)
+	defer p.Close()
+	ctx := context.Background()
+	if _, err := p.Push(ctx, rec("s", 1), rec("s", 2), rec("s", 3)); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	// Replay while still buffered: deduped against accepted offsets.
+	res, err := p.Push(ctx, rec("s", 2), rec("s", 3), rec("s", 4))
+	if err != nil || res.Accepted != 1 || res.Deduped != 2 {
+		t.Fatalf("buffered replay: res %+v err %v", res, err)
+	}
+	if err := p.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Replay after delivery: still deduped (the tracker outlives buffers).
+	res, err = p.Push(ctx, rec("s", 1), rec("s", 4))
+	if err != nil || res.Accepted != 0 || res.Deduped != 2 {
+		t.Fatalf("post-delivery replay: res %+v err %v", res, err)
+	}
+	if w := p.Watermark("s"); w != 4 {
+		t.Fatalf("watermark = %d, want 4", w)
+	}
+	if app.records() != 4 {
+		t.Fatalf("delivered %d records, want 4 (no double-apply)", app.records())
+	}
+	if st := p.Stats(); st.Deduped != 4 {
+		t.Fatalf("stats %+v: want 4 deduped", st)
+	}
+}
+
+func TestPipelineCloseDrainsAndStops(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{FlushInterval: -1}, app, nil)
+	if _, err := p.Push(context.Background(), rec("s", 1), rec("s", 2)); err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if app.records() != 2 {
+		t.Fatalf("Close drained %d of 2 records", app.records())
+	}
+	if _, err := p.Push(context.Background(), rec("s", 3)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v, want ErrClosed", err)
+	}
+	// Idempotent.
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestPipelineCloseLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		p := New(Config{FlushInterval: time.Millisecond}, &recApplier{}, nil)
+		if _, err := p.Push(context.Background(), rec("s", uint64(i+1))); err != nil {
+			t.Fatalf("Push: %v", err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	waitFor(t, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+2
+	})
+}
+
+func TestPipelineConcurrentSourcesDeliverEverything(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{MaxBatchRecords: 16, FlushInterval: time.Millisecond}, app, nil)
+	const sources, perSource = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < sources; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			name := fmt.Sprintf("src%d", s)
+			for off := uint64(1); off <= perSource; off++ {
+				for {
+					if _, err := p.Push(context.Background(), rec(name, off)); !errors.Is(err, ErrOverloaded) {
+						if err != nil {
+							t.Errorf("Push: %v", err)
+						}
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := app.records(); got != sources*perSource {
+		t.Fatalf("delivered %d records, want %d", got, sources*perSource)
+	}
+	// Per-source batches preserve offset order end to end.
+	next := map[string]uint64{}
+	for _, b := range app.delivered() {
+		for _, r := range b.Records {
+			if r.Offset != next[b.Source]+1 {
+				t.Fatalf("source %s: offset %d after %d", b.Source, r.Offset, next[b.Source])
+			}
+			next[b.Source] = r.Offset
+		}
+	}
+}

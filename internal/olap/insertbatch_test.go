@@ -1,0 +1,98 @@
+package olap
+
+import "testing"
+
+// TestInsertBatchMatchesInsert feeds the same rows through Insert and
+// InsertBatch and requires identical cube state: the batch path
+// pre-aggregates duplicate cells but must not change what any query
+// observes.
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	rows := []Row{
+		{Coords: []string{"u1", "US"}, Measure: 2},
+		{Coords: []string{"u1", "US"}, Measure: 3}, // duplicate cell
+		{Coords: []string{"u2", "JP"}, Measure: 1},
+		{Coords: []string{"u1", "JP"}, Measure: 5},
+	}
+	one := NewCubeSet(MustSchema("url", "country"))
+	idOne, _ := one.RegisterQueryType([]string{"url"})
+	for _, r := range rows {
+		if err := one.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := NewCubeSet(MustSchema("url", "country"))
+	idBatch, _ := batch.RegisterQueryType([]string{"url"})
+	if err := batch.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	if one.Base().NumRows() != batch.Base().NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", one.Base().NumRows(), batch.Base().NumRows())
+	}
+	a, _ := one.Prepare(idOne)
+	b, _ := batch.Prepare(idBatch)
+	for _, key := range []string{"u1", "u2"} {
+		ca, oka := a.Lookup(key)
+		cb, okb := b.Lookup(key)
+		if oka != okb || ca.Sum != cb.Sum || ca.Count != cb.Count {
+			t.Fatalf("cell %q differs: %+v/%v vs %+v/%v", key, ca, oka, cb, okb)
+		}
+	}
+}
+
+// TestInsertBatchAllOrNothing: one invalid row anywhere in the batch
+// rejects the whole batch before any state mutates.
+func TestInsertBatchAllOrNothing(t *testing.T) {
+	cs := NewCubeSet(MustSchema("url", "country"))
+	id, _ := cs.RegisterQueryType([]string{"url"})
+	gen := cs.Base().Generation()
+	err := cs.InsertBatch([]Row{
+		{Coords: []string{"u1", "US"}, Measure: 1},
+		{Coords: []string{"only-one"}, Measure: 1}, // wrong arity
+	})
+	if err == nil {
+		t.Fatal("batch with a bad row accepted")
+	}
+	if cs.Base().NumRows() != 0 || cs.Base().Generation() != gen {
+		t.Fatalf("rejected batch mutated the base cube: rows=%d", cs.Base().NumRows())
+	}
+	if cs.PendingRows(id) != 0 {
+		t.Fatal("rejected batch left pending derived rows")
+	}
+
+	err = cs.InsertBatch([]Row{
+		{Coords: []string{"u1", "US\x1fX"}, Measure: 1}, // reserved separator
+	})
+	if err == nil {
+		t.Fatal("reserved separator accepted")
+	}
+	// Empty batches are no-ops.
+	if err := cs.InsertBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestInsertBatchFeedsDerivedCubes: a batch lands in live derived cubes'
+// pending buffers exactly like row-at-a-time inserts.
+func TestInsertBatchFeedsDerivedCubes(t *testing.T) {
+	cs := NewCubeSet(MustSchema("url", "country"))
+	id, _ := cs.RegisterQueryType([]string{"country"})
+	if err := cs.InsertBatch([]Row{
+		{Coords: []string{"u1", "US"}, Measure: 1},
+		{Coords: []string{"u2", "US"}, Measure: 2},
+		{Coords: []string{"u3", "JP"}, Measure: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.PendingRows(id); got != 3 {
+		t.Fatalf("pending derived rows = %d, want 3", got)
+	}
+	dc, err := cs.Prepare(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := dc.Lookup("US")
+	if !ok || cell.Sum != 3 || cell.Count != 2 {
+		t.Fatalf("US cell = %+v, %v", cell, ok)
+	}
+}

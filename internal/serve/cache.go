@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"bohr/internal/cache"
 	"bohr/internal/engine"
@@ -14,9 +15,19 @@ import (
 // Keys pair the statement's canonical rendering with a hash of the
 // dataset contents the statement read, so textual variants of one query
 // hit the same entry while any data change misses (and the stale entry
-// ages out instead of being served).
+// ages out instead of being served). The ingest path additionally
+// invalidates eagerly: when new rows land for a dataset,
+// InvalidateDataset drops its entries immediately instead of waiting for
+// LRU aging, so a cached result is never one hash-collision away from
+// being served stale and the memory frees at once.
 type ResultCache struct {
 	store *cache.Store[string, []engine.KV]
+
+	// mu guards the dataset index: every inserted key, bucketed by the
+	// dataset the statement read, so invalidation does not depend on
+	// parsing datasets back out of keys.
+	mu        sync.Mutex
+	byDataset map[string]map[string]struct{}
 }
 
 // NewResultCache builds a result cache with the given capacity; col may
@@ -31,6 +42,7 @@ func NewResultCache(caps cache.Caps, col *obs.Collector) *ResultCache {
 			}
 			return n
 		}),
+		byDataset: map[string]map[string]struct{}{},
 	}
 }
 
@@ -45,12 +57,52 @@ func (rc *ResultCache) Get(key string) ([]engine.KV, bool) {
 	return rc.store.Get(key)
 }
 
-// Insert stores finished rows under the key and advances the store's
-// logical clock one round, so entries untouched for a full capacity
-// cycle age out LRU.
-func (rc *ResultCache) Insert(key string, rows []engine.KV) {
+// Insert stores finished rows under the key, indexed by the dataset the
+// statement read, and advances the store's logical clock one round, so
+// entries untouched for a full capacity cycle age out LRU.
+func (rc *ResultCache) Insert(key, dataset string, rows []engine.KV) {
 	rc.store.Put(key, rows)
 	rc.store.Advance()
+	rc.mu.Lock()
+	bucket := rc.byDataset[dataset]
+	if bucket == nil {
+		bucket = map[string]struct{}{}
+		rc.byDataset[dataset] = bucket
+	}
+	bucket[key] = struct{}{}
+	// The store evicts on its own; prune index entries the store no
+	// longer holds once a bucket visibly outgrows the live set, so the
+	// index stays proportional to the store.
+	if len(bucket) >= 64 && len(bucket) > 2*rc.store.Len() {
+		for k := range bucket {
+			if _, live := rc.store.Peek(k); !live {
+				delete(bucket, k)
+			}
+		}
+	}
+	rc.mu.Unlock()
+}
+
+// InvalidateDataset drops every cached result whose statement read the
+// named dataset and returns how many entries it removed. The ingest path
+// calls it when new rows land, so the next query over the dataset
+// recomputes against fresh data instead of racing LRU aging.
+func (rc *ResultCache) InvalidateDataset(dataset string) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	bucket := rc.byDataset[dataset]
+	if len(bucket) == 0 {
+		return 0
+	}
+	dropped := 0
+	for k := range bucket {
+		if _, live := rc.store.Peek(k); live {
+			dropped++
+		}
+		rc.store.Delete(k)
+	}
+	delete(rc.byDataset, dataset)
+	return dropped
 }
 
 // Len reports live entries (for tests).

@@ -54,7 +54,7 @@ func TestResultCacheKeyIncludesContentHash(t *testing.T) {
 	if k1 == k2 {
 		t.Fatal("keys over different content hashes collide")
 	}
-	rc.Insert(k1, rows)
+	rc.Insert(k1, stmt.Dataset, rows)
 	if _, ok := rc.Get(k2); ok {
 		t.Fatal("changed data (new content hash) still hit the old entry")
 	}
@@ -64,11 +64,42 @@ func TestResultCacheKeyIncludesContentHash(t *testing.T) {
 	}
 }
 
+func TestResultCacheInvalidateDataset(t *testing.T) {
+	rc := NewResultCache(cache.Caps{Entries: 16}, nil)
+	logs := mustParse(t, "SELECT url, SUM(measure) FROM logs GROUP BY url")
+	other := mustParse(t, "SELECT url, SUM(measure) FROM events GROUP BY url")
+	k1 := rc.Key(logs, 1)
+	k2 := rc.Key(logs, 2)
+	k3 := rc.Key(other, 1)
+	rc.Insert(k1, logs.Dataset, []engine.KV{{Key: "a", Val: 1}})
+	rc.Insert(k2, logs.Dataset, []engine.KV{{Key: "b", Val: 2}})
+	rc.Insert(k3, other.Dataset, []engine.KV{{Key: "c", Val: 3}})
+	if n := rc.InvalidateDataset("logs"); n != 2 {
+		t.Fatalf("InvalidateDataset dropped %d entries, want 2", n)
+	}
+	if _, ok := rc.Get(k1); ok {
+		t.Fatal("logs entry survived invalidation")
+	}
+	if _, ok := rc.Get(k2); ok {
+		t.Fatal("second logs entry survived invalidation")
+	}
+	if _, ok := rc.Get(k3); !ok {
+		t.Fatal("unrelated dataset's entry was dropped")
+	}
+	// Idempotent and safe on unknown datasets.
+	if n := rc.InvalidateDataset("logs"); n != 0 {
+		t.Fatalf("second invalidation dropped %d", n)
+	}
+	if n := rc.InvalidateDataset("never-seen"); n != 0 {
+		t.Fatalf("unknown dataset dropped %d", n)
+	}
+}
+
 func TestResultCacheEvictsLRU(t *testing.T) {
 	rc := NewResultCache(cache.Caps{Entries: 2}, nil)
 	stmt := mustParse(t, "SELECT url, SUM(measure) FROM logs GROUP BY url")
 	for i := uint64(0); i < 5; i++ {
-		rc.Insert(rc.Key(stmt, i), []engine.KV{{Key: "x", Val: float64(i)}})
+		rc.Insert(rc.Key(stmt, i), stmt.Dataset, []engine.KV{{Key: "x", Val: float64(i)}})
 	}
 	if got := rc.Len(); got > 2 {
 		t.Fatalf("cache holds %d entries, cap 2", got)

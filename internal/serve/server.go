@@ -13,6 +13,7 @@ import (
 	"bohr/internal/cache"
 	"bohr/internal/core"
 	"bohr/internal/engine"
+	"bohr/internal/ingest"
 	"bohr/internal/obs"
 	"bohr/internal/olap"
 	"bohr/internal/sql"
@@ -34,10 +35,17 @@ type Backend interface {
 
 // EngineBackend serves queries against a prepared core.System: the
 // simulated cluster with data already placed, the same substrate bohrctl
-// drives. Data is static while serving, so per-dataset content hashes
-// are computed once and memoized.
+// drives. Per-dataset content hashes are memoized and dropped when the
+// ingest path lands new rows for a dataset, so the result cache's keys
+// track data changes. Queries read under a shared lock; ingest applies
+// under the exclusive lock, so live arrivals never race in-flight scans.
 type EngineBackend struct {
 	sys *core.System
+
+	// stateMu guards the system's mutable serving state: cluster data,
+	// cube sets, and the placement plan. Queries and content hashing
+	// hold it shared; ingest batch application holds it exclusively.
+	stateMu sync.RWMutex
 
 	mu     sync.Mutex
 	hashes map[string]uint64
@@ -59,9 +67,11 @@ func (b *EngineBackend) Schema(dataset string) *olap.Schema {
 }
 
 // ContentHash hashes the dataset's records across all sites (FNV-1a over
-// site, key, value in site order). Serving does not mutate data, so the
-// hash is memoized on first use.
+// site, key, value in site order). The hash is memoized until ingest
+// invalidates it by landing new rows for the dataset.
 func (b *EngineBackend) ContentHash(dataset string) (uint64, bool) {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if h, ok := b.hashes[dataset]; ok {
@@ -89,13 +99,71 @@ func (b *EngineBackend) ContentHash(dataset string) (uint64, bool) {
 	return sum, true
 }
 
-// Run executes the plan under the system's placement.
+// Run executes the plan under the system's placement. It holds the
+// backend's shared state lock, so ingest applies wait for in-flight
+// queries and queries never observe a half-applied batch.
 func (b *EngineBackend) Run(ctx context.Context, plan *sql.Plan) ([]engine.KV, error) {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
 	res, err := b.sys.RunQuery(ctx, plan.Query)
 	if err != nil {
 		return nil, err
 	}
 	return res.Output, nil
+}
+
+// ApplyBatch implements the ingest pipeline's delivery side over the
+// engine backend: records are grouped into per-(dataset, site) arrivals
+// in first-seen order, applied to the system under the exclusive state
+// lock (cluster data + incremental cube maintenance + plan-directed
+// movement + the periodic replan hook), and the affected datasets'
+// content-hash memos are dropped so subsequent queries key the result
+// cache off the new contents. Batches the system can never apply come
+// back Reject-wrapped, telling the pipeline to drop rather than retry.
+func (b *EngineBackend) ApplyBatch(ctx context.Context, batch ingest.Batch) ([]string, error) {
+	type groupKey struct {
+		dataset string
+		site    int
+	}
+	groups := map[groupKey]*core.Arrival{}
+	var arrivals []*core.Arrival
+	var datasets []string
+	seenDS := map[string]bool{}
+	for _, r := range batch.Records {
+		gk := groupKey{r.Dataset, r.Site}
+		g, ok := groups[gk]
+		if !ok {
+			g = &core.Arrival{Dataset: r.Dataset, Site: r.Site}
+			groups[gk] = g
+			arrivals = append(arrivals, g)
+		}
+		g.Rows = append(g.Rows, olap.Row{Coords: r.Coords, Measure: r.Measure})
+		if !seenDS[r.Dataset] {
+			seenDS[r.Dataset] = true
+			datasets = append(datasets, r.Dataset)
+		}
+	}
+	if len(arrivals) == 0 {
+		return nil, nil
+	}
+	flat := make([]core.Arrival, len(arrivals))
+	for i, a := range arrivals {
+		flat[i] = *a
+	}
+	b.stateMu.Lock()
+	defer b.stateMu.Unlock()
+	if _, err := b.sys.IngestBatch(ctx, flat); err != nil {
+		if errors.Is(err, core.ErrBadArrival) {
+			return nil, ingest.Reject(err)
+		}
+		return nil, err
+	}
+	b.mu.Lock()
+	for _, ds := range datasets {
+		delete(b.hashes, ds)
+	}
+	b.mu.Unlock()
+	return datasets, nil
 }
 
 // Config tunes the front end.
@@ -119,6 +187,7 @@ type Server struct {
 	results *ResultCache
 	col     *obs.Collector
 	timeout time.Duration
+	pipe    *ingest.Pipeline // non-nil after EnableIngest
 }
 
 // New assembles a front end over a backend; col may be nil.
@@ -176,6 +245,7 @@ type errorResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.serveQuery)
+	mux.HandleFunc("/v1/ingest", s.serveIngest)
 	return mux
 }
 
@@ -273,7 +343,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if key != "" {
-		s.results.Insert(key, rows)
+		s.results.Insert(key, stmt.Dataset, rows)
 	}
 	s.observe("serve.tenant."+req.Tenant+".latency_s", time.Since(start).Seconds())
 	s.observe("serve.latency_s", time.Since(start).Seconds())
