@@ -14,9 +14,10 @@ test:
 # gate), the race detector on the packages with real concurrency
 # (engine's pooled job runner, the parallel worker pool, olap's pooled
 # cube builds, similarity's pooled signature/probe kernels, obs's
-# collector plus its export/critpath subpackages — covered by the
-# ./internal/obs/... wildcard — the live netio path, fault injector, and
-# the multi-tenant serve front end), one short round of each fuzz
+# collector plus its export/critpath/window subpackages — all covered by
+# the ./internal/obs/... wildcard, including the windowed-metrics bucket
+# rings — the live netio path, fault injector, and the multi-tenant
+# serve front end plus its flight recorder), one short round of each fuzz
 # harness, and the report determinism check including cross-pool-width
 # byte identity.
 check: vet fmt-check ctxcheck race fuzz-short determinism bounded-growth
@@ -99,4 +100,4 @@ bench:
 # bench-snapshot appends to the perf trajectory: one JSON document of
 # benchmark measurements per PR (BENCH_<tag>.json at the repo root).
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -tag pr7
+	$(GO) run ./cmd/benchsnap -tag pr8

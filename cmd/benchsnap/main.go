@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -29,6 +31,7 @@ import (
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
 	"bohr/internal/obs/export"
+	"bohr/internal/obs/window"
 	"bohr/internal/olap"
 	"bohr/internal/parallel"
 	"bohr/internal/placement"
@@ -89,18 +92,33 @@ type IngestStat struct {
 	Deduped        uint64  `json:"deduped"`
 }
 
+// TelemetryStat measures the telemetry plane's serving overhead: the
+// same cached single-tenant shape run with the plane off and then fully
+// on (windowed-metrics sink, flight recorder, per-query structured
+// logging at Debug into a discarding writer), as a relative throughput
+// cost. The PR8 acceptance bar is OverheadPct < 5.
+type TelemetryStat struct {
+	Requests      int     `json:"requests"`
+	BaselineRPS   float64 `json:"baseline_rps"`
+	TelemetryRPS  float64 `json:"telemetry_rps"`
+	OverheadPct   float64 `json:"overhead_pct"`
+	BaselineP99MS float64 `json:"baseline_p99_ms"`
+	TelemP99MS    float64 `json:"telemetry_p99_ms"`
+}
+
 // Snapshot is the document benchsnap writes.
 type Snapshot struct {
-	Tag        string        `json:"tag"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	TakenAt    string        `json:"taken_at"`
-	Benchmarks []BenchResult `json:"benchmarks"`
-	Cache      *CacheStats   `json:"cache_stats,omitempty"`
-	Serve      []ServeStat   `json:"serve_stats,omitempty"`
-	Ingest     []IngestStat  `json:"ingest_stats,omitempty"`
+	Tag        string         `json:"tag"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	TakenAt    string         `json:"taken_at"`
+	Benchmarks []BenchResult  `json:"benchmarks"`
+	Cache      *CacheStats    `json:"cache_stats,omitempty"`
+	Serve      []ServeStat    `json:"serve_stats,omitempty"`
+	Ingest     []IngestStat   `json:"ingest_stats,omitempty"`
+	Telemetry  *TelemetryStat `json:"telemetry_stats,omitempty"`
 }
 
 // benchSetup mirrors the reduced setup of the repo-level bench_test.go so
@@ -290,13 +308,20 @@ func serveSystem() (*core.System, string, error) {
 // fills the entry and the rest hit; with the cache bypassed every
 // request runs the engine under the fair scheduler.
 func measureServe(sys *core.System, query string, tenants int, cached bool) (ServeStat, error) {
+	return measureServeCfg(sys, query, tenants, cached, serve.Config{
+		Sched: serve.SchedConfig{MaxConcurrent: 8, TenantQuota: 2, MaxQueue: 1024},
+	}, nil)
+}
+
+// measureServeCfg is measureServe with an explicit front-end config and
+// collector, so the telemetry-overhead scenario can switch the full
+// observability plane on.
+func measureServeCfg(sys *core.System, query string, tenants int, cached bool, cfg serve.Config, col *obs.Collector) (ServeStat, error) {
 	var backend serve.Backend = serve.NewEngineBackend(sys)
 	if !cached {
 		backend = uncachedBackend{backend}
 	}
-	fe := serve.New(backend, serve.Config{
-		Sched: serve.SchedConfig{MaxConcurrent: 8, TenantQuota: 2, MaxQueue: 1024},
-	}, nil)
+	fe := serve.New(backend, cfg, col)
 	ts := httptest.NewServer(fe.Handler())
 	defer ts.Close()
 
@@ -354,6 +379,43 @@ func measureServe(sys *core.System, query string, tenants int, cached bool) (Ser
 		P50MS:         pct(0.50),
 		P99MS:         pct(0.99),
 	}, nil
+}
+
+// measureTelemetry runs the cached single-tenant serve shape twice —
+// plane off, then with the windowed sink, flight recorder, and Debug
+// structured logging into a discarding writer all enabled — and reports
+// the relative throughput cost. Cached requests are the cheapest the
+// front end serves, so the fixed per-request telemetry work is at its
+// most visible here; the acceptance bar is <5% overhead.
+func measureTelemetry(sys *core.System, query string) (*TelemetryStat, error) {
+	base, err := measureServe(sys, query, 1, true)
+	if err != nil {
+		return nil, err
+	}
+	col := obs.NewCollector(obs.WithWallClock())
+	win := window.New(nil)
+	col.SetSink(win)
+	cfg := serve.Config{
+		Sched:   serve.SchedConfig{MaxConcurrent: 8, TenantQuota: 2, MaxQueue: 1024},
+		Flight:  &serve.FlightConfig{},
+		Windows: win,
+		Logger:  slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelDebug})),
+	}
+	telem, err := measureServeCfg(sys, query, 1, true, cfg, col)
+	if err != nil {
+		return nil, err
+	}
+	st := &TelemetryStat{
+		Requests:      base.Requests,
+		BaselineRPS:   base.ThroughputRPS,
+		TelemetryRPS:  telem.ThroughputRPS,
+		BaselineP99MS: base.P99MS,
+		TelemP99MS:    telem.P99MS,
+	}
+	if base.ThroughputRPS > 0 {
+		st.OverheadPct = 100 * (base.ThroughputRPS - telem.ThroughputRPS) / base.ThroughputRPS
+	}
+	return st, nil
 }
 
 // measureIngest streams `records` from one client source into a fresh
@@ -431,7 +493,7 @@ func benchMinhashBatch(width int) func(*testing.B) {
 }
 
 func main() {
-	tag := flag.String("tag", "pr7", "snapshot tag; output defaults to BENCH_<tag>.json")
+	tag := flag.String("tag", "pr8", "snapshot tag; output defaults to BENCH_<tag>.json")
 	out := flag.String("out", "", "output path (overrides -tag naming)")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark measuring time (testing -benchtime)")
 	testing.Init()
@@ -538,6 +600,14 @@ func main() {
 				st.Tenants, st.Cached, st.ThroughputRPS, st.P50MS, st.P99MS)
 		}
 	}
+	tst, err := measureTelemetry(sys, query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: telemetry overhead: %v\n", err)
+		os.Exit(1)
+	}
+	doc.Telemetry = tst
+	fmt.Fprintf(os.Stderr, "benchsnap: telemetry plane %7.0f -> %7.0f req/s (overhead %.1f%%)\n",
+		tst.BaselineRPS, tst.TelemetryRPS, tst.OverheadPct)
 	for _, sc := range []struct {
 		name    string
 		cfg     ingest.Config

@@ -44,6 +44,24 @@ type cliOpts struct {
 }
 
 func main() {
+	// Live-daemon subcommands ride in front of the classic flag surface:
+	// `bohrctl top` and `bohrctl tail` watch a running bohrd serve daemon.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "top":
+			if err := runTop(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "tail":
+			if err := runTail(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "bohrctl: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	var o cliOpts
 	flag.StringVar(&o.kindName, "workload", "bigdata-scan", "bigdata-scan | bigdata-udf | bigdata-aggr | tpcds | facebook")
 	flag.StringVar(&o.schemeName, "scheme", "bohr", "iridium | iridium-c | bohr-sim | bohr-joint | bohr-rdd | bohr")

@@ -39,6 +39,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"bohr/internal/cliflags"
 	"bohr/internal/core"
@@ -49,6 +50,7 @@ import (
 	"bohr/internal/obs"
 	"bohr/internal/obs/critpath"
 	"bohr/internal/obs/export"
+	"bohr/internal/obs/window"
 	"bohr/internal/serve"
 )
 
@@ -94,9 +96,16 @@ func runServe(args []string) error {
 		quota      = fs.Int("tenant-quota", 2, "concurrently executing queries per tenant")
 		maxQueue   = fs.Int("max-queue", 64, "waiting requests before admission control rejects")
 		weights    = fs.String("weights", "", `tenant scheduling weights, e.g. "alice=3,bob=1"`)
+		slowQuery  = fs.Duration("slow-query", 250*time.Millisecond,
+			"latency threshold for slow-query trace retention (negative disables)")
+		flightRing = fs.Int("flight-ring", 512, "flight recorder ring size (recent query records)")
 	)
 	fs.Parse(args)
 	common.Apply()
+	logger, err := common.Logger(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	kind, err := cliflags.ParseKind(*kindName)
 	if err != nil {
@@ -124,6 +133,11 @@ func runServe(args []string) error {
 		return err
 	}
 	col := obs.NewCollector(obs.WithWallClock())
+	// Tap every metric the daemon records into the rolling-window registry,
+	// so /v1/stats (and bohrctl top) report windowed rates and percentiles
+	// instead of all-time aggregates.
+	win := window.New(nil)
+	col.SetSink(win)
 	opts := s.PlacementOptions(0)
 	opts.Obs = col
 	sys, err := core.New(cluster, w, scheme, opts)
@@ -150,13 +164,20 @@ func runServe(args []string) error {
 		}
 		schedCfg.Weights[name] = wgt
 	}
-	cfg := serve.Config{Sched: schedCfg}
+	cfg := serve.Config{
+		Sched:   schedCfg,
+		Flight:  &serve.FlightConfig{RingSize: *flightRing, SlowThreshold: *slowQuery},
+		Windows: win,
+		Logger:  logger,
+	}
 	if caps, ok := common.Caps(); ok {
 		cfg.CacheCaps = caps
 	}
 	fe := serve.New(serve.NewEngineBackend(sys), cfg, col)
 	sys.SetReplanEvery(ing.Replan)
-	pipe, err := fe.EnableIngest(ing.Config(s.Seed))
+	ingCfg := ing.Config(s.Seed)
+	ingCfg.Logger = logger
+	pipe, err := fe.EnableIngest(ingCfg)
 	if err != nil {
 		return err
 	}
@@ -166,7 +187,8 @@ func runServe(args []string) error {
 	srv.Handle("/v1/", fe.Handler())
 	srv.GaugeFunc("serve.sched.inflight", func() float64 { return float64(fe.Scheduler().Inflight()) })
 	srv.GaugeFunc("serve.sched.queue_depth", func() float64 { return float64(fe.Scheduler().QueueDepth()) })
-	srv.GaugeFunc("ingest.queue_depth", func() float64 { return float64(pipe.Pending()) })
+	// ingest.queue_depth is pushed by the pipeline itself on every admit
+	// and settle — no scrape-time callback, one source of truth.
 	listen := common.TelemetryAddr
 	if listen == "" {
 		listen = "127.0.0.1:8080"

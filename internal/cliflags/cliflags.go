@@ -8,6 +8,8 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -32,6 +34,11 @@ type Common struct {
 	// TelemetryAddr serves /metrics, /healthz and /debug/pprof when
 	// non-empty (e.g. 127.0.0.1:9100).
 	TelemetryAddr string
+	// LogLevel is the structured-logging threshold: debug, info, warn,
+	// error, or off.
+	LogLevel string
+	// LogFormat selects the structured-logging encoding: text or json.
+	LogFormat string
 }
 
 // Register installs the shared flags on a FlagSet (use flag.CommandLine
@@ -45,6 +52,39 @@ func (c *Common) Register(fs *flag.FlagSet) {
 		"memo cache resident-byte cap per cache (0 = unlimited, -1 = default or $BOHR_CACHE_BYTES)")
 	fs.StringVar(&c.TelemetryAddr, "telemetry-addr", "",
 		"serve /metrics, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
+	fs.StringVar(&c.LogLevel, "log-level", "info",
+		"structured log threshold: debug, info, warn, error, or off")
+	fs.StringVar(&c.LogFormat, "log-format", "text",
+		"structured log encoding: text or json")
+}
+
+// Logger resolves the -log-level / -log-format flags into a slog.Logger
+// writing to w (typically os.Stderr). Level "off" returns nil — callers
+// throughout the codebase treat a nil logger as logging disabled.
+func (c *Common) Logger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(c.LogLevel) {
+	case "debug":
+		level = slog.LevelDebug
+	case "", "info":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	case "off", "none":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error, or off)", c.LogLevel)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(c.LogFormat) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", c.LogFormat)
 }
 
 // Apply pushes the parsed values into the process-wide defaults (pool

@@ -152,11 +152,21 @@ func (s *System) Plan() *placement.Plan { return s.plan }
 // honored at the engine's chunk boundaries, so a cancelled query stops
 // within one stage without perturbing later queries' results.
 func (s *System) RunQuery(ctx context.Context, q engine.Query) (*engine.RunResult, error) {
+	return s.RunQueryObs(ctx, q, s.Obs)
+}
+
+// RunQueryObs is RunQuery recording spans and metrics into the given
+// collector instead of the system's own. The serving layer hands each
+// query a fresh collector so its trace can be retained per query (the
+// flight recorder's slow-query capture) instead of accreting forever
+// under the daemon's long-lived root span; a nil collector runs the
+// query unobserved.
+func (s *System) RunQueryObs(ctx context.Context, q engine.Query, col *obs.Collector) (*engine.RunResult, error) {
 	if s.plan == nil {
 		return nil, fmt.Errorf("core: Prepare must run before queries")
 	}
 	cfg := s.plan.JobConfigFor(q)
-	cfg.Obs = s.Obs
+	cfg.Obs = col
 	return s.Cluster.Run(ctx, cfg)
 }
 

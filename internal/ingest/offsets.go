@@ -48,3 +48,7 @@ func (t *offsetTracker) seen(off uint64) bool {
 // Watermark is the highest offset below which every offset has been
 // accepted.
 func (t *offsetTracker) Watermark() uint64 { return t.watermark }
+
+// Above is the sparse set's size: accepted offsets above the watermark,
+// i.e. the tracker's out-of-order replay-gap memory.
+func (t *offsetTracker) Above() int { return len(t.above) }

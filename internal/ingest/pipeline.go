@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"sort"
 	"sync"
@@ -82,6 +83,10 @@ type Config struct {
 	// Now overrides the clock for the rate limiter (tests); nil means
 	// time.Now.
 	Now func() time.Time
+	// Logger receives structured delivery-path logs (retries, requeues,
+	// and permanent rejections at Warn, with the source attached); nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +145,81 @@ type sourceState struct {
 	tokens   float64
 	lastFill time.Time
 	hasRate  bool
+
+	// metric is the source's sanitized metric label: gauges publish as
+	// ingest.source.<metric>.*, so hostile source names cannot smuggle
+	// structure into the registry.
+	metric string
+	// admitAt parallels buf (and then the in-flight batch): each record's
+	// admission time, so a delivered batch's end-to-end latency — admit to
+	// applied, queueing and retries included — is measurable.
+	admitAt  []time.Time
+	accepted uint64
+	deduped  uint64
+	lastE2E  float64
+}
+
+// SourceStats is one source's observability snapshot for /v1/stats.
+type SourceStats struct {
+	Source string `json:"source"`
+	// Watermark is the contiguous accepted-offset high-water mark; Sparse
+	// is how many accepted offsets sit above it (replay-gap memory).
+	Watermark uint64 `json:"watermark"`
+	Sparse    int    `json:"sparse"`
+	// Pending is the source's buffered-plus-inflight records.
+	Pending  int    `json:"pending"`
+	Accepted uint64 `json:"accepted"`
+	Deduped  uint64 `json:"deduped"`
+	// DedupeRate is deduped/(accepted+deduped) — the replay fraction.
+	DedupeRate float64 `json:"dedupe_rate"`
+	// LastBatchE2ES is the last delivered batch's end-to-end latency
+	// (oldest record's admission to successful apply), in seconds.
+	LastBatchE2ES float64 `json:"last_batch_e2e_s"`
+}
+
+func (st *sourceState) snapshot(name string) SourceStats {
+	s := SourceStats{
+		Source:        name,
+		Watermark:     st.offsets.Watermark(),
+		Sparse:        st.offsets.Above(),
+		Pending:       len(st.buf) + st.inflight,
+		Accepted:      st.accepted,
+		Deduped:       st.deduped,
+		LastBatchE2ES: st.lastE2E,
+	}
+	if total := st.accepted + st.deduped; total > 0 {
+		s.DedupeRate = float64(st.deduped) / float64(total)
+	}
+	return s
+}
+
+// publishLocked refreshes the source's ingest.source.<metric>.* gauges on
+// the collector; the caller holds p.mu.
+func (p *Pipeline) publishLocked(st *sourceState, name string) {
+	snap := st.snapshot(name)
+	prefix := "ingest.source." + st.metric + "."
+	p.col.Gauge(prefix+"watermark", float64(snap.Watermark))
+	p.col.Gauge(prefix+"sparse", float64(snap.Sparse))
+	p.col.Gauge(prefix+"pending", float64(snap.Pending))
+	p.col.Gauge(prefix+"dedupe_rate", snap.DedupeRate)
+	p.col.Gauge(prefix+"batch_e2e_s", snap.LastBatchE2ES)
+}
+
+// SourcesSnapshot returns every source's observability snapshot, name
+// order, for /v1/stats.
+func (p *Pipeline) SourcesSnapshot() []SourceStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.sources))
+	for name := range p.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SourceStats, 0, len(names))
+	for _, name := range names {
+		out = append(out, p.sources[name].snapshot(name))
+	}
+	return out
 }
 
 // PushResult reports what Push did with the records it was given.
@@ -215,14 +295,17 @@ func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error)
 		return res, ErrClosed
 	}
 	var pushErr error
+	touched := map[string]*sourceState{}
 	for _, r := range recs {
 		if r.Source == "" || r.Offset == 0 {
 			pushErr = fmt.Errorf("ingest: record needs a source and a 1-based offset")
 			break
 		}
 		st := p.sourceLocked(r.Source)
+		touched[r.Source] = st
 		if st.offsets.seen(r.Offset) {
 			res.Deduped++
+			st.deduped++
 			p.stats.Deduped++
 			p.col.Count("ingest.replay.deduped", 1)
 			continue
@@ -241,8 +324,10 @@ func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error)
 		}
 		st.offsets.admit(r.Offset)
 		st.buf = append(st.buf, r)
+		st.admitAt = append(st.admitAt, p.cfg.Now())
 		p.pending++
 		res.Accepted++
+		st.accepted++
 		p.stats.Accepted++
 		p.col.Count("ingest.accepted", 1)
 		if len(st.buf) >= p.cfg.MaxBatchRecords {
@@ -250,6 +335,9 @@ func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error)
 		}
 	}
 	p.col.Gauge("ingest.queue_depth", float64(p.pending))
+	for name, st := range touched {
+		p.publishLocked(st, name)
+	}
 	p.mu.Unlock()
 	if kick {
 		select {
@@ -288,7 +376,7 @@ func (p *Pipeline) takeTokenLocked(st *sourceState) bool {
 func (p *Pipeline) sourceLocked(name string) *sourceState {
 	st, ok := p.sources[name]
 	if !ok {
-		st = &sourceState{}
+		st = &sourceState{metric: obs.SanitizeLabel(name)}
 		p.sources[name] = st
 	}
 	return st
@@ -341,6 +429,7 @@ func (p *Pipeline) flush(ctx context.Context, all bool) error {
 		sort.Strings(names)
 		var src string
 		var batch []Record
+		var admitAt []time.Time
 		for _, name := range names {
 			st := p.sources[name]
 			if tried[name] || len(st.buf) == 0 {
@@ -355,6 +444,8 @@ func (p *Pipeline) flush(ctx context.Context, all bool) error {
 			}
 			batch = append([]Record(nil), st.buf[:n]...)
 			st.buf = append([]Record(nil), st.buf[n:]...)
+			admitAt = append([]time.Time(nil), st.admitAt[:n]...)
+			st.admitAt = append([]time.Time(nil), st.admitAt[n:]...)
 			st.inflight += n
 			src = name
 			break
@@ -363,7 +454,7 @@ func (p *Pipeline) flush(ctx context.Context, all bool) error {
 		if batch == nil {
 			return firstErr
 		}
-		if err := p.deliver(ctx, src, batch); err != nil {
+		if err := p.deliver(ctx, src, batch, admitAt); err != nil {
 			tried[src] = true
 			if firstErr == nil {
 				firstErr = err
@@ -376,20 +467,33 @@ func (p *Pipeline) flush(ctx context.Context, all bool) error {
 // permanent rejection settle the records; transient failure beyond the
 // retry budget puts them back at the head of the source's buffer for the
 // next trigger (at-least-once).
-func (p *Pipeline) deliver(ctx context.Context, src string, batch []Record) error {
+func (p *Pipeline) deliver(ctx context.Context, src string, batch []Record, admitAt []time.Time) error {
 	n := len(batch)
 	for attempt := 0; ; attempt++ {
 		err := p.applier.Apply(ctx, Batch{Source: src, Records: batch})
 		if err == nil {
+			// Batch end-to-end latency: the oldest record's admission to
+			// the successful apply, retries and queueing included.
+			var e2e float64
+			if len(admitAt) > 0 {
+				e2e = p.cfg.Now().Sub(admitAt[0]).Seconds()
+			}
 			p.settle(src, n, func() {
 				p.stats.BatchesFlushed++
 				p.stats.RecordsDelivered += uint64(n)
 				p.col.Count("ingest.batches.flushed", 1)
 				p.col.Count("ingest.records.delivered", float64(n))
+				p.col.Observe("ingest.batch_e2e_s", e2e)
+				p.sourceLocked(src).lastE2E = e2e
 			})
 			return nil
 		}
 		if IsRejected(err) {
+			if p.cfg.Logger != nil {
+				p.cfg.Logger.Warn("ingest: batch rejected",
+					slog.String("source", src), slog.Int("records", n),
+					slog.String("error", err.Error()))
+			}
 			p.settle(src, n, func() {
 				p.stats.Rejected += uint64(n)
 				p.col.Count("ingest.rejected", float64(n))
@@ -397,14 +501,26 @@ func (p *Pipeline) deliver(ctx context.Context, src string, batch []Record) erro
 			return err
 		}
 		if attempt >= p.cfg.RetryAttempts || ctx.Err() != nil {
+			if p.cfg.Logger != nil {
+				p.cfg.Logger.Warn("ingest: delivery failed, batch requeued",
+					slog.String("source", src), slog.Int("records", n),
+					slog.Int("attempts", attempt+1), slog.String("error", err.Error()))
+			}
 			p.mu.Lock()
 			st := p.sourceLocked(src)
 			st.buf = append(append([]Record(nil), batch...), st.buf...)
+			st.admitAt = append(append([]time.Time(nil), admitAt...), st.admitAt...)
 			st.inflight -= n
 			p.stats.DeliveryFailures++
 			p.col.Count("ingest.delivery.failures", 1)
+			p.publishLocked(st, src)
 			p.mu.Unlock()
 			return err
+		}
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.Warn("ingest: delivery retry",
+				slog.String("source", src), slog.Int("records", n),
+				slog.Int("attempt", attempt+1), slog.String("error", err.Error()))
 		}
 		p.mu.Lock()
 		p.stats.Retries++
@@ -430,6 +546,7 @@ func (p *Pipeline) settle(src string, n int, counters func()) {
 	p.pending -= n
 	counters()
 	p.col.Gauge("ingest.queue_depth", float64(p.pending))
+	p.publishLocked(st, src)
 	p.mu.Unlock()
 }
 

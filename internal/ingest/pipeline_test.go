@@ -1,13 +1,18 @@
 package ingest
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"bohr/internal/obs"
 )
 
 // recApplier records delivered batches and can be told to fail the next N
@@ -347,4 +352,112 @@ func TestPipelineConcurrentSourcesDeliverEverything(t *testing.T) {
 			next[b.Source] = r.Offset
 		}
 	}
+}
+
+// TestPerSourceObservability covers the per-source telemetry surface:
+// SourcesSnapshot watermark/sparse/dedupe accounting, sanitized per-source
+// gauges on the collector, and batch end-to-end latency measurement.
+func TestPerSourceObservability(t *testing.T) {
+	col := obs.NewCollector(obs.WithWallClock())
+	app := &recApplier{}
+	p := New(Config{MaxBatchRecords: 4, FlushInterval: -1}, app, col)
+	defer p.Close()
+
+	ctx := context.Background()
+	// Source "web tier" (hostile space in the name): offsets 1,2 then a
+	// gap at 5 (sparse set of one) plus a replay of 1 (deduped).
+	for _, off := range []uint64{1, 2, 5, 1} {
+		p.Push(ctx, rec("web tier", off))
+	}
+	// Second source stays fully contiguous.
+	p.Push(ctx, rec("mobile", 1), rec("mobile", 2))
+
+	snaps := p.SourcesSnapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d sources, want 2", len(snaps))
+	}
+	if snaps[0].Source != "mobile" || snaps[1].Source != "web tier" {
+		t.Fatalf("sources = %s,%s want name order", snaps[0].Source, snaps[1].Source)
+	}
+	web := snaps[1]
+	if web.Watermark != 2 || web.Sparse != 1 || web.Accepted != 3 || web.Deduped != 1 || web.Pending != 3 {
+		t.Fatalf("web tier snapshot = %+v, want watermark 2 sparse 1 accepted 3 deduped 1 pending 3", web)
+	}
+	if want := 1.0 / 4.0; web.DedupeRate != want {
+		t.Fatalf("dedupe rate = %v, want %v", web.DedupeRate, want)
+	}
+
+	// Gauges publish under the sanitized label only.
+	snap := col.MetricsSnapshot()
+	san := obs.SanitizeLabel("web tier")
+	if san == "web tier" {
+		t.Fatal("label with a space survived sanitization")
+	}
+	if got := snap.Gauges["ingest.source."+san+".watermark"]; got != 2 {
+		t.Fatalf("watermark gauge = %v, want 2 (gauges: %v)", got, snap.Gauges)
+	}
+	if got := snap.Gauges["ingest.source."+san+".sparse"]; got != 1 {
+		t.Fatalf("sparse gauge = %v, want 1", got)
+	}
+	for name := range snap.Gauges {
+		if strings.Contains(name, "web tier") {
+			t.Fatalf("raw source name leaked into gauge %q", name)
+		}
+	}
+
+	// Delivery settles pending and measures batch end-to-end latency.
+	if err := p.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snaps = p.SourcesSnapshot()
+	web = snaps[1]
+	if web.Pending != 0 {
+		t.Fatalf("pending = %d after flush, want 0", web.Pending)
+	}
+	if web.LastBatchE2ES <= 0 {
+		t.Fatalf("batch e2e latency = %v, want > 0", web.LastBatchE2ES)
+	}
+	snap = col.MetricsSnapshot()
+	if got := snap.Histograms["ingest.batch_e2e_s"]; got.Count != 2 {
+		t.Fatalf("ingest.batch_e2e_s = %+v, want 2 observations (one batch per source)", got)
+	}
+	if got := snap.Gauges["ingest.source."+san+".pending"]; got != 0 {
+		t.Fatalf("pending gauge = %v after flush, want 0", got)
+	}
+}
+
+// TestIngestLoggerSeesRetries wires a logger into the pipeline and checks
+// the retry and requeue paths emit structured lines with the source name.
+func TestIngestLoggerSeesRetries(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(syncWriter{&mu, &buf}, nil))
+	app := &recApplier{failNext: 10}
+	p := New(Config{
+		MaxBatchRecords: 2, FlushInterval: -1, RetryAttempts: 1,
+		RetryBase: time.Millisecond, Logger: logger,
+	}, app, nil)
+	defer p.Close()
+	p.Push(context.Background(), rec("s1", 1), rec("s1", 2))
+	p.Flush(context.Background()) // 1 retry, then requeue
+	mu.Lock()
+	text := buf.String()
+	mu.Unlock()
+	if !strings.Contains(text, "delivery retry") || !strings.Contains(text, "requeued") {
+		t.Fatalf("log missing retry/requeue lines:\n%s", text)
+	}
+	if !strings.Contains(text, `"source":"s1"`) {
+		t.Fatalf("log lines lack the source attr:\n%s", text)
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
 }

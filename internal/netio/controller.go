@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sort"
@@ -42,6 +43,10 @@ type Config struct {
 	// Seed drives the jitter stream, keeping the backoff schedule
 	// reproducible for a fixed configuration.
 	Seed int64
+	// Logger receives structured fault-path logs (request timeouts and
+	// retries at Warn, with the site and request type attached); nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 func (cfg Config) withDefaults() Config {
@@ -277,6 +282,11 @@ func (c *Controller) rpc(ctx context.Context, site int, req *Envelope) (*Envelop
 		if errors.As(err, &ne) && ne.Timeout() {
 			c.obs.Count("netio.timeouts", 1)
 			c.event("timeout", site, fmt.Sprintf("req=%d: %v", req.Type, err))
+			if c.cfg.Logger != nil {
+				c.cfg.Logger.Warn("netio: request timeout",
+					slog.Int("site", site), slog.Int("req_type", int(req.Type)),
+					slog.String("trace_id", req.TraceID), slog.String("error", err.Error()))
+			}
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("netio: rpc to site %d: %w (after: %v)", site, cerr, err)
@@ -286,6 +296,12 @@ func (c *Controller) rpc(ctx context.Context, site int, req *Envelope) (*Envelop
 		}
 		c.obs.Count("netio.retries", 1)
 		c.event("retry", site, fmt.Sprintf("req=%d attempt=%d: %v", req.Type, attempt+1, err))
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Warn("netio: retrying request",
+				slog.Int("site", site), slog.Int("req_type", int(req.Type)),
+				slog.Int("attempt", attempt+1), slog.String("trace_id", req.TraceID),
+				slog.String("error", err.Error()))
+		}
 		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
 			return nil, fmt.Errorf("netio: rpc to site %d: %w", site, err)
 		}
@@ -454,6 +470,11 @@ func (c *Controller) RunQuery(ctx context.Context, q QueryDTO, taskFrac []float6
 			return nil, err
 		}
 		c.obs.Count("netio.retries", 1)
+		if c.cfg.Logger != nil {
+			c.cfg.Logger.Warn("netio: re-executing query",
+				slog.String("trace_id", q.ID), slog.Int("attempt", attempt+1),
+				slog.String("error", err.Error()))
+		}
 		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
 			return nil, fmt.Errorf("netio: query %s: %w", q.ID, err)
 		}

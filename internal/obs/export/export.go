@@ -136,8 +136,17 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
 	writeFamily(&b, "counter", snap.Counters)
-	writeFamily(&b, "gauge", snap.Gauges)
-	writeFamily(&b, "gauge", live)
+	// Merge scrape-time callback gauges over registry gauges (callbacks
+	// win): a name registered in both places must expose one sample, not a
+	// duplicate family.
+	gauges := make(map[string]float64, len(snap.Gauges)+len(live))
+	for name, v := range snap.Gauges {
+		gauges[name] = v
+	}
+	for name, v := range live {
+		gauges[name] = v
+	}
+	writeFamily(&b, "gauge", gauges)
 	for _, name := range sortedKeys(snap.Histograms) {
 		h := snap.Histograms[name]
 		m := promName(name)

@@ -22,10 +22,12 @@
 package obs
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -58,6 +60,18 @@ type Event struct {
 	Detail string  `json:"detail,omitempty"`
 }
 
+// Sink mirrors the stream of metric updates entering a Collector. A
+// registered sink sees every Count, Gauge and Observe (including the
+// counter and gauge folds of MergeSnapshot) after the collector's own
+// registry has absorbed it. Sinks must not call back into the collector;
+// the windowed-aggregation registry (internal/obs/window) is the
+// canonical implementation.
+type Sink interface {
+	Count(name string, delta float64)
+	Gauge(name string, v float64)
+	Observe(name string, v float64)
+}
+
 // Collector gathers one run's trace and metrics.
 type Collector struct {
 	mu       sync.Mutex
@@ -68,6 +82,17 @@ type Collector struct {
 	gauges   map[string]float64
 	hists    map[string]*histSeries
 	events   []Event
+	sink     Sink
+}
+
+// SetSink attaches (or, with nil, detaches) a metrics sink. Nil-safe.
+func (c *Collector) SetSink(s Sink) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = s
 }
 
 // Option configures a Collector.
@@ -214,8 +239,12 @@ func (c *Collector) Count(name string, delta float64) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.counters[name] += delta
+	sink := c.sink
+	c.mu.Unlock()
+	if sink != nil {
+		sink.Count(name, delta)
+	}
 }
 
 // Gauge sets a named gauge to the given value. Nil-safe.
@@ -224,8 +253,12 @@ func (c *Collector) Gauge(name string, v float64) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.gauges[name] = v
+	sink := c.sink
+	c.mu.Unlock()
+	if sink != nil {
+		sink.Gauge(name, v)
+	}
 }
 
 // HistogramCap bounds the observations retained per histogram series.
@@ -275,13 +308,17 @@ func (c *Collector) Observe(name string, v float64) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	h := c.hists[name]
 	if h == nil {
 		h = newHistSeries(name)
 		c.hists[name] = h
 	}
 	h.observe(v)
+	sink := c.sink
+	c.mu.Unlock()
+	if sink != nil {
+		sink.Observe(name, v)
+	}
 }
 
 // RecordEvent appends one timeline event. Nil-safe.
@@ -412,7 +449,6 @@ func (c *Collector) MergeSnapshot(snap *Snapshot) {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for k, v := range snap.Counters {
 		c.counters[k] += v
 	}
@@ -422,6 +458,21 @@ func (c *Collector) MergeSnapshot(snap *Snapshot) {
 	for k, st := range snap.Histograms {
 		c.counters[k+".sum"] += st.Sum
 		c.counters[k+".count"] += float64(st.Count)
+	}
+	sink := c.sink
+	c.mu.Unlock()
+	if sink == nil {
+		return
+	}
+	for k, v := range snap.Counters {
+		sink.Count(k, v)
+	}
+	for k, v := range snap.Gauges {
+		sink.Gauge(k, v)
+	}
+	for k, st := range snap.Histograms {
+		sink.Count(k+".sum", st.Sum)
+		sink.Count(k+".count", float64(st.Count))
 	}
 }
 
@@ -462,6 +513,46 @@ func (s *Span) Attach(sub *Span) {
 	cp.parent = s
 	cp.c = s.c
 	s.Children = append(s.Children, cp)
+}
+
+// sanitizeMax bounds a sanitized label's length; longer inputs are
+// truncated and suffixed with a hash of the original.
+const sanitizeMax = 48
+
+// SanitizeLabel maps an externally supplied string (a tenant ID, an
+// ingest source name) onto the safe metric-label charset [a-zA-Z0-9_-]:
+// every other rune becomes '_', and inputs that were altered or exceed
+// sanitizeMax runes are truncated and suffixed with an 8-hex FNV-1a hash
+// of the original, so distinct hostile inputs cannot collide onto one
+// series or smuggle structure (dots, newlines, exposition syntax) into
+// registry names. Well-behaved names pass through unchanged.
+func SanitizeLabel(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	changed := false
+	n := 0
+	for _, r := range s {
+		if n >= sanitizeMax {
+			changed = true
+			break
+		}
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+			changed = true
+		}
+		n++
+	}
+	if !changed {
+		return s
+	}
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%s-%08x", b.String(), h.Sum32())
 }
 
 // Find returns the descendant span reached by following the named path

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -377,4 +378,99 @@ func TestSnapshotJSONStable(t *testing.T) {
 	if string(a) != string(b) {
 		t.Fatalf("identical collectors marshal differently:\n%s\n%s", a, b)
 	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	// Clean short labels pass through untouched — existing metric names
+	// must not change shape.
+	for _, ok := range []string{"alice", "t42", "web-tier_1"} {
+		if got := SanitizeLabel(ok); got != ok {
+			t.Fatalf("SanitizeLabel(%q) = %q, want unchanged", ok, got)
+		}
+	}
+	// Hostile characters are replaced and the result is hash-suffixed.
+	hostile := "evil\ntenant{job=\"x\"} 42"
+	got := SanitizeLabel(hostile)
+	for _, r := range got {
+		valid := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
+			r >= '0' && r <= '9' || r == '_' || r == '-'
+		if !valid {
+			t.Fatalf("SanitizeLabel(%q) = %q contains invalid rune %q", hostile, got, r)
+		}
+	}
+	// Distinct inputs that sanitize to the same charset skeleton must not
+	// collide (hash suffix disambiguates).
+	if SanitizeLabel("a{b") == SanitizeLabel("a}b") {
+		t.Fatal("distinct hostile labels collided after sanitizing")
+	}
+	// Deterministic.
+	if SanitizeLabel(hostile) != got {
+		t.Fatal("sanitization is not deterministic")
+	}
+	// Long labels are truncated but stay bounded and distinct.
+	long1 := strings.Repeat("x", 200) + "1"
+	long2 := strings.Repeat("x", 200) + "2"
+	if len(SanitizeLabel(long1)) > 64 {
+		t.Fatalf("long label not bounded: %d runes", len(SanitizeLabel(long1)))
+	}
+	if SanitizeLabel(long1) == SanitizeLabel(long2) {
+		t.Fatal("distinct long labels collided after truncation")
+	}
+	// Empty input yields a usable placeholder.
+	if got := SanitizeLabel(""); got == "" {
+		t.Fatal("empty label sanitized to empty string")
+	}
+}
+
+// TestSinkReceivesAllPaths checks the Collector forwards counters,
+// gauges, observations, and merged snapshots to an attached Sink.
+func TestSinkReceivesAllPaths(t *testing.T) {
+	col := NewCollector()
+	sink := &recordingSink{events: map[string]float64{}}
+	col.SetSink(sink)
+	col.Count("c", 2)
+	col.Gauge("g", 7)
+	col.Observe("h", 0.5)
+	col.MergeSnapshot(&Snapshot{
+		Counters: map[string]float64{"remote.c": 3},
+		Gauges:   map[string]float64{"remote.g": 4},
+	})
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for name, want := range map[string]float64{
+		"count:c": 2, "gauge:g": 7, "observe:h": 0.5,
+		"count:remote.c": 3, "gauge:remote.g": 4,
+	} {
+		if got := sink.events[name]; got != want {
+			t.Fatalf("sink %s = %v, want %v (events: %v)", name, got, want, sink.events)
+		}
+	}
+	// Detaching stops the flow; a nil collector stays safe.
+	col.SetSink(nil)
+	col.Count("c", 1)
+	var nilCol *Collector
+	nilCol.SetSink(sink)
+}
+
+type recordingSink struct {
+	mu     sync.Mutex
+	events map[string]float64
+}
+
+func (r *recordingSink) Count(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events["count:"+name] += v
+}
+
+func (r *recordingSink) Gauge(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events["gauge:"+name] = v
+}
+
+func (r *recordingSink) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events["observe:"+name] = v
 }

@@ -70,6 +70,10 @@ type tenantState struct {
 	stride   float64
 	inflight int
 	queue    []*waiter
+	// metric is the tenant's sanitized metric label: gauges publish as
+	// serve.tenant.<metric>.*, so an externally supplied tenant string
+	// cannot corrupt or unboundedly pollute the exposition.
+	metric string
 }
 
 // Scheduler grants execution slots to tenants by stride scheduling: each
@@ -104,7 +108,7 @@ func (s *Scheduler) state(tenant string) *tenantState {
 		}
 		// A new tenant starts at the minimum live pass, not zero:
 		// joining late must not grant it a catch-up burst.
-		ts = &tenantState{stride: strideScale / w, pass: s.minPass()}
+		ts = &tenantState{stride: strideScale / w, pass: s.minPass(), metric: obs.SanitizeLabel(tenant)}
 		s.tenants[tenant] = ts
 	}
 	return ts
@@ -205,7 +209,7 @@ func (s *Scheduler) grantLocked(tenant string, ts *tenantState) {
 	ts.inflight++
 	s.inflight++
 	s.gauge("serve.inflight", float64(s.inflight))
-	s.gauge("serve.tenant."+tenant+".inflight", float64(ts.inflight))
+	s.gauge("serve.tenant."+ts.metric+".inflight", float64(ts.inflight))
 }
 
 func (s *Scheduler) release(tenant string) {
@@ -221,7 +225,7 @@ func (s *Scheduler) releaseLocked(tenant string) {
 	ts.inflight--
 	s.inflight--
 	s.gauge("serve.inflight", float64(s.inflight))
-	s.gauge("serve.tenant."+tenant+".inflight", float64(ts.inflight))
+	s.gauge("serve.tenant."+ts.metric+".inflight", float64(ts.inflight))
 	s.dispatchLocked()
 }
 

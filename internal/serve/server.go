@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bohr/internal/cache"
@@ -15,6 +17,7 @@ import (
 	"bohr/internal/engine"
 	"bohr/internal/ingest"
 	"bohr/internal/obs"
+	"bohr/internal/obs/window"
 	"bohr/internal/olap"
 	"bohr/internal/sql"
 )
@@ -112,6 +115,29 @@ func (b *EngineBackend) Run(ctx context.Context, plan *sql.Plan) ([]engine.KV, e
 	return res.Output, nil
 }
 
+// RunTraced executes the plan under a per-query collector and returns the
+// query's own trace next to the rows. Metric deltas fold back into the
+// system's long-lived collector (so /metrics stays whole), but spans stay
+// on the per-query tree — which both hands the flight recorder a
+// retainable trace and keeps a long-running daemon's root collector from
+// accreting one span subtree per query forever.
+func (b *EngineBackend) RunTraced(ctx context.Context, plan *sql.Plan) ([]engine.KV, *obs.Span, error) {
+	b.stateMu.RLock()
+	defer b.stateMu.RUnlock()
+	var col *obs.Collector
+	if b.sys.Obs.WallClock() {
+		col = obs.NewCollector(obs.WithWallClock())
+	} else {
+		col = obs.NewCollector()
+	}
+	res, err := b.sys.RunQueryObs(ctx, plan.Query, col)
+	b.sys.Obs.MergeSnapshot(col.MetricsSnapshot())
+	if err != nil {
+		return nil, col.Trace(), err
+	}
+	return res.Output, col.Trace(), nil
+}
+
 // ApplyBatch implements the ingest pipeline's delivery side over the
 // engine backend: records are grouped into per-(dataset, site) arrivals
 // in first-seen order, applied to the system under the exclusive state
@@ -166,6 +192,13 @@ func (b *EngineBackend) ApplyBatch(ctx context.Context, batch ingest.Batch) ([]s
 	return datasets, nil
 }
 
+// TracedBackend is the optional backend extension the flight recorder
+// uses: Run one query under its own collector and hand back the query's
+// trace for slow-query retention.
+type TracedBackend interface {
+	RunTraced(ctx context.Context, plan *sql.Plan) ([]engine.KV, *obs.Span, error)
+}
+
 // Config tunes the front end.
 type Config struct {
 	// Sched configures the fair scheduler (zero value = defaults).
@@ -176,6 +209,17 @@ type Config struct {
 	// DefaultTimeout caps a request's execution when the client did not
 	// send timeout_ms (default 30s; negative disables).
 	DefaultTimeout time.Duration
+	// Flight enables the flight recorder (per-query records on /v1/debug/
+	// flightrec, slow-query trace retention); nil disables it.
+	Flight *FlightConfig
+	// Windows is the rolling-window metrics registry rendered on
+	// /v1/stats; wire it to the daemon's collector with SetSink. Nil omits
+	// windowed stats.
+	Windows *window.Registry
+	// Logger receives structured request logs (per-query lines at Debug,
+	// failures at Warn, with tenant and trace ID attached); nil disables
+	// logging.
+	Logger *slog.Logger
 }
 
 // Server is the multi-tenant query front end. Mount Handler on an HTTP
@@ -188,6 +232,12 @@ type Server struct {
 	col     *obs.Collector
 	timeout time.Duration
 	pipe    *ingest.Pipeline // non-nil after EnableIngest
+	flight  *FlightRecorder  // nil when the recorder is off
+	win     *window.Registry // nil when windowed stats are off
+	log     *slog.Logger     // nil when logging is off
+	start   time.Time
+	traceHi string // per-process trace ID prefix
+	traceLo uint64 // atomic per-request trace sequence
 }
 
 // New assembles a front end over a backend; col may be nil.
@@ -200,13 +250,30 @@ func New(b Backend, cfg Config, col *obs.Collector) *Server {
 	if timeout == 0 {
 		timeout = 30 * time.Second
 	}
-	return &Server{
+	s := &Server{
 		backend: b,
 		sched:   NewScheduler(cfg.Sched, col),
 		results: NewResultCache(caps, col),
 		col:     col,
 		timeout: timeout,
+		win:     cfg.Windows,
+		log:     cfg.Logger,
+		start:   time.Now(),
 	}
+	s.traceHi = fmt.Sprintf("%08x", uint32(s.start.UnixNano()))
+	if cfg.Flight != nil {
+		s.flight = NewFlightRecorder(*cfg.Flight)
+	}
+	return s
+}
+
+// Flight exposes the flight recorder (nil when disabled), for tests and
+// operator tooling.
+func (s *Server) Flight() *FlightRecorder { return s.flight }
+
+// nextTraceID mints a process-unique trace ID for one request.
+func (s *Server) nextTraceID() string {
+	return fmt.Sprintf("%s-%06x", s.traceHi, atomic.AddUint64(&s.traceLo, 1))
 }
 
 // Scheduler exposes the fair scheduler (for gauges and tests).
@@ -246,6 +313,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.serveQuery)
 	mux.HandleFunc("/v1/ingest", s.serveIngest)
+	mux.HandleFunc("/v1/stats", s.serveStats)
+	mux.HandleFunc("/v1/debug/flightrec", s.serveFlightrec)
 	return mux
 }
 
@@ -303,8 +372,20 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
+	// mt is the tenant's metric-safe label: externally supplied tenant
+	// strings must not smuggle structure into registry names.
+	mt := obs.SanitizeLabel(req.Tenant)
+	norm := Normalize(stmt)
+	rec := QueryRecord{
+		TraceID:  s.nextTraceID(),
+		Tenant:   req.Tenant,
+		Dataset:  stmt.Dataset,
+		Stmt:     norm,
+		StmtHash: StmtHash(norm),
+		Start:    start.UTC().Format(time.RFC3339Nano),
+	}
 	s.count("serve.requests", 1)
-	s.count("serve.tenant."+req.Tenant+".requests", 1)
+	s.count("serve.tenant."+mt+".requests", 1)
 
 	// Result cache: textual variants of one statement over unchanged
 	// data are answered without touching the scheduler or the engine.
@@ -313,41 +394,91 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request) {
 		key = s.results.Key(stmt, hash)
 		if rows, ok := s.results.Get(key); ok {
 			s.count("serve.cache.hits", 1)
-			s.count("serve.tenant."+req.Tenant+".cache.hits", 1)
+			s.count("serve.tenant."+mt+".cache.hits", 1)
+			rec.Cached = true
+			s.finish(&rec, start, "ok", nil, nil)
 			s.reply(w, req.Tenant, plan.PostProcess(rows), true, start)
 			return
 		}
 	}
 	s.count("serve.cache.misses", 1)
 
+	waitStart := time.Now()
 	release, err := s.sched.Acquire(ctx, req.Tenant)
+	rec.QueueWaitS = time.Since(waitStart).Seconds()
 	if err != nil {
 		if errors.Is(err, ErrOverloaded) {
+			s.finish(&rec, start, "rejected", err, nil)
 			s.fail(w, http.StatusTooManyRequests, "%v", err)
 			return
 		}
 		s.count("serve.cancelled", 1)
+		s.finish(&rec, start, "cancelled", err, nil)
 		s.fail(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
 	defer release()
 
-	rows, err := s.backend.Run(ctx, plan)
+	// With the flight recorder on and a trace-capable backend, the query
+	// runs under its own collector so its trace can be retained if slow.
+	var rows []engine.KV
+	var trace *obs.Span
+	if tb, ok := s.backend.(TracedBackend); ok && s.flight != nil {
+		rows, trace, err = tb.RunTraced(ctx, plan)
+	} else {
+		rows, err = s.backend.Run(ctx, plan)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			s.count("serve.cancelled", 1)
+			s.finish(&rec, start, "cancelled", err, trace)
 			s.fail(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
+		s.finish(&rec, start, "error", err, trace)
 		s.fail(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	if key != "" {
 		s.results.Insert(key, stmt.Dataset, rows)
 	}
-	s.observe("serve.tenant."+req.Tenant+".latency_s", time.Since(start).Seconds())
+	s.observe("serve.tenant."+mt+".latency_s", time.Since(start).Seconds())
 	s.observe("serve.latency_s", time.Since(start).Seconds())
+	s.finish(&rec, start, "ok", nil, trace)
 	s.reply(w, req.Tenant, plan.PostProcess(rows), false, start)
+}
+
+// finish stamps the record's outcome, hands it to the flight recorder,
+// and emits the structured request log line (Debug for ok, Warn for
+// everything else) with tenant and trace ID attached.
+func (s *Server) finish(rec *QueryRecord, start time.Time, status string, err error, trace *obs.Span) {
+	rec.LatencyS = time.Since(start).Seconds()
+	rec.Status = status
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.flight.Record(*rec, trace)
+	if s.log == nil {
+		return
+	}
+	lvl := slog.LevelDebug
+	if status != "ok" {
+		lvl = slog.LevelWarn
+	}
+	attrs := []any{
+		slog.String("trace_id", rec.TraceID),
+		slog.String("tenant", rec.Tenant),
+		slog.String("dataset", rec.Dataset),
+		slog.String("stmt_hash", rec.StmtHash),
+		slog.String("status", status),
+		slog.Float64("latency_s", rec.LatencyS),
+		slog.Float64("queue_wait_s", rec.QueueWaitS),
+		slog.Bool("cached", rec.Cached),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	s.log.Log(context.Background(), lvl, "serve: query", attrs...)
 }
 
 func (s *Server) reply(w http.ResponseWriter, tenant string, rows []engine.KV, cached bool, start time.Time) {
