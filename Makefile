@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt-check ctxcheck race determinism fuzz-short bounded-growth golden bench bench-snapshot
+.PHONY: all build test check vet fmt-check ctxcheck race determinism fuzz-short bounded-growth golden bench bench-snapshot crash
 
 all: build
 
@@ -42,7 +42,8 @@ race:
 	$(GO) test -race ./internal/engine/... ./internal/obs/... \
 		./internal/netio/... ./internal/faults/... \
 		./internal/parallel/... ./internal/olap/... ./internal/similarity/... \
-		./internal/cache/... ./internal/serve/... ./internal/ingest/...
+		./internal/cache/... ./internal/serve/... ./internal/ingest/... \
+		./internal/durable/...
 
 # fuzz-short runs each native fuzz target briefly against its checked-in
 # seed corpus — a smoke round, not a campaign. One -fuzz invocation per
@@ -51,6 +52,17 @@ fuzz-short:
 	$(GO) test ./internal/sql -run '^$$' -fuzz FuzzParse -fuzztime 5s
 	$(GO) test ./internal/faults -run '^$$' -fuzz FuzzParse -fuzztime 5s
 	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzRecordCodec -fuzztime 5s
+	$(GO) test ./internal/durable -run '^$$' -fuzz FuzzWALFrame -fuzztime 5s
+
+# crash runs the full crash-consistency harness under the race detector:
+# 20 seeded kill-restart trials against a child bohrd (quiesced kills
+# with byte-identical pinned queries, mid-stream kills inside the
+# acked-but-unapplied window, racy kills landing mid-request, torn WAL
+# tails), plus the recover-equals-never-crashed property and the
+# server-crash chaos leg.
+crash:
+	$(GO) test -race ./internal/durable/crashtest -run TestCrashRecovery -count=1 -v
+	$(GO) test -race ./internal/serve -run 'TestIngestServerCrashChaos|TestRecoverEquivalentToNeverCrashed' -count=1
 
 # determinism: two bohrctl runs with the same seed and fault schedule must
 # emit byte-identical JSON reports, and the report must be byte-identical
@@ -100,4 +112,4 @@ bench:
 # bench-snapshot appends to the perf trajectory: one JSON document of
 # benchmark measurements per PR (BENCH_<tag>.json at the repo root).
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -tag pr8
+	$(GO) run ./cmd/benchsnap -tag pr9

@@ -26,6 +26,7 @@ import (
 
 	"bohr/internal/cache"
 	"bohr/internal/core"
+	"bohr/internal/durable"
 	"bohr/internal/experiments"
 	"bohr/internal/ingest"
 	"bohr/internal/obs"
@@ -418,12 +419,22 @@ func measureTelemetry(sys *core.System, query string) (*TelemetryStat, error) {
 	return st, nil
 }
 
+// durableShape switches measureIngest onto the durable path: batches
+// journal to a WAL in a temp directory before acking, with or without
+// the per-append group-commit fsync. The fsync-on/off pair in the
+// snapshot is the price of the crash guarantee.
+type durableShape struct {
+	fsync         bool
+	snapshotEvery int
+}
+
 // measureIngest streams `records` from one client source into a fresh
 // front end over HTTP and reports end-to-end throughput (push + drain).
 // The pipeline config controls the shape: a roomy MaxPending measures raw
 // throughput; a tight one forces the backpressure loop (429 → seeded
-// backoff → whole-batch resend, deduped server-side).
-func measureIngest(scenario string, cfg ingest.Config, records int) (IngestStat, error) {
+// backoff → whole-batch resend, deduped server-side); a durableShape
+// adds the WAL at the ack boundary.
+func measureIngest(scenario string, cfg ingest.Config, records int, dur *durableShape) (IngestStat, error) {
 	sys, _, err := serveSystem()
 	if err != nil {
 		return IngestStat{}, err
@@ -431,9 +442,27 @@ func measureIngest(scenario string, cfg ingest.Config, records int) (IngestStat,
 	ds := sys.Workload.Datasets[0]
 	dims := ds.Schema.NumDims()
 	fe := serve.New(serve.NewEngineBackend(sys), serve.Config{}, nil)
-	pipe, err := fe.EnableIngest(cfg)
-	if err != nil {
-		return IngestStat{}, err
+	var pipe *ingest.Pipeline
+	if dur != nil {
+		dir, err := os.MkdirTemp("", "benchsnap-wal-")
+		if err != nil {
+			return IngestStat{}, err
+		}
+		defer os.RemoveAll(dir)
+		m, err := durable.Open(durable.Config{Dir: dir, Fsync: dur.fsync})
+		if err != nil {
+			return IngestStat{}, err
+		}
+		defer m.Close()
+		pipe, _, err = fe.EnableDurableIngest(context.Background(), cfg, m, dur.snapshotEvery)
+		if err != nil {
+			return IngestStat{}, err
+		}
+	} else {
+		pipe, err = fe.EnableIngest(cfg)
+		if err != nil {
+			return IngestStat{}, err
+		}
 	}
 	defer pipe.Close()
 	ts := httptest.NewServer(fe.Handler())
@@ -493,7 +522,7 @@ func benchMinhashBatch(width int) func(*testing.B) {
 }
 
 func main() {
-	tag := flag.String("tag", "pr8", "snapshot tag; output defaults to BENCH_<tag>.json")
+	tag := flag.String("tag", "pr9", "snapshot tag; output defaults to BENCH_<tag>.json")
 	out := flag.String("out", "", "output path (overrides -tag naming)")
 	benchtime := flag.String("benchtime", "2s", "per-benchmark measuring time (testing -benchtime)")
 	testing.Init()
@@ -612,13 +641,20 @@ func main() {
 		name    string
 		cfg     ingest.Config
 		records int
+		durable *durableShape
 	}{
 		{"throughput: 1 source, batches of 256, no admission limits",
-			ingest.Config{MaxBatchRecords: 256, FlushInterval: -1}, 5000},
+			ingest.Config{MaxBatchRecords: 256, FlushInterval: -1}, 5000, nil},
 		{"backpressure: 1 source, batches of 64, pending capped at 256",
-			ingest.Config{MaxBatchRecords: 64, FlushInterval: -1, MaxPending: 256}, 2000},
+			ingest.Config{MaxBatchRecords: 64, FlushInterval: -1, MaxPending: 256}, 2000, nil},
+		{"durable: WAL at the ack boundary, fsync group commit, batches of 256",
+			ingest.Config{MaxBatchRecords: 256, FlushInterval: -1}, 5000,
+			&durableShape{fsync: true}},
+		{"durable: WAL at the ack boundary, no fsync, batches of 256",
+			ingest.Config{MaxBatchRecords: 256, FlushInterval: -1}, 5000,
+			&durableShape{fsync: false}},
 	} {
-		st, err := measureIngest(sc.name, sc.cfg, sc.records)
+		st, err := measureIngest(sc.name, sc.cfg, sc.records, sc.durable)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchsnap: ingest %q: %v\n", sc.name, err)
 			os.Exit(1)

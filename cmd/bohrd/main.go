@@ -43,6 +43,7 @@ import (
 
 	"bohr/internal/cliflags"
 	"bohr/internal/core"
+	"bohr/internal/durable"
 	"bohr/internal/engine"
 	"bohr/internal/experiments"
 	"bohr/internal/ingest"
@@ -99,6 +100,11 @@ func runServe(args []string) error {
 		slowQuery  = fs.Duration("slow-query", 250*time.Millisecond,
 			"latency threshold for slow-query trace retention (negative disables)")
 		flightRing = fs.Int("flight-ring", 512, "flight recorder ring size (recent query records)")
+		dataDir    = fs.String("data-dir", "",
+			"durability directory (WAL + snapshots); acked ingest survives kill -9 and the daemon recovers on restart (empty disables)")
+		fsync     = fs.Bool("fsync", true, "fsync the WAL before acking a push (group commit); needs -data-dir")
+		snapEvery = fs.Int("snapshot-every", 16,
+			"cut a state snapshot every N applied ingest batches, 0 = only at shutdown; needs -data-dir")
 	)
 	fs.Parse(args)
 	common.Apply()
@@ -177,11 +183,28 @@ func runServe(args []string) error {
 	sys.SetReplanEvery(ing.Replan)
 	ingCfg := ing.Config(s.Seed)
 	ingCfg.Logger = logger
-	pipe, err := fe.EnableIngest(ingCfg)
-	if err != nil {
-		return err
+	var pipe *ingest.Pipeline
+	var dman *durable.Manager
+	if *dataDir != "" {
+		dman, err = durable.Open(durable.Config{Dir: *dataDir, Fsync: *fsync, Logger: logger})
+		if err != nil {
+			return err
+		}
+		var sum *durable.RecoverySummary
+		pipe, sum, err = fe.EnableDurableIngest(context.Background(), ingCfg, dman, *snapEvery)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr,
+			"bohrd: recovered %s: snapshot seq %d, replayed %d frames (%d records, %d deduped), wal seq %d, torn bytes %d\n",
+			*dataDir, sum.SnapshotSeq, sum.FramesReplayed, sum.RecordsReplayed,
+			sum.RecordsDeduped, sum.WalSeq, sum.TruncatedBytes)
+	} else {
+		pipe, err = fe.EnableIngest(ingCfg)
+		if err != nil {
+			return err
+		}
 	}
-	defer pipe.Close()
 
 	srv := export.New(col)
 	srv.Handle("/v1/", fe.Handler())
@@ -211,6 +234,21 @@ func runServe(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	// Orderly shutdown: drain the pipeline (delivering buffered batches),
+	// let any in-flight background snapshot finish, cut a final snapshot
+	// so the next start replays nothing, and seal the WAL.
+	if err := pipe.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "bohrd: ingest drain: %v\n", err)
+	}
+	if dman != nil {
+		fe.DrainSnapshots()
+		if err := fe.SnapshotNow(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "bohrd: shutdown snapshot: %v\n", err)
+		}
+		if err := dman.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

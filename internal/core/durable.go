@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bohr/internal/olap"
+)
+
+// SiteCubeState is one site's base-cube dump for one dataset: the cells
+// in insertion order plus the raw row count — what a durability
+// snapshot persists and recovery feeds back through RestoreCubeStates.
+type SiteCubeState struct {
+	Cells []olap.Cell
+	Rows  int
+}
+
+// ExportCubeStates dumps the per-site base cubes of every dataset with
+// live ingest state. Datasets never ingested into have no entry: their
+// cube state is derivable from the seed workload, so a snapshot need
+// not carry it. The caller must hold the system quiescent (the serving
+// layer exports under its exclusive state lock and a pipeline barrier).
+func (s *System) ExportCubeStates() map[string][]SiteCubeState {
+	out := make(map[string][]SiteCubeState, len(s.preps))
+	for name, p := range s.preps {
+		sites := make([]SiteCubeState, len(p.Sites))
+		for i, cs := range p.Sites {
+			base := cs.Base()
+			sites[i] = SiteCubeState{Cells: base.ExportCells(), Rows: base.NumRows()}
+		}
+		out[name] = sites
+	}
+	return out
+}
+
+// RestoreCubeStates replaces the named datasets' per-site cube state
+// with a snapshot dump: the preprocessor is materialized if the system
+// has not ingested into the dataset yet this run, then every site's
+// base cube is swapped and its derived cubes invalidated (they rebuild
+// from the restored base on next use). Call on a prepared system before
+// serving starts.
+func (s *System) RestoreCubeStates(states map[string][]SiteCubeState) error {
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p, err := s.preprocessor(name)
+		if err != nil {
+			return fmt.Errorf("core: restore cube states: %w", err)
+		}
+		sites := states[name]
+		if len(sites) != len(p.Sites) {
+			return fmt.Errorf("core: restore cube states: %q snapshot has %d sites, system has %d",
+				name, len(sites), len(p.Sites))
+		}
+		for i, st := range sites {
+			if err := p.Sites[i].RestoreBase(st.Cells, st.Rows); err != nil {
+				return fmt.Errorf("core: restore cube states: %q site %d: %w", name, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RestoreIngestProgress sets the applied-batch counter a snapshot
+// recorded, so the replan cadence resumes where the crashed process
+// left off instead of restarting from zero.
+func (s *System) RestoreIngestProgress(batches int) {
+	s.ingestBatches = batches
+}

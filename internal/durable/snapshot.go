@@ -1,0 +1,162 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot files are snap-<wal seq, 16 digits>.snap: a magic line
+// followed by one CRC frame whose payload is the JSON State. The CRC
+// makes a half-written or bit-rotted snapshot detectable, in which case
+// the loader falls back to the next-newest valid one — a snapshot is an
+// optimization over full-log replay, never the only copy of anything
+// the WAL still holds.
+const (
+	snapMagic  = "BOHRSNAP1\n"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+func snapName(seq uint64) string {
+	return fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix)
+}
+
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(snapPrefix):len(name)-len(snapSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// writeSnapshotFile persists st atomically: write to a temp file, fsync
+// it, rename into place, fsync the directory. A crash at any point
+// leaves either the old set of snapshots or the old set plus a complete
+// new one — never a visible partial file.
+func writeSnapshotFile(dir string, st *State) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot encode: %w", err)
+	}
+	if len(payload) > MaxFramePayload {
+		return fmt.Errorf("durable: snapshot %d bytes over frame cap %d", len(payload), MaxFramePayload)
+	}
+	buf := make([]byte, 0, len(snapMagic)+frameHeaderLen+len(payload))
+	buf = append(buf, snapMagic...)
+	buf = EncodeFrame(buf, payload)
+
+	final := filepath.Join(dir, snapName(st.WalSeq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot create: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readSnapshotFile loads and validates one snapshot file.
+func readSnapshotFile(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(data, []byte(snapMagic)) {
+		return nil, fmt.Errorf("durable: snapshot %s: bad magic", filepath.Base(path))
+	}
+	payload, rest, err := DecodeFrame(data[len(snapMagic):])
+	if err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: %w", filepath.Base(path), err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("durable: snapshot %s: %d trailing bytes", filepath.Base(path), len(rest))
+	}
+	st := &State{}
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: decode: %w", filepath.Base(path), err)
+	}
+	return st, nil
+}
+
+// loadLatestSnapshot returns the newest valid snapshot in dir, or nil
+// if none exists. Corrupt snapshots are skipped (with their names
+// reported) rather than failing recovery — the WAL can always fill in.
+func loadLatestSnapshot(dir string) (st *State, skipped []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: snapshot scan: %w", err)
+	}
+	type cand struct {
+		name string
+		seq  uint64
+	}
+	var cands []cand
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSnapName(e.Name()); ok {
+			cands = append(cands, cand{e.Name(), seq})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq > cands[j].seq })
+	for _, c := range cands {
+		st, err := readSnapshotFile(filepath.Join(dir, c.name))
+		if err != nil {
+			skipped = append(skipped, c.name)
+			continue
+		}
+		return st, skipped, nil
+	}
+	return nil, skipped, nil
+}
+
+// pruneSnapshots removes snapshots older than keepSeq (the newest one
+// always stays, as do any newer — there should be none).
+func pruneSnapshots(dir string, keepSeq uint64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot prune: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSnapName(e.Name()); ok && seq < keepSeq {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("durable: snapshot prune: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package durable
+
+import "bohr/internal/ingest"
+
+// State is everything a snapshot captures: the WAL position it covers,
+// the per-source offset trackers, and the applied site state (raw rows
+// plus cube cells) for every served dataset. It is pure data — the
+// serve layer adapts it to and from live engine state, keeping this
+// package free of engine dependencies.
+//
+// The invariant a snapshot asserts: applying WAL frames 1..WalSeq to an
+// empty system yields exactly this state, so recovery may restore it
+// and replay only frames > WalSeq.
+type State struct {
+	// WalSeq is the last WAL frame the snapshot covers.
+	WalSeq uint64 `json:"wal_seq"`
+	// IngestBatches is the system's applied-batch counter (it paces
+	// replan cadence, so recovery restores it for determinism).
+	IngestBatches int `json:"ingest_batches"`
+	// Sources holds each source's offset tracker, name-sorted.
+	Sources []ingest.SourceOffsets `json:"sources,omitempty"`
+	// Datasets holds per-dataset site state, in serving order.
+	Datasets []DatasetState `json:"datasets,omitempty"`
+}
+
+// DatasetState is one dataset's per-site applied state. HasCubes
+// distinguishes "no live cube state existed" (the dataset was never
+// ingested into — its cubes are derivable from the seed workload) from
+// "cube state existed but some sites were empty"; only the former may
+// skip cube restoration.
+type DatasetState struct {
+	Name     string      `json:"name"`
+	HasCubes bool        `json:"has_cubes,omitempty"`
+	Sites    []SiteState `json:"sites,omitempty"`
+}
+
+// SiteState is one site's slice of one dataset: the raw rows it holds
+// and its cube (cells in insertion order, which the cube preserves).
+type SiteState struct {
+	Site      string      `json:"site"`
+	Records   []KVState   `json:"records,omitempty"`
+	CubeCells []CellState `json:"cube_cells,omitempty"`
+	CubeRows  int         `json:"cube_rows,omitempty"`
+}
+
+// KVState is one raw row.
+type KVState struct {
+	Key string  `json:"k"`
+	Val float64 `json:"v"`
+}
+
+// CellState is one cube cell: its coordinate tuple and aggregates.
+type CellState struct {
+	Coords []string `json:"c"`
+	Sum    float64  `json:"s"`
+	Count  int      `json:"n"`
+}

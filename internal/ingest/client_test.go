@@ -15,7 +15,7 @@ import (
 // like the real pipeline and can inject 429s and connection drops.
 type fakeEndpoint struct {
 	mu       sync.Mutex
-	offsets  map[string]*offsetTracker
+	offsets  map[string]*Offsets
 	recs     []Record
 	rejectN  int // respond 429 to the next N requests
 	dropN    int // kill the connection for the next N requests
@@ -46,15 +46,15 @@ func (f *fakeEndpoint) handler(t *testing.T) http.HandlerFunc {
 		}
 		var resp PushResponse
 		if f.offsets == nil {
-			f.offsets = map[string]*offsetTracker{}
+			f.offsets = map[string]*Offsets{}
 		}
 		for _, rec := range recs {
 			tr := f.offsets[rec.Source]
 			if tr == nil {
-				tr = &offsetTracker{}
+				tr = &Offsets{}
 				f.offsets[rec.Source] = tr
 			}
-			if tr.admit(rec.Offset) {
+			if tr.Admit(rec.Offset) {
 				f.recs = append(f.recs, rec)
 				resp.Accepted++
 			} else {

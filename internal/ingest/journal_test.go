@@ -1,0 +1,180 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// journalStub records appended batches and can be told to fail.
+type journalStub struct {
+	mu      sync.Mutex
+	appends [][]Record
+	fail    error
+}
+
+func (j *journalStub) Append(ctx context.Context, recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.fail != nil {
+		return j.fail
+	}
+	j.appends = append(j.appends, append([]Record(nil), recs...))
+	return nil
+}
+
+func (j *journalStub) records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Record
+	for _, a := range j.appends {
+		out = append(out, a...)
+	}
+	return out
+}
+
+// TestPushJournalsAtAckBoundary: every newly accepted record is in the
+// journal by the time Push returns — before any delivery — and resends
+// the tracker dedupes are not journaled twice.
+func TestPushJournalsAtAckBoundary(t *testing.T) {
+	app := &recApplier{}
+	j := &journalStub{}
+	p := New(Config{MaxBatchRecords: 100, FlushInterval: -1, Journal: j}, app, nil)
+	defer p.Close()
+	ctx := context.Background()
+
+	res, err := p.Push(ctx, rec("s", 1), rec("s", 2), rec("s", 3))
+	if err != nil || res.Accepted != 3 {
+		t.Fatalf("push: %+v, %v", res, err)
+	}
+	if app.records() != 0 {
+		t.Fatal("records delivered before any flush; the journal window is empty")
+	}
+	got := j.records()
+	if len(got) != 3 {
+		t.Fatalf("journal holds %d records, want 3 (acked-but-unapplied must be covered)", len(got))
+	}
+	for i, r := range got {
+		if r.Offset != uint64(i+1) {
+			t.Fatalf("journal out of admission order: %+v", got)
+		}
+	}
+
+	// A replayed resend acks via the tracker but journals nothing new.
+	res, err = p.Push(ctx, rec("s", 2), rec("s", 3))
+	if err != nil || res.Deduped != 2 || res.Accepted != 0 {
+		t.Fatalf("resend: %+v, %v", res, err)
+	}
+	if n := len(j.records()); n != 3 {
+		t.Fatalf("journal grew to %d records on a deduped resend", n)
+	}
+}
+
+// TestJournalFailureWedgesPipeline: a failed append returns ErrJournal
+// and the failure is sticky — later pushes fail even after the journal
+// "recovers", because records acked meanwhile would be unjournaled.
+func TestJournalFailureWedgesPipeline(t *testing.T) {
+	app := &recApplier{}
+	j := &journalStub{fail: errors.New("disk gone")}
+	p := New(Config{MaxBatchRecords: 100, FlushInterval: -1, Journal: j}, app, nil)
+	defer p.Close()
+	ctx := context.Background()
+
+	if _, err := p.Push(ctx, rec("s", 1)); !errors.Is(err, ErrJournal) {
+		t.Fatalf("push with broken journal: %v, want ErrJournal", err)
+	}
+	j.mu.Lock()
+	j.fail = nil
+	j.mu.Unlock()
+	if _, err := p.Push(ctx, rec("s", 2)); !errors.Is(err, ErrJournal) {
+		t.Fatalf("push after journal recovery: %v, want sticky ErrJournal", err)
+	}
+}
+
+// TestBarrierQuiescesDeliveries: inside the barrier fn every pushed
+// record has been applied and the trackers agree — the invariant
+// snapshot capture relies on.
+func TestBarrierQuiescesDeliveries(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{MaxBatchRecords: 100, FlushInterval: -1}, app, nil)
+	defer p.Close()
+	ctx := context.Background()
+
+	for off := uint64(1); off <= 5; off++ {
+		if _, err := p.Push(ctx, rec("s", off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ran := false
+	err := p.Barrier(ctx, func() error {
+		ran = true
+		if app.records() != 5 {
+			t.Fatalf("barrier fn sees %d applied records, want 5", app.records())
+		}
+		offs := p.OffsetsSnapshot()
+		if len(offs) != 1 || offs[0].Watermark != 5 {
+			t.Fatalf("barrier fn sees trackers %+v, want watermark 5", offs)
+		}
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("barrier: ran=%v err=%v", ran, err)
+	}
+	// Admission resumes after the barrier releases.
+	if _, err := p.Push(ctx, rec("s", 6)); err != nil {
+		t.Fatalf("push after barrier: %v", err)
+	}
+}
+
+// TestKillAbandonsBufferedRecords: Kill stops the worker without the
+// drain Close performs — buffered records stay undelivered (the journal
+// is what recovers them), further pushes fail, and Close is a no-op.
+func TestKillAbandonsBufferedRecords(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{MaxBatchRecords: 100, FlushInterval: -1}, app, nil)
+	ctx := context.Background()
+
+	for off := uint64(1); off <= 4; off++ {
+		if _, err := p.Push(ctx, rec("s", off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Kill()
+	if app.records() != 0 {
+		t.Fatalf("kill delivered %d buffered records, want 0", app.records())
+	}
+	if _, err := p.Push(ctx, rec("s", 5)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after kill: %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close after kill: %v", err)
+	}
+}
+
+// TestRestoreOffsetsSeedsDedupe: a pipeline built with recovered
+// trackers dedupes a client replay exactly like the pre-crash one.
+func TestRestoreOffsetsSeedsDedupe(t *testing.T) {
+	app := &recApplier{}
+	p := New(Config{
+		MaxBatchRecords: 100, FlushInterval: -1,
+		RestoreOffsets: []SourceOffsets{{Source: "s", Watermark: 3}},
+	}, app, nil)
+	defer p.Close()
+	ctx := context.Background()
+
+	if w := p.Watermark("s"); w != 3 {
+		t.Fatalf("restored watermark %d, want 3", w)
+	}
+	var recs []Record
+	for off := uint64(1); off <= 5; off++ {
+		recs = append(recs, rec("s", off))
+	}
+	res, err := p.Push(ctx, recs...)
+	if err != nil || res.Accepted != 2 || res.Deduped != 3 {
+		t.Fatalf("replay against restored trackers: %+v, %v", res, err)
+	}
+	if w := p.Watermark("s"); w != 5 {
+		t.Fatalf("watermark %d after replay, want 5", w)
+	}
+}

@@ -1,21 +1,29 @@
 package ingest
 
-// offsetTracker remembers which offsets of one source have been accepted,
-// so a restarted source replaying its stream is deduplicated instead of
+import (
+	"fmt"
+	"sort"
+)
+
+// Offsets remembers which offsets of one source have been accepted, so a
+// restarted source replaying its stream is deduplicated instead of
 // double-applied. It keeps a contiguous watermark (every offset ≤
 // watermark accepted) plus a sparse set of accepted offsets above it; an
 // in-order stream compacts the set to empty, so memory stays O(gap) —
 // bounded in practice by the pipeline's per-source admission cap, since a
 // source cannot open a wider gap than it has records in flight.
-type offsetTracker struct {
+//
+// The zero value is ready to use (nothing accepted yet). Offsets is not
+// self-synchronized; the pipeline guards it with its own mutex.
+type Offsets struct {
 	watermark uint64
 	above     map[uint64]struct{}
 }
 
-// admit records the offset as accepted and reports whether it was new.
+// Admit records the offset as accepted and reports whether it was new.
 // Duplicates — at or below the watermark, or already in the sparse set —
 // return false and change nothing.
-func (t *offsetTracker) admit(off uint64) bool {
+func (t *Offsets) Admit(off uint64) bool {
 	if off <= t.watermark {
 		return false
 	}
@@ -36,8 +44,8 @@ func (t *offsetTracker) admit(off uint64) bool {
 	return true
 }
 
-// seen reports whether the offset has been accepted.
-func (t *offsetTracker) seen(off uint64) bool {
+// Seen reports whether the offset has been accepted.
+func (t *Offsets) Seen(off uint64) bool {
 	if off <= t.watermark {
 		return true
 	}
@@ -47,8 +55,54 @@ func (t *offsetTracker) seen(off uint64) bool {
 
 // Watermark is the highest offset below which every offset has been
 // accepted.
-func (t *offsetTracker) Watermark() uint64 { return t.watermark }
+func (t *Offsets) Watermark() uint64 { return t.watermark }
 
 // Above is the sparse set's size: accepted offsets above the watermark,
 // i.e. the tracker's out-of-order replay-gap memory.
-func (t *offsetTracker) Above() int { return len(t.above) }
+func (t *Offsets) Above() int { return len(t.above) }
+
+// Export returns the tracker's full accepted-set in canonical form: the
+// watermark plus the sparse above-watermark offsets sorted ascending. The
+// sorted order makes the export deterministic — the same accepted set
+// always serializes to the same bytes, which is what lets snapshots of
+// tracker state be compared and replayed byte-stably.
+func (t *Offsets) Export() (watermark uint64, above []uint64) {
+	if len(t.above) == 0 {
+		return t.watermark, nil
+	}
+	above = make([]uint64, 0, len(t.above))
+	for off := range t.above {
+		above = append(above, off)
+	}
+	sort.Slice(above, func(i, j int) bool { return above[i] < above[j] })
+	return t.watermark, above
+}
+
+// Restore resets the tracker to a previously exported state. Offsets at
+// or below the watermark in the sparse list are rejected (they would be
+// silently redundant, which means the snapshot is malformed), as are
+// duplicates. Restore accepts the sparse set in any order and re-compacts
+// it, so a hand-edited or merged snapshot still loads into canonical
+// form.
+func (t *Offsets) Restore(watermark uint64, above []uint64) error {
+	nt := Offsets{watermark: watermark}
+	for _, off := range above {
+		if off <= watermark {
+			return fmt.Errorf("ingest: restore offsets: sparse offset %d at or below watermark %d", off, watermark)
+		}
+		if !nt.Admit(off) {
+			return fmt.Errorf("ingest: restore offsets: duplicate sparse offset %d", off)
+		}
+	}
+	*t = nt
+	return nil
+}
+
+// SourceOffsets is one source's exported tracker state — the snapshot
+// form durability persists and recovery replays. Above is sorted
+// ascending (see Offsets.Export).
+type SourceOffsets struct {
+	Source    string   `json:"source"`
+	Watermark uint64   `json:"watermark"`
+	Above     []uint64 `json:"above,omitempty"`
+}

@@ -1,11 +1,16 @@
 package ingest
 
-import "testing"
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
 
 func TestOffsetTrackerInOrder(t *testing.T) {
-	var tr offsetTracker
+	var tr Offsets
 	for off := uint64(1); off <= 100; off++ {
-		if !tr.admit(off) {
+		if !tr.Admit(off) {
 			t.Fatalf("fresh offset %d not admitted", off)
 		}
 	}
@@ -16,23 +21,23 @@ func TestOffsetTrackerInOrder(t *testing.T) {
 		t.Fatalf("in-order stream left %d sparse entries", len(tr.above))
 	}
 	for off := uint64(1); off <= 100; off++ {
-		if tr.admit(off) {
+		if tr.Admit(off) {
 			t.Fatalf("replayed offset %d admitted twice", off)
 		}
-		if !tr.seen(off) {
+		if !tr.Seen(off) {
 			t.Fatalf("accepted offset %d not seen", off)
 		}
 	}
-	if tr.seen(101) {
+	if tr.Seen(101) {
 		t.Fatal("unseen offset reported seen")
 	}
 }
 
 func TestOffsetTrackerOutOfOrderCompacts(t *testing.T) {
-	var tr offsetTracker
+	var tr Offsets
 	// Arrive 2,3,5 first: watermark stays 0, all sparse.
 	for _, off := range []uint64{2, 3, 5} {
-		if !tr.admit(off) {
+		if !tr.Admit(off) {
 			t.Fatalf("offset %d not admitted", off)
 		}
 	}
@@ -40,14 +45,14 @@ func TestOffsetTrackerOutOfOrderCompacts(t *testing.T) {
 		t.Fatalf("watermark = %d before gap fill", tr.Watermark())
 	}
 	// Filling 1 compacts through the contiguous run 1-3.
-	if !tr.admit(1) {
+	if !tr.Admit(1) {
 		t.Fatal("gap offset 1 not admitted")
 	}
 	if tr.Watermark() != 3 {
 		t.Fatalf("watermark = %d after filling 1, want 3", tr.Watermark())
 	}
 	// Filling 4 compacts through 5.
-	if !tr.admit(4) {
+	if !tr.Admit(4) {
 		t.Fatal("gap offset 4 not admitted")
 	}
 	if tr.Watermark() != 5 || len(tr.above) != 0 {
@@ -55,8 +60,83 @@ func TestOffsetTrackerOutOfOrderCompacts(t *testing.T) {
 	}
 	// Everything admitted so far is a dup now.
 	for off := uint64(1); off <= 5; off++ {
-		if tr.admit(off) {
+		if tr.Admit(off) {
 			t.Fatalf("offset %d re-admitted", off)
 		}
+	}
+}
+
+// TestOffsetsExportPinnedEncoding pins the serialized form snapshots
+// depend on: the sparse set exports sorted ascending regardless of
+// admission order, and the SourceOffsets JSON encoding is stable. A
+// change here is a snapshot-format change and must be treated as one.
+func TestOffsetsExportPinnedEncoding(t *testing.T) {
+	var tr Offsets
+	// Admit out of order so a map-order export would be caught.
+	for _, off := range []uint64{9, 3, 12, 1, 2, 7} {
+		tr.Admit(off)
+	}
+	// 1,2,3 compact into the watermark; 7,9,12 stay sparse.
+	wm, above := tr.Export()
+	if wm != 3 {
+		t.Fatalf("watermark = %d, want 3", wm)
+	}
+	if want := []uint64{7, 9, 12}; !reflect.DeepEqual(above, want) {
+		t.Fatalf("above = %v, want %v", above, want)
+	}
+	b, err := json.Marshal(SourceOffsets{Source: "web", Watermark: wm, Above: above})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pinned = `{"source":"web","watermark":3,"above":[7,9,12]}`
+	if string(b) != pinned {
+		t.Fatalf("SourceOffsets encoding drifted:\n got %s\nwant %s", b, pinned)
+	}
+	// An empty sparse set omits the field entirely.
+	b, err = json.Marshal(SourceOffsets{Source: "web", Watermark: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"source":"web","watermark":42}` {
+		t.Fatalf("empty-sparse encoding drifted: %s", b)
+	}
+}
+
+// TestOffsetsExportRestoreRoundTrip drives random admission patterns
+// through export → restore (including a shuffled sparse list) and checks
+// the restored tracker is behaviorally identical.
+func TestOffsetsExportRestoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		var tr Offsets
+		hi := uint64(1 + rng.Intn(60))
+		for i := 0; i < 40; i++ {
+			tr.Admit(uint64(1 + rng.Intn(int(hi))))
+		}
+		wm, above := tr.Export()
+		// Restore from a shuffled copy: canonical form must not matter.
+		shuffled := append([]uint64(nil), above...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		var back Offsets
+		if err := back.Restore(wm, shuffled); err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		for off := uint64(1); off <= hi+2; off++ {
+			if back.Seen(off) != tr.Seen(off) {
+				t.Fatalf("trial %d: offset %d seen mismatch", trial, off)
+			}
+		}
+		wm2, above2 := back.Export()
+		if wm2 != wm || !reflect.DeepEqual(above2, above) {
+			t.Fatalf("trial %d: round trip changed state: (%d,%v) -> (%d,%v)", trial, wm, above, wm2, above2)
+		}
+	}
+	// Malformed snapshots are rejected, not silently absorbed.
+	var bad Offsets
+	if err := bad.Restore(5, []uint64{4}); err == nil {
+		t.Fatal("sparse offset below watermark accepted")
+	}
+	if err := bad.Restore(5, []uint64{7, 7}); err == nil {
+		t.Fatal("duplicate sparse offset accepted")
 	}
 }

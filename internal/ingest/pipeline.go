@@ -28,6 +28,14 @@ var ErrThrottled = fmt.Errorf("%w (admission rate exceeded)", ErrOverloaded)
 // ErrClosed is returned by Push after Close.
 var ErrClosed = errors.New("ingest: pipeline closed")
 
+// ErrJournal is returned by Push when the durability journal cannot
+// persist admitted records. The failure is sticky: a pipeline whose
+// journal broke refuses all further pushes, because acking a replayed
+// record that was never journaled (the in-memory tracker would dedupe
+// the resend) could silently lose it across a crash. The HTTP endpoint
+// maps it to 503 — the daemon needs operator attention, not a retry.
+var ErrJournal = errors.New("ingest: journal append failed")
+
 // errRejected marks a permanent delivery failure: the applier judged the
 // batch malformed (unknown dataset, bad coordinates), so retrying cannot
 // help and the records are dropped instead of wedging the pipeline.
@@ -54,6 +62,17 @@ type ApplierFunc func(ctx context.Context, b Batch) error
 
 // Apply calls f.
 func (f ApplierFunc) Apply(ctx context.Context, b Batch) error { return f(ctx, b) }
+
+// Journal is the durability hook at the ack boundary: Push hands every
+// newly admitted record to Append and only acknowledges the push once
+// Append returns, so everything a client has seen acknowledged is
+// persisted — even records still buffered, undelivered, at a crash
+// (clients replay only from their last acked offset, so acked-but-
+// unapplied records must survive). An Append error fails the push with
+// ErrJournal and wedges the pipeline (see ErrJournal).
+type Journal interface {
+	Append(ctx context.Context, recs []Record) error
+}
 
 // Config tunes the pipeline. The zero value adopts the defaults noted on
 // each field.
@@ -87,6 +106,13 @@ type Config struct {
 	// and permanent rejections at Warn, with the source attached); nil
 	// disables logging.
 	Logger *slog.Logger
+	// Journal, when non-nil, persists admitted records before Push
+	// acknowledges them (see the Journal interface).
+	Journal Journal
+	// RestoreOffsets seeds per-source dedupe trackers from recovered
+	// state, so a restarted daemon deduplicates client replays exactly
+	// like the pre-crash one.
+	RestoreOffsets []SourceOffsets
 }
 
 func (c Config) withDefaults() Config {
@@ -141,7 +167,7 @@ type Stats struct {
 type sourceState struct {
 	buf      []Record
 	inflight int
-	offsets  offsetTracker
+	offsets  Offsets
 	tokens   float64
 	lastFill time.Time
 	hasRate  bool
@@ -236,11 +262,20 @@ type Pipeline struct {
 	applier Applier
 	col     *obs.Collector
 
+	// admitMu fences admission against Barrier: Push holds it shared for
+	// its whole span (admission and the journal wait included), Barrier
+	// holds it exclusively, so a barrier observes no record half-admitted
+	// and no journal append racing the captured WAL position.
+	admitMu sync.RWMutex
+
 	mu      sync.Mutex
 	sources map[string]*sourceState
 	pending int
 	stats   Stats
 	closed  bool
+	// journalErr is the sticky journal failure; once set every Push
+	// fails with it (see ErrJournal).
+	journalErr error
 
 	// deliverMu serializes deliveries (worker ticks, size kicks, and
 	// explicit Flush calls), keeping per-source batch order intact.
@@ -265,6 +300,18 @@ func New(cfg Config, applier Applier, col *obs.Collector) *Pipeline {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	for _, so := range p.cfg.RestoreOffsets {
+		if so.Source == "" {
+			continue
+		}
+		st := p.sourceLocked(so.Source)
+		// Restore only fails on a malformed snapshot; fall back to an
+		// empty tracker (at-least-once replays re-dedupe the hard way).
+		if err := st.offsets.Restore(so.Watermark, so.Above); err != nil && p.cfg.Logger != nil {
+			p.cfg.Logger.Warn("ingest: dropping malformed restored offsets",
+				slog.String("source", so.Source), slog.String("error", err.Error()))
+		}
+	}
 	// Zero-register the headline counters so they appear in metric
 	// snapshots before the first record lands.
 	p.col.Count("ingest.accepted", 0)
@@ -283,18 +330,32 @@ func New(cfg Config, applier Applier, col *obs.Collector) *Pipeline {
 // ErrOverloaded alongside the partial result — everything already
 // accepted stays accepted, and the caller may simply resend the whole
 // batch after backing off. Push never blocks on delivery.
+//
+// With a Journal configured, Push persists the newly accepted records
+// and waits for the journal's durability acknowledgement before
+// returning — the at-the-ack-boundary write-ahead discipline: nothing a
+// client sees acknowledged can be lost by a crash. A journal failure
+// returns ErrJournal (sticky; see its doc).
 func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error) {
 	var res PushResult
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
+	p.admitMu.RLock()
+	defer p.admitMu.RUnlock()
 	kick := false
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return res, ErrClosed
 	}
+	if p.journalErr != nil {
+		err := p.journalErr
+		p.mu.Unlock()
+		return res, fmt.Errorf("%w: %w", ErrJournal, err)
+	}
 	var pushErr error
+	var accepted []Record // records to journal, in admission order
 	touched := map[string]*sourceState{}
 	for _, r := range recs {
 		if r.Source == "" || r.Offset == 0 {
@@ -303,7 +364,7 @@ func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error)
 		}
 		st := p.sourceLocked(r.Source)
 		touched[r.Source] = st
-		if st.offsets.seen(r.Offset) {
+		if st.offsets.Seen(r.Offset) {
 			res.Deduped++
 			st.deduped++
 			p.stats.Deduped++
@@ -322,7 +383,7 @@ func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error)
 			pushErr = ErrOverloaded
 			break
 		}
-		st.offsets.admit(r.Offset)
+		st.offsets.Admit(r.Offset)
 		st.buf = append(st.buf, r)
 		st.admitAt = append(st.admitAt, p.cfg.Now())
 		p.pending++
@@ -330,6 +391,9 @@ func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error)
 		st.accepted++
 		p.stats.Accepted++
 		p.col.Count("ingest.accepted", 1)
+		if p.cfg.Journal != nil {
+			accepted = append(accepted, r)
+		}
 		if len(st.buf) >= p.cfg.MaxBatchRecords {
 			kick = true
 		}
@@ -343,6 +407,26 @@ func (p *Pipeline) Push(ctx context.Context, recs ...Record) (PushResult, error)
 		select {
 		case p.kick <- struct{}{}:
 		default:
+		}
+	}
+	// Journal outside p.mu (the append may fsync — concurrent pushes must
+	// group-commit, not serialize) but inside the admitMu read lock, so a
+	// Barrier cannot capture a WAL position with this append in flight.
+	// The admitted records stay admitted either way: on failure they were
+	// never acked, so the client resends after the operator repairs the
+	// journal — or, across a crash, replays from its last acked offset.
+	if len(accepted) > 0 {
+		if err := p.cfg.Journal.Append(ctx, accepted); err != nil {
+			p.mu.Lock()
+			if p.journalErr == nil {
+				p.journalErr = err
+			}
+			p.mu.Unlock()
+			if p.cfg.Logger != nil {
+				p.cfg.Logger.Error("ingest: journal append failed; pipeline wedged",
+					slog.Int("records", len(accepted)), slog.String("error", err.Error()))
+			}
+			return res, fmt.Errorf("%w: %w", ErrJournal, err)
 		}
 	}
 	return res, pushErr
@@ -591,4 +675,58 @@ func (p *Pipeline) Watermark(source string) uint64 {
 		return 0
 	}
 	return st.offsets.Watermark()
+}
+
+// OffsetsSnapshot exports every source's dedupe tracker in source-name
+// order — the per-source offset state a durability snapshot persists.
+func (p *Pipeline) OffsetsSnapshot() []SourceOffsets {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.sources))
+	for name := range p.sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SourceOffsets, 0, len(names))
+	for _, name := range names {
+		wm, above := p.sources[name].offsets.Export()
+		out = append(out, SourceOffsets{Source: name, Watermark: wm, Above: above})
+	}
+	return out
+}
+
+// Barrier quiesces the pipeline and runs fn over the quiesced state:
+// admission is blocked (Push waits), every buffered record is flushed
+// through the applier, and only then does fn run — so at fn time the
+// applied state, the dedupe trackers, and the journal all describe
+// exactly the same set of records. This is the consistency point
+// snapshots are cut at. A flush failure (a requeued batch) aborts the
+// barrier without running fn.
+//
+// fn must not call Push, Flush, or Close (deadlock); reading snapshots
+// (OffsetsSnapshot, Stats) and the backend's state is the intended use.
+func (p *Pipeline) Barrier(ctx context.Context, fn func() error) error {
+	p.admitMu.Lock()
+	defer p.admitMu.Unlock()
+	if err := p.flush(ctx, true); err != nil {
+		return fmt.Errorf("ingest: barrier flush: %w", err)
+	}
+	return fn()
+}
+
+// Kill stops the flush worker WITHOUT the final drain Close performs,
+// leaving buffered records undelivered — the crash-simulation hook the
+// durability tests use to model a process that died mid-stream. A killed
+// pipeline rejects further pushes; calling Close afterwards is a no-op.
+func (p *Pipeline) Kill() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		<-p.done
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
 }

@@ -1,0 +1,71 @@
+package olap
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExportCells returns the cube's cells in insertion order as fully
+// independent copies — the canonical snapshot form. Cells() sorts by
+// descending count, which would scramble the fold order a restore must
+// reproduce; insertion order is what makes a restored cube's
+// deterministic walks (TotalMeasure, derived cubes) bit-identical to
+// the original's.
+func (c *Cube) ExportCells() []Cell {
+	out := make([]Cell, 0, len(c.order))
+	for _, cell := range c.order {
+		cp := *cell
+		cp.Coords = append([]string(nil), cell.Coords...)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// RestoreCube rebuilds a cube from an ExportCells dump: cells are
+// re-added in the given order (restoring insertion order) and the raw
+// row count is set directly. Duplicate or schema-mismatched cells mean
+// the dump is malformed and are rejected.
+func RestoreCube(schema *Schema, cells []Cell, rows int) (*Cube, error) {
+	out := NewCube(schema)
+	for i, cell := range cells {
+		if len(cell.Coords) != schema.NumDims() {
+			return nil, fmt.Errorf("olap: restore cube: cell %d has %d coords, schema has %d dims",
+				i, len(cell.Coords), schema.NumDims())
+		}
+		for j, v := range cell.Coords {
+			if strings.ContainsRune(v, sep) {
+				return nil, fmt.Errorf("olap: restore cube: cell %d coord %d contains reserved separator", i, j)
+			}
+		}
+		if _, dup := out.cells[key(cell.Coords)]; dup {
+			return nil, fmt.Errorf("olap: restore cube: duplicate cell %v", cell.Coords)
+		}
+		out.add(cell.Coords, cell.Sum, cell.Count)
+	}
+	out.rows = rows
+	return out, nil
+}
+
+// RestoreBase swaps the cube set's base cube for one rebuilt from a
+// snapshot, invalidating every materialized dimension cube (they
+// rebuild from the new base on their next Prepare — the always-correct
+// eviction path). Registered query types survive; only their cached
+// cubes drop.
+func (cs *CubeSet) RestoreBase(cells []Cell, rows int) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	nb, err := RestoreCube(cs.base.schema, cells, rows)
+	if err != nil {
+		return err
+	}
+	// Carry the generation forward monotonically: a derived cube built
+	// against the old base must never read as current against the new
+	// one, and the store's logical clock cannot move backwards.
+	nb.gen += cs.base.gen
+	cs.base = nb
+	for _, id := range cs.idsLocked() {
+		cs.store.Delete(id)
+	}
+	cs.store.AdvanceTo(cs.base.Generation())
+	return nil
+}

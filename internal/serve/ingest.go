@@ -43,6 +43,7 @@ func (s *Server) EnableIngest(cfg ingest.Config) (*ingest.Pipeline, error) {
 		for _, ds := range datasets {
 			s.InvalidateDataset(ds)
 		}
+		s.maybeSnapshot()
 		return nil
 	}), s.col)
 	return s.pipe, nil
@@ -95,9 +96,14 @@ func (s *Server) serveIngest(w http.ResponseWriter, r *http.Request) {
 	resp := ingest.PushResponse{Accepted: res.Accepted, Deduped: res.Deduped}
 	if err != nil {
 		resp.Error = err.Error()
-		if errors.Is(err, ingest.ErrOverloaded) {
+		switch {
+		case errors.Is(err, ingest.ErrOverloaded):
 			status = http.StatusTooManyRequests
-		} else {
+		case errors.Is(err, ingest.ErrJournal):
+			// The journal is wedged: nothing was acked and resending
+			// cannot help until an operator intervenes.
+			status = http.StatusServiceUnavailable
+		default:
 			status = http.StatusBadRequest
 		}
 	}

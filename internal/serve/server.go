@@ -14,6 +14,7 @@ import (
 
 	"bohr/internal/cache"
 	"bohr/internal/core"
+	"bohr/internal/durable"
 	"bohr/internal/engine"
 	"bohr/internal/ingest"
 	"bohr/internal/obs"
@@ -238,6 +239,14 @@ type Server struct {
 	start   time.Time
 	traceHi string // per-process trace ID prefix
 	traceLo uint64 // atomic per-request trace sequence
+
+	// Durability wiring (see durable.go; all nil/zero without it).
+	dman        *durable.Manager
+	dback       DurableBackend
+	snapEvery   int
+	snapPending atomic.Int64   // applied batches since the last snapshot
+	snapBusy    atomic.Bool    // one background snapshot at a time
+	snapWG      sync.WaitGroup // tracks the background snapshot goroutine
 }
 
 // New assembles a front end over a backend; col may be nil.
