@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt-check ctxcheck race determinism fuzz-short bounded-growth golden bench bench-snapshot crash
+.PHONY: all build test check vet fmt-check ctxcheck race determinism fuzz-short bounded-growth golden bench bench-snapshot bench-gate crash
 
 all: build
 
@@ -18,9 +18,10 @@ test:
 # the ./internal/obs/... wildcard, including the windowed-metrics bucket
 # rings — the live netio path, fault injector, and the multi-tenant
 # serve front end plus its flight recorder), one short round of each fuzz
-# harness, and the report determinism check including cross-pool-width
-# byte identity.
-check: vet fmt-check ctxcheck race fuzz-short determinism bounded-growth
+# harness, the report determinism check including cross-pool-width byte
+# identity, and the kernel benchmark regression gate against the previous
+# PR's snapshot.
+check: vet fmt-check ctxcheck race fuzz-short determinism bounded-growth bench-gate
 
 vet:
 	$(GO) vet ./...
@@ -43,7 +44,7 @@ race:
 		./internal/netio/... ./internal/faults/... \
 		./internal/parallel/... ./internal/olap/... ./internal/similarity/... \
 		./internal/cache/... ./internal/serve/... ./internal/ingest/... \
-		./internal/durable/...
+		./internal/durable/... ./internal/lp/... ./internal/placement/...
 
 # fuzz-short runs each native fuzz target briefly against its checked-in
 # seed corpus — a smoke round, not a campaign. One -fuzz invocation per
@@ -112,4 +113,11 @@ bench:
 # bench-snapshot appends to the perf trajectory: one JSON document of
 # benchmark measurements per PR (BENCH_<tag>.json at the repo root).
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -tag pr9
+	$(GO) run ./cmd/benchsnap -tag pr10
+
+# bench-gate reruns the CPU kernels (cube build, minhash, probe scoring,
+# the 64-site placement LP) and fails if any regresses past the tolerance
+# band relative to the previous PR's snapshot. Kernels the baseline lacks
+# are skipped, so adding coverage never blocks the gate.
+bench-gate:
+	$(GO) run ./cmd/benchsnap -gate -baseline BENCH_pr9.json -band 1.3

@@ -46,6 +46,11 @@ type PlacementInput struct {
 	// data, which is linear too and is what makes similarity matter per
 	// source site.
 	PaperObjective bool
+	// MaxPivots caps simplex pivots per phase in every sub-problem solve
+	// (0 = the solver's default safety cap). A sub-problem that exhausts
+	// the cap surfaces as an error wrapping ErrStalled so planners can
+	// fall back to a known-safe plan instead of deploying an unproven one.
+	MaxPivots int
 	// Obs optionally collects solver metrics (simplex pivots, alternating
 	// rounds). Nil disables collection at no cost.
 	Obs *obs.Collector `json:"-"`
@@ -214,12 +219,13 @@ func xIndex(n, a, i, j int) int {
 	return 1 + a*n*(n-1) + i*(n-1) + col
 }
 
-// solveX optimizes the movement plan x for a fixed task placement r.
-// Always feasible: x = 0 satisfies every constraint with large enough t.
-func solveX(in *PlacementInput, r []float64) (move [][][]float64, t float64, pivots int, err error) {
+// buildXProblem assembles the movement-plan LP for a fixed task
+// placement r — shared by solveX and the sparse-vs-dense equivalence
+// tests, which need the raw Problem to hand to both solvers.
+func buildXProblem(in *PlacementInput, r []float64) *Problem {
 	n, m := in.Sites, in.Datasets
 	nVars := 1 + m*n*(n-1)
-	prob := Problem{C: make([]float64, nVars)}
+	prob := Problem{C: make([]float64, nVars), MaxPivots: in.MaxPivots}
 	prob.C[0] = 1
 	for v := 1; v < nVars; v++ {
 		prob.C[v] = movePenalty
@@ -345,10 +351,20 @@ func solveX(in *PlacementInput, r []float64) (move [][][]float64, t float64, piv
 			prob.Constraints = append(prob.Constraints, Constraint{A: row, Op: LE, B: rhs})
 		}
 	}
+	return &prob
+}
 
+// solveX optimizes the movement plan x for a fixed task placement r.
+// Always feasible: x = 0 satisfies every constraint with large enough t.
+func solveX(in *PlacementInput, r []float64) (move [][][]float64, t float64, pivots int, err error) {
+	n, m := in.Sites, in.Datasets
+	prob := buildXProblem(in, r)
 	sol, err := prob.Solve()
 	if err != nil {
 		return nil, 0, 0, err
+	}
+	if sol.Status == Stalled {
+		return nil, 0, sol.Iterations, fmt.Errorf("lp: x-subproblem: %w", ErrStalled)
 	}
 	if sol.Status != Optimal {
 		return nil, 0, sol.Iterations, fmt.Errorf("lp: x-subproblem %s", sol.Status)
@@ -373,25 +389,23 @@ func solveX(in *PlacementInput, r []float64) (move [][][]float64, t float64, piv
 // solveR optimizes the task placement r for a fixed movement plan.
 // Variables: t (0), r_0..r_{n-1}.
 func solveR(in *PlacementInput, move [][][]float64) (r []float64, t float64, pivots int, err error) {
-	return SolveTaskPlacementVolumes(in.ShuffleVolumes(move), in.Up, in.Down)
+	return solveTaskPlacementVolumes(in.ShuffleVolumes(move), in.Up, in.Down, in.MaxPivots)
 }
 
-// SolveTaskPlacementVolumes optimizes the reduce-task fractions for given
-// per-dataset per-site shuffle volumes f[a][i] (MB) — used inside the
-// alternating solver and by planners that profile realized volumes from a
-// previous run of the recurring query. Variables: t (0), r_0..r_{n-1}.
-func SolveTaskPlacementVolumes(f [][]float64, up, down []float64) (r []float64, t float64, pivots int, err error) {
+// buildRProblem assembles the task-placement LP for given per-dataset
+// per-site shuffle volumes — shared by the solvers and the sparse-vs-
+// dense equivalence tests.
+func buildRProblem(f [][]float64, up, down []float64) (*Problem, error) {
 	n := len(up)
 	if n == 0 || len(down) != n {
-		return nil, 0, 0, fmt.Errorf("lp: task placement needs matching bandwidth arrays, got %d/%d", len(up), len(down))
+		return nil, fmt.Errorf("lp: task placement needs matching bandwidth arrays, got %d/%d", len(up), len(down))
 	}
-	in := &PlacementInput{Up: up, Down: down}
 	// Per-site totals: own shuffle volume and the volume at all others.
 	own := make([]float64, n)
 	others := make([]float64, n)
 	for a := range f {
 		if len(f[a]) != n {
-			return nil, 0, 0, fmt.Errorf("lp: task placement volume row %d sized %d, want %d", a, len(f[a]), n)
+			return nil, fmt.Errorf("lp: task placement volume row %d sized %d, want %d", a, len(f[a]), n)
 		}
 		for i := 0; i < n; i++ {
 			own[i] += f[a][i]
@@ -408,12 +422,12 @@ func SolveTaskPlacementVolumes(f [][]float64, up, down []float64) (r []float64, 
 	for i := 0; i < n; i++ {
 		// (3): own_i − r_i·own_i ≤ t·U_i
 		row := make([]float64, nVars)
-		row[0] = -in.Up[i]
+		row[0] = -up[i]
 		row[1+i] = -own[i]
 		prob.Constraints = append(prob.Constraints, Constraint{A: row, Op: LE, B: -own[i]})
 		// (4): r_i·others_i ≤ t·D_i
 		row = make([]float64, nVars)
-		row[0] = -in.Down[i]
+		row[0] = -down[i]
 		row[1+i] = others[i]
 		prob.Constraints = append(prob.Constraints, Constraint{A: row, Op: LE, B: 0})
 	}
@@ -423,10 +437,38 @@ func SolveTaskPlacementVolumes(f [][]float64, up, down []float64) (r []float64, 
 		row[1+i] = 1
 	}
 	prob.Constraints = append(prob.Constraints, Constraint{A: row, Op: EQ, B: 1})
+	return &prob, nil
+}
 
+// SolveTaskPlacementVolumes optimizes the reduce-task fractions for given
+// per-dataset per-site shuffle volumes f[a][i] (MB) — used inside the
+// alternating solver and by planners that profile realized volumes from a
+// previous run of the recurring query. Variables: t (0), r_0..r_{n-1}.
+func SolveTaskPlacementVolumes(f [][]float64, up, down []float64) (r []float64, t float64, pivots int, err error) {
+	return solveTaskPlacementVolumes(f, up, down, 0)
+}
+
+// SolveTaskPlacementVolumesCapped is SolveTaskPlacementVolumes with an
+// explicit per-phase pivot cap (0 = solver default). A capped solve that
+// stalls returns an error wrapping ErrStalled, so planners can degrade
+// to a heuristic fraction split instead of failing the round.
+func SolveTaskPlacementVolumesCapped(f [][]float64, up, down []float64, maxPivots int) (r []float64, t float64, pivots int, err error) {
+	return solveTaskPlacementVolumes(f, up, down, maxPivots)
+}
+
+func solveTaskPlacementVolumes(f [][]float64, up, down []float64, maxPivots int) (r []float64, t float64, pivots int, err error) {
+	n := len(up)
+	prob, err := buildRProblem(f, up, down)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	prob.MaxPivots = maxPivots
 	sol, err := prob.Solve()
 	if err != nil {
 		return nil, 0, 0, err
+	}
+	if sol.Status == Stalled {
+		return nil, 0, sol.Iterations, fmt.Errorf("lp: r-subproblem: %w", ErrStalled)
 	}
 	if sol.Status != Optimal {
 		return nil, 0, sol.Iterations, fmt.Errorf("lp: r-subproblem %s", sol.Status)

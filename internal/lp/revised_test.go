@@ -1,0 +1,187 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pivotCapped is a tiny LP that needs at least two phase-2 pivots: both
+// structural variables must enter the basis to reach the optimum of
+// minimize -x1-x2 s.t. x1≤1, x2≤1, x1+x2≤1.5. With MaxPivots=1 every
+// solver must stall.
+func pivotCapped() *Problem {
+	return &Problem{
+		C: []float64{-1, -1},
+		Constraints: []Constraint{
+			{A: []float64{1, 0}, Op: LE, B: 1},
+			{A: []float64{0, 1}, Op: LE, B: 1},
+			{A: []float64{1, 1}, Op: LE, B: 1.5},
+		},
+		MaxPivots: 1,
+	}
+}
+
+// TestStalledAtPivotCap pins the regression this PR fixes: a solve that
+// exhausts its pivot cap used to return converged (and the caller read an
+// unproven basis as Optimal). Both solvers must now report Stalled with
+// no X and no Objective.
+func TestStalledAtPivotCap(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		solve func(p *Problem) (Solution, error)
+	}{
+		{"sparse", func(p *Problem) (Solution, error) { return p.Solve() }},
+		{"dense", func(p *Problem) (Solution, error) { return p.SolveDense() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := tc.solve(pivotCapped())
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if sol.Status != Stalled {
+				t.Fatalf("status = %v, want %v", sol.Status, Stalled)
+			}
+			if sol.X != nil {
+				t.Errorf("stalled solve leaked X = %v", sol.X)
+			}
+			if sol.Objective != 0 {
+				t.Errorf("stalled solve leaked Objective = %v", sol.Objective)
+			}
+			// Sanity: the same problem without the cap solves to -1.5.
+			p := pivotCapped()
+			p.MaxPivots = 0
+			full, err := tc.solve(p)
+			if err != nil {
+				t.Fatalf("uncapped solve: %v", err)
+			}
+			if full.Status != Optimal || math.Abs(full.Objective+1.5) > 1e-9 {
+				t.Fatalf("uncapped solve = %v obj %v, want optimal -1.5", full.Status, full.Objective)
+			}
+		})
+	}
+}
+
+// TestStalledSurfacesThroughPlacementWrappers checks the placement
+// sub-problem entry points translate Stalled into ErrStalled rather than
+// returning a half-solved plan.
+func TestStalledSurfacesThroughPlacementWrappers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := randomInput(rng)
+	in.MaxPivots = 1
+	if _, err := SolvePlacement(in); !errors.Is(err, ErrStalled) {
+		t.Errorf("SolvePlacement with pivot cap 1: err = %v, want ErrStalled", err)
+	}
+	f := in.ShuffleVolumes(nil)
+	if _, _, _, err := SolveTaskPlacementVolumesCapped(f, in.Up, in.Down, 1); !errors.Is(err, ErrStalled) {
+		t.Errorf("SolveTaskPlacementVolumesCapped with cap 1: err = %v, want ErrStalled", err)
+	}
+}
+
+// TestNearDegenerateTolerances exercises the unified eps/feasTol pair on
+// a problem whose feasible region is a sliver 1e-8 wide — well inside
+// feasTol, so phase 1 must accept it, and the extracted solution must
+// come back clamped to x ≥ 0 instead of carrying ~-1e-8 noise.
+func TestNearDegenerateTolerances(t *testing.T) {
+	prob := func() *Problem {
+		return &Problem{
+			C: []float64{1, 1},
+			Constraints: []Constraint{
+				{A: []float64{1, 1}, Op: GE, B: 1},
+				{A: []float64{1, 1}, Op: LE, B: 1 + 1e-8},
+				{A: []float64{1, -1}, Op: EQ, B: 1 - 1e-8},
+			},
+		}
+	}
+	for _, tc := range []struct {
+		name  string
+		solve func(p *Problem) (Solution, error)
+	}{
+		{"sparse", func(p *Problem) (Solution, error) { return p.Solve() }},
+		{"dense", func(p *Problem) (Solution, error) { return p.SolveDense() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := tc.solve(prob())
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if sol.Status != Optimal {
+				t.Fatalf("status = %v, want optimal", sol.Status)
+			}
+			for i, v := range sol.X {
+				if v < 0 {
+					t.Errorf("x[%d] = %v, want clamped to >= 0", i, v)
+				}
+			}
+			if math.Abs(sol.Objective-1) > feasTol {
+				t.Errorf("objective = %v, want 1 within feasTol", sol.Objective)
+			}
+		})
+	}
+}
+
+// TestSparseMatchesDenseOnPlacementCorpus property-tests the revised
+// simplex against the dense tableau oracle over the same random placement
+// corpus the LP property tests use: both the x-subproblem and the
+// r-subproblem must agree on status and (when optimal) objective.
+func TestSparseMatchesDenseOnPlacementCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInput(rng)
+		r := uplinkProportional(in)
+
+		px := buildXProblem(in, r)
+		checkSparseDense(t, trial, "x-subproblem", px)
+
+		pr, err := buildRProblem(in.ShuffleVolumes(nil), in.Up, in.Down)
+		if err != nil {
+			t.Fatalf("trial %d: buildRProblem: %v", trial, err)
+		}
+		checkSparseDense(t, trial, "r-subproblem", pr)
+	}
+}
+
+func checkSparseDense(t *testing.T, trial int, label string, p *Problem) {
+	t.Helper()
+	sparse, err := p.Solve()
+	if err != nil {
+		t.Fatalf("trial %d %s: sparse: %v", trial, label, err)
+	}
+	dense, err := p.SolveDense()
+	if err != nil {
+		t.Fatalf("trial %d %s: dense: %v", trial, label, err)
+	}
+	if sparse.Status != dense.Status {
+		t.Fatalf("trial %d %s: sparse status %v, dense %v", trial, label, sparse.Status, dense.Status)
+	}
+	if sparse.Status != Optimal {
+		return
+	}
+	scale := math.Max(1, math.Abs(dense.Objective))
+	if math.Abs(sparse.Objective-dense.Objective) > 1e-6*scale {
+		t.Errorf("trial %d %s: sparse objective %v, dense %v", trial, label, sparse.Objective, dense.Objective)
+	}
+	// Both optima must satisfy the original constraints.
+	for ci, c := range p.Constraints {
+		var ax float64
+		for j, a := range c.A {
+			ax += a * sparse.X[j]
+		}
+		tol := 1e-6 * math.Max(1, math.Abs(c.B))
+		switch c.Op {
+		case LE:
+			if ax > c.B+tol {
+				t.Errorf("trial %d %s: constraint %d violated: %v <= %v", trial, label, ci, ax, c.B)
+			}
+		case GE:
+			if ax < c.B-tol {
+				t.Errorf("trial %d %s: constraint %d violated: %v >= %v", trial, label, ci, ax, c.B)
+			}
+		case EQ:
+			if math.Abs(ax-c.B) > tol {
+				t.Errorf("trial %d %s: constraint %d violated: %v = %v", trial, label, ci, ax, c.B)
+			}
+		}
+	}
+}

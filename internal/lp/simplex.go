@@ -1,6 +1,6 @@
 // Package lp provides a self-contained linear-programming facility: a
-// two-phase dense simplex solver and the Bohr joint data/task placement
-// model built on top of it (§5 of the paper).
+// two-phase simplex solver and the Bohr joint data/task placement model
+// built on top of it (§5 of the paper).
 //
 // The solver handles problems of the form
 //
@@ -9,9 +9,16 @@
 //	            x ≥ 0
 //
 // using the standard two-phase method with Bland's anti-cycling rule.
+// Solve runs the sparse revised simplex (revised.go), which prices
+// against a maintained basis inverse instead of renormalizing a dense
+// tableau each pivot — placement problems are >99% zeros, so this is
+// what lets the §5 LP scale past tens of sites. SolveDense keeps the
+// original dense tableau as the reference implementation the
+// equivalence tests compare against.
 package lp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -49,6 +56,10 @@ type Constraint struct {
 type Problem struct {
 	C           []float64 // objective coefficients (minimize)
 	Constraints []Constraint
+	// MaxPivots caps simplex pivots PER PHASE; 0 means the
+	// defaultMaxPivots safety cap. A solve that exhausts the cap reports
+	// Stalled — never Optimal with an unproven objective.
+	MaxPivots int
 }
 
 // Status reports the outcome of a solve.
@@ -59,6 +70,12 @@ const (
 	Optimal Status = iota
 	Infeasible
 	Unbounded
+	// Stalled means a phase hit its pivot cap before proving optimality
+	// (or, in phase 1, feasibility). The basis it stopped on is NOT
+	// returned: a stalled solve carries no X and no Objective, so a
+	// caller can never mistake it for a solved problem. Callers fall back
+	// to a known-safe plan (placement uses the no-move plan).
+	Stalled
 )
 
 func (s Status) String() string {
@@ -69,9 +86,17 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Stalled:
+		return "stalled"
 	}
 	return "unknown"
 }
+
+// ErrStalled marks a placement sub-problem whose solve hit the pivot
+// cap: the basis it stopped on is not proven optimal, so the plan built
+// from it cannot be trusted. errors.Is(err, ErrStalled) identifies it
+// through the placement wrappers.
+var ErrStalled = errors.New("lp: solve stalled at pivot cap")
 
 // Solution is the result of solving a Problem.
 type Solution struct {
@@ -82,7 +107,45 @@ type Solution struct {
 	Iterations int
 }
 
-const eps = 1e-9
+// The solver's numeric thresholds derive from one base tolerance:
+//
+//	eps     (1e-9): anything smaller is numerical noise at the scale of
+//	        a single pivot — reduced costs within eps of zero do not
+//	        enter the basis, pivot elements within eps of zero cannot
+//	        leave, and ratio-test ties are declared within eps.
+//	feasTol (1e-6 = 1e3·eps): feasibility decisions tolerate the error a
+//	        long solve accumulates — on the order of a thousand pivots,
+//	        each contributing O(eps) rounding. The phase-1 artificial
+//	        residual test and the negative-component clamp on extracted
+//	        solutions BOTH use it, so a solve can no longer declare a
+//	        basis feasible under one threshold and then emit components
+//	        more negative than another would allow (the old 1e-6 vs
+//	        -1e-7 split).
+const (
+	eps     = 1e-9
+	feasTol = 1e3 * eps
+)
+
+// defaultMaxPivots is the per-phase pivot safety cap when the problem
+// does not set MaxPivots.
+const defaultMaxPivots = 200000
+
+// pivotCap resolves the effective per-phase pivot cap.
+func (p *Problem) pivotCap() int {
+	if p.MaxPivots > 0 {
+		return p.MaxPivots
+	}
+	return defaultMaxPivots
+}
+
+// iterOutcome is how a simplex phase ended.
+type iterOutcome int
+
+const (
+	iterConverged iterOutcome = iota // no entering column: optimal for this cost
+	iterUnbounded                    // entering column with no blocking row
+	iterStalled                      // pivot cap exhausted before convergence
+)
 
 // Validate checks structural consistency of the problem.
 func (p *Problem) Validate() error {
@@ -98,19 +161,30 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
-// Solve runs the two-phase simplex method.
-func (p *Problem) Solve() (Solution, error) {
+// SolveDense runs the two-phase simplex method on the dense tableau —
+// the original reference implementation. Solve (the sparse revised
+// simplex) is what production paths use; this stays for small problems
+// and as the oracle the sparse solver is property-tested against.
+func (p *Problem) SolveDense() (Solution, error) {
 	if err := p.Validate(); err != nil {
 		return Solution{}, err
 	}
 	t := newTableau(p)
-	iters1, feasible := t.phase1()
+	cap := p.pivotCap()
+	iters1, out1, feasible := t.phase1(cap)
+	if out1 == iterStalled {
+		return Solution{Status: Stalled, Iterations: iters1}, nil
+	}
 	if !feasible {
 		return Solution{Status: Infeasible, Iterations: iters1}, nil
 	}
-	iters2, bounded := t.phase2()
+	iters2, out2 := t.phase2(cap)
 	sol := Solution{Iterations: iters1 + iters2}
-	if !bounded {
+	switch out2 {
+	case iterStalled:
+		sol.Status = Stalled
+		return sol, nil
+	case iterUnbounded:
 		sol.Status = Unbounded
 		return sol, nil
 	}
@@ -269,14 +343,16 @@ func (t *tableau) pivot(row, col int) {
 	t.basis[row] = col
 }
 
-// iterate runs simplex pivots for the given cost vector until optimal or
-// unbounded. banned columns (artificials in phase 2) are never entered.
-func (t *tableau) iterate(cost []float64, banned func(int) bool) (iters int, bounded bool) {
-	const maxIters = 200000
-	// Dantzig's rule (most negative reduced cost) converges fast; after
-	// blandAfter pivots we switch to Bland's rule, which cannot cycle.
-	const blandAfter = 5000
-	for iters = 0; iters < maxIters; iters++ {
+// blandAfter is the pivot count at which both solvers abandon Dantzig's
+// rule (most negative reduced cost, converges fast) for Bland's rule
+// (lowest eligible index, cannot cycle).
+const blandAfter = 5000
+
+// iterate runs simplex pivots for the given cost vector until optimal,
+// unbounded, or the pivot cap. banned columns (artificials in phase 2)
+// are never entered.
+func (t *tableau) iterate(cost []float64, banned func(int) bool, cap int) (iters int, out iterOutcome) {
+	for iters = 0; iters < cap; iters++ {
 		rc := t.reducedCosts(cost)
 		enter := -1
 		if iters < blandAfter {
@@ -302,7 +378,7 @@ func (t *tableau) iterate(cost []float64, banned func(int) bool) (iters int, bou
 			}
 		}
 		if enter < 0 {
-			return iters, true
+			return iters, iterConverged
 		}
 		// Ratio test, ties broken by lowest basis index (Bland).
 		leave := -1
@@ -317,24 +393,32 @@ func (t *tableau) iterate(cost []float64, banned func(int) bool) (iters int, bou
 			}
 		}
 		if leave < 0 {
-			return iters, false // unbounded
+			return iters, iterUnbounded
 		}
 		t.pivot(leave, enter)
 	}
-	return iters, true // treat as converged at tolerance after many pivots
+	// The cap is a stall, not convergence: reporting the basis we stopped
+	// on as optimal handed callers a bogus objective (the pre-Stalled
+	// bug). The caller surfaces Stalled and falls back.
+	return iters, iterStalled
 }
 
 // phase1 minimizes the sum of artificial variables to find a basic
 // feasible solution.
-func (t *tableau) phase1() (iters int, feasible bool) {
+func (t *tableau) phase1(cap int) (iters int, out iterOutcome, feasible bool) {
 	if t.nArt == 0 {
-		return 0, true
+		return 0, iterConverged, true
 	}
 	cost1 := make([]float64, t.cols)
 	for j := t.artBegin; j < t.cols; j++ {
 		cost1[j] = 1
 	}
-	iters, _ = t.iterate(cost1, nil)
+	iters, out = t.iterate(cost1, nil, cap)
+	if out == iterStalled {
+		// Feasibility was not decided either way; the caller reports
+		// Stalled, not Infeasible.
+		return iters, out, false
+	}
 	// Objective value of phase 1 = sum of artificial values.
 	var artSum float64
 	for i := 0; i < t.rows; i++ {
@@ -342,8 +426,8 @@ func (t *tableau) phase1() (iters int, feasible bool) {
 			artSum += t.a[i][t.cols]
 		}
 	}
-	if artSum > 1e-6 {
-		return iters, false
+	if artSum > feasTol {
+		return iters, out, false
 	}
 	// Drive any lingering artificial basics out of the basis if possible.
 	for i := 0; i < t.rows; i++ {
@@ -357,22 +441,24 @@ func (t *tableau) phase1() (iters int, feasible bool) {
 			}
 		}
 	}
-	return iters, true
+	return iters, out, true
 }
 
 // phase2 minimizes the real objective from the feasible basis.
-func (t *tableau) phase2() (iters int, bounded bool) {
+func (t *tableau) phase2(cap int) (iters int, out iterOutcome) {
 	banned := func(j int) bool { return j >= t.artBegin }
-	return t.iterate(t.cost, banned)
+	return t.iterate(t.cost, banned, cap)
 }
 
-// extract reads the first n variable values out of the basis.
+// extract reads the first n variable values out of the basis. Components
+// negative within feasTol — the same tolerance phase 1 accepted the
+// basis under — clamp to exact zero.
 func (t *tableau) extract(n int) []float64 {
 	x := make([]float64, n)
 	for i, b := range t.basis {
 		if b < n {
 			v := t.a[i][t.cols]
-			if v < 0 && v > -1e-7 {
+			if v < 0 && v > -feasTol {
 				v = 0
 			}
 			x[b] = v

@@ -4,15 +4,18 @@ import (
 	"bytes"
 	"fmt"
 	"strings"
+	"time"
 
 	"bohr/internal/parallel"
 )
 
 // Chunk grains are FIXED — derived from the input, never from the pool
-// width — so the per-chunk float reduction tree, and hence every folded
-// Sum bit pattern, is identical whether the chunks run on one goroutine
-// or sixteen. Only the merge order matters after that, and the merge
-// always walks chunks in index order.
+// width or any measured timing — so the per-chunk float reduction tree,
+// and hence every folded Sum bit pattern, is identical whether the chunks
+// run on one goroutine or sixteen. Only the merge order matters after
+// that, and the merge always walks chunks in index order. The width
+// auto-tuner (parallel.Tuner) chooses how many WORKERS run those fixed
+// chunks, which cannot change any output bit.
 const (
 	// buildGrain is the rows-per-chunk grain of BuildCube. It is large
 	// because every chunk pays a merge pass over its distinct cells: a
@@ -21,39 +24,58 @@ const (
 	buildGrain = 32768
 	// dimCubeGrain is the cells-per-chunk grain of pooled DimensionCube.
 	dimCubeGrain = 2048
-	// dimCubePooledMin is the cell count below which DimensionCube stays
-	// on the plain sequential path (chunk + merge overhead would dominate).
-	dimCubePooledMin = 4096
+)
+
+// Per-kernel width tuners: each learns its kernel's measured per-chunk
+// cost and shrinks the worker count when a job is too small to amortize
+// pool dispatch — replacing the old fixed dimCubePooledMin cell-count
+// threshold.
+var (
+	buildTuner   = parallel.NewTuner()
+	dimCubeTuner = parallel.NewTuner()
 )
 
 // cellTable is an open-addressed (linear probing) index from cell-key
-// hash to position in a cube's order slice. The pooled fold uses it in
-// place of a Go string map: one PACKED 8-byte entry per slot — the top
-// 32 bits of the key hash as a tag, the order index plus one in the low
-// 32 — so a 2304-cell chunk probes a 64KB table that sits in L2, and
-// nearly every probe resolves on a single word compare with key-byte
-// verification only on tag match. (A false tag match is just a longer
-// probe; the verification keeps it correct.) It starts small regardless
-// of row count — cube builds are duplicate-heavy, so the table tracks
-// DISTINCT cells and growing a few times is far cheaper than probing a
-// row-sized, cache-cold table. Purely chunk-local and discarded after
-// the build.
+// hash to row position. Both the pooled fold and the columnar Cube use it
+// in place of a Go map: one PACKED 8-byte entry per slot — the top 32
+// bits of the key hash as a tag, the row index plus one in the low 32 —
+// so a 2304-cell table probes a few KB that sit in L1/L2, and nearly
+// every probe resolves on a single word compare with key verification
+// only on tag match. (A false tag match is just a longer probe; the
+// verification keeps it correct.) It starts small regardless of row
+// count — cube builds are duplicate-heavy, so the table tracks DISTINCT
+// cells and growing a few times is far cheaper than probing a row-sized,
+// cache-cold table.
 type cellTable struct {
 	mask    uint64
 	entries []uint64 // tag<<32 | idx+1; 0 = empty
 	used    int
-	hashes  []uint64 // full hash per order index, for grow and merge
+	hashes  []uint64 // full hash per row index, for grow and merge
 }
 
 func newCellTable() *cellTable {
 	// 2048 slots = one 16KB, L1-resident allocation: big enough that the
 	// common duplicate-heavy chunk (a few hundred to a thousand distinct
 	// cells) never grows, cheap to rebuild once or twice when it does.
-	const size = 2048
+	return newCellTableSized(2048)
+}
+
+// newCellTableSized creates a table with the given power-of-two slot
+// count.
+func newCellTableSized(size uint64) *cellTable {
 	return &cellTable{
 		mask:    size - 1,
 		entries: make([]uint64, size),
 		hashes:  make([]uint64, 0, size/2),
+	}
+}
+
+func (t *cellTable) clone() *cellTable {
+	return &cellTable{
+		mask:    t.mask,
+		entries: append([]uint64(nil), t.entries...),
+		used:    t.used,
+		hashes:  append([]uint64(nil), t.hashes...),
 	}
 }
 
@@ -76,7 +98,7 @@ func (t *cellTable) grow() {
 	}
 }
 
-// add records hash h for the next order index (which it returns) and
+// add records hash h for the next row index (which it returns) and
 // inserts it at slot j, growing at load factor 1/2.
 func (t *cellTable) add(j, h uint64) int32 {
 	idx := int32(len(t.hashes))
@@ -182,56 +204,21 @@ func hashKey(b []byte) (uint64, int) {
 // sepByte is the separator as a one-byte slice for bytes.Count.
 var sepByte = []byte{sep}
 
-// splitKey slices the joined key back into per-dimension coordinates
-// that SHARE the key's backing array — one allocation for the header
-// slice instead of one per coordinate string.
-func splitKey(key string, nd int) []string {
-	coords := make([]string, 0, nd)
-	start := 0
-	for i := 0; i < len(key); i++ {
-		if key[i] == sep {
-			coords = append(coords, key[start:i])
-			start = i + 1
-		}
-	}
-	return append(coords, key[start:])
-}
-
-// appendCellKey appends coords joined by sep to buf, returning the grown
-// buffer and the index of the first coordinate containing the reserved
-// separator (-1 when the key is clean). Single pass, no allocation.
-func appendCellKey(buf []byte, coords []string) ([]byte, int) {
-	for i, v := range coords {
-		if i > 0 {
-			buf = append(buf, sep)
-		}
-		if strings.IndexByte(v, sep) >= 0 {
-			return buf, i
-		}
-		buf = append(buf, v...)
-	}
-	return buf, -1
-}
-
-// cellArenaBlock is the cells-per-allocation granule of foldChunk's
-// cell arena.
-const cellArenaBlock = 512
-
 // tagMask/idxMask split a packed cellTable entry.
 const (
 	tagMask uint64 = 0xffffffff00000000
 	idxMask uint64 = 0x00000000ffffffff
 )
 
-// foldPartial is one chunk's fold output: the partial cube (cells only
-// in order — its string map stays empty and its cells carry no Coords
-// yet), plus the chunk's hash table (which retains every cell's full
-// hash) and the joined keys packed back-to-back in one byte arena. The
-// merge reuses hashes and key spans directly; key STRINGS — and the
-// cells' Coords substrings of them — are materialized exactly once, for
-// the merged survivors only.
+// foldPartial is one chunk's fold output: the partial cells (measures
+// only, in first-insertion order — no Coords, no strings), the chunk's
+// hash table (which retains every cell's full hash), and the joined keys
+// packed back-to-back in one byte arena. The merge reuses hashes and key
+// spans directly; the columnar cube's interned coordinates are
+// materialized exactly once, from the merged survivors only.
 type foldPartial struct {
-	cube  *Cube
+	cells []Cell // Sum/Count per distinct key; Coords always nil here
+	rows  int
 	table *cellTable
 	arena []byte   // joined keys, concatenated in order
 	offs  []uint32 // key k spans arena[offs[k]:offs[k+1]]
@@ -239,29 +226,23 @@ type foldPartial struct {
 
 func (fp *foldPartial) key(k int32) []byte { return fp.arena[fp.offs[k]:fp.offs[k+1]] }
 
-// foldChunk folds rows[lo:hi] into a fresh partial cube. The per-row
-// cost is one joined-key copy onto the arena tail (dropped again if the
-// cell already exists), one word-wise hash with the separator validation
+// foldChunk folds rows[lo:hi] into a fresh partial. The per-row cost is
+// one joined-key copy onto the arena tail (dropped again if the cell
+// already exists), one word-wise hash with the separator validation
 // fused into the same loads, and one packed-table probe that usually
 // resolves on a single word compare with one bytes.Equal to confirm —
-// versus Insert's strings.Join allocation, per-coordinate validation
-// scans, and Go-map probe. No per-row or per-cell heap object is
-// allocated. Row errors carry the GLOBAL row index so the pooled path
-// reports the same "row %d: …" the sequential InsertAll does, at the
-// same first offending row.
+// versus Insert's per-coordinate validation scans and map probe. No
+// per-row heap object is allocated. Row errors carry the GLOBAL row
+// index so the pooled path reports the same "row %d: …" the sequential
+// InsertAll does, at the same first offending row.
 func foldChunk(schema *Schema, rows []Row, lo, hi int) (*foldPartial, error) {
 	nd := schema.NumDims()
 	fp := &foldPartial{
-		cube:  &Cube{schema: schema, cells: map[string]*Cell{}},
+		cells: make([]Cell, 0, 2048),
 		table: newCellTable(),
 		arena: make([]byte, 0, 128<<10),
 		offs:  make([]uint32, 1, 2048),
 	}
-	// Cells are block-allocated: one 512-cell slab replaces 512 separate
-	// allocations, and the hot Sum/Count updates land in a handful of
-	// contiguous slabs instead of scattered heap objects. Appends below
-	// never exceed cap, so &cellArena[i] pointers stay stable.
-	cellArena := make([]Cell, 0, cellArenaBlock)
 	for i := lo; i < hi; i++ {
 		r := rows[i]
 		if len(r.Coords) != nd {
@@ -306,7 +287,7 @@ func foldChunk(schema *Schema, rows []Row, lo, hi int) (*foldPartial, error) {
 		}
 		t := fp.table
 		tag := h & tagMask
-		var cell *Cell
+		var idx int32
 		// Local copies let the compiler keep the probe loop free of field
 		// reloads, and deriving the mask from len(entries) proves the
 		// index in bounds; add() may swap t.entries on grow, but only
@@ -317,34 +298,25 @@ func foldChunk(schema *Schema, rows []Row, lo, hi int) (*foldPartial, error) {
 		for {
 			e := entries[j&mask]
 			if e == 0 {
-				if len(cellArena) == cap(cellArena) {
-					cellArena = make([]Cell, 0, cellArenaBlock)
-				}
-				cellArena = append(cellArena, Cell{})
-				cell = &cellArena[len(cellArena)-1]
-				fp.cube.order = append(fp.cube.order, cell)
+				fp.cells = append(fp.cells, Cell{})
 				fp.arena = fp.arena[:start+need] // new cell: commit the key copy
 				fp.offs = append(fp.offs, uint32(len(fp.arena)))
-				t.add(j&mask, h)
+				idx = t.add(j&mask, h)
 				break
 			}
 			if e&tagMask == tag {
-				idx := int32(e&idxMask) - 1
+				idx = int32(e&idxMask) - 1
 				if bytes.Equal(fp.key(idx), buf) {
-					cell = fp.cube.order[idx]
 					break
 				}
 			}
 			j++
 		}
+		cell := &fp.cells[idx]
 		cell.Sum += r.Measure
 		cell.Count++
 	}
-	// Rows and generation are bumped once per chunk, not per row: a fold
-	// that errors leaves them unset, which is fine — the callers discard
-	// the partial on any error.
-	fp.cube.rows += hi - lo
-	fp.cube.gen += uint64(hi - lo)
+	fp.rows = hi - lo
 	return fp, nil
 }
 
@@ -355,7 +327,8 @@ func foldChunk(schema *Schema, rows []Row, lo, hi int) (*foldPartial, error) {
 // sequential reference.
 func (base *foldPartial) mergeInto(p *foldPartial) {
 	t := base.table
-	for k, cell := range p.cube.order {
+	for k := range p.cells {
+		cell := &p.cells[k]
 		h := p.table.hashes[k]
 		key := p.key(int32(k))
 		tag := h & tagMask
@@ -365,7 +338,7 @@ func (base *foldPartial) mergeInto(p *foldPartial) {
 		for {
 			e := entries[j&mask]
 			if e == 0 {
-				base.cube.order = append(base.cube.order, cell)
+				base.cells = append(base.cells, *cell)
 				base.arena = append(base.arena, key...)
 				base.offs = append(base.offs, uint32(len(base.arena)))
 				t.add(j&mask, h)
@@ -374,7 +347,7 @@ func (base *foldPartial) mergeInto(p *foldPartial) {
 			if e&tagMask == tag {
 				idx := int32(e&idxMask) - 1
 				if bytes.Equal(base.key(idx), key) {
-					dst := base.cube.order[idx]
+					dst := &base.cells[idx]
 					dst.Sum += cell.Sum
 					dst.Count += cell.Count
 					break
@@ -383,114 +356,180 @@ func (base *foldPartial) mergeInto(p *foldPartial) {
 			j++
 		}
 	}
-	base.cube.rows += p.cube.rows
-	base.cube.gen += p.cube.gen
+	base.rows += p.rows
 }
 
-// absorb folds every cell of p into c, preserving p's cell order for
-// first occurrences. Called chunk-by-chunk in index order by the pooled
-// builders, so the merge — like the chunks — is deterministic.
-func (c *Cube) absorb(p *Cube) {
-	var buf []byte
-	for _, cell := range p.order {
-		buf, _ = appendCellKey(buf[:0], cell.Coords)
-		dst, ok := c.cells[string(buf)]
-		if !ok {
-			c.cells[string(buf)] = cell
-			c.order = append(c.order, cell)
-			continue
+// materialize turns a merged fold into the columnar cube: each surviving
+// cell's joined key is walked once, interning every coordinate span into
+// the cube's per-dimension dictionaries, and the cell lands at the next
+// row with its measures copied over. Key strings are materialized only
+// for first-seen coordinate VALUES, not per cell.
+func (fp *foldPartial) materialize(schema *Schema) *Cube {
+	out := NewCube(schema)
+	n := len(fp.cells)
+	// Presize the row index so the build never pays a mid-materialize
+	// rehash: next power of two above twice the (known) cell count.
+	if n > 0 {
+		size := uint64(256)
+		for size < uint64(n)*2 {
+			size *= 2
 		}
-		dst.Sum += cell.Sum
-		dst.Count += cell.Count
+		out.idx = newCellTableSized(size)
+		for d := range out.cols {
+			out.cols[d] = make([]uint32, 0, n)
+		}
+		out.sums = make([]float64, 0, n)
+		out.counts = make([]int, 0, n)
 	}
-	c.rows += p.rows
-	c.gen += uint64(len(p.order))
+	nd := schema.NumDims()
+	ids := make([]uint32, nd)
+	for i := 0; i < n; i++ {
+		kb := fp.key(int32(i))
+		start, d := 0, 0
+		for p := 0; p <= len(kb); p++ {
+			if p == len(kb) || kb[p] == sep {
+				ids[d] = out.dicts[d].internBytes(kb[start:p])
+				d++
+				start = p + 1
+			}
+		}
+		row := out.upsertRow(ids, hashIDs(ids)) // keys are distinct: always appends
+		out.sums[row] = fp.cells[i].Sum
+		out.counts[row] = fp.cells[i].Count
+	}
+	out.rows = fp.rows
+	out.gen = uint64(fp.rows)
+	return out
 }
 
 // BuildCube constructs a cube over schema from rows. Width <= 1 (after
-// resolving 0 to the process default) runs the plain reference path —
-// NewCube + InsertAll, byte-for-byte the sequential semantics the
-// determinism gate pins. Width > 1 folds fixed-grain row chunks into
-// per-chunk partial cubes on the worker pool and merges them in chunk
-// order: Counts and cell order match the reference exactly, and because
-// the chunk grain is width-independent the float Sums are bit-identical
-// at every width > 1 too. (Sums can differ from the width-1 fold in the
-// last ulps — float addition is not associative — which is why nothing
-// serialized by core.Report ever reads a cube Sum.)
+// resolving 0 to the process default), or any input at or under one
+// grain, folds a single chunk — the same per-cell accumulation order as
+// the sequential Insert loop, so the width-1 reference semantics the
+// determinism gate pins are unchanged. Wider builds fold fixed-grain row
+// chunks on the worker pool and merge them in chunk order: Counts and
+// cell order match the reference exactly, and because the chunk grain is
+// width-independent the float Sums are bit-identical at every width > 1
+// too. (Sums can differ from the width-1 fold in the last ulps — float
+// addition is not associative — which is why nothing serialized by
+// core.Report ever reads a cube Sum.) The tuner only chooses how many
+// workers run the fixed chunks, so its timing-driven decisions cannot
+// surface in any output byte.
 func BuildCube(schema *Schema, rows []Row, width int) (*Cube, error) {
 	width = parallel.Resolve(width)
 	if width <= 1 || len(rows) <= buildGrain {
-		out := NewCube(schema)
-		if err := out.InsertAll(rows); err != nil {
+		fp, err := foldChunk(schema, rows, 0, len(rows))
+		if err != nil {
 			return nil, err
 		}
-		return out, nil
+		return fp.materialize(schema), nil
 	}
 	chunks := parallel.Chunks(len(rows), buildGrain)
-	partials, err := parallel.MapOrdered(width, len(chunks), func(ci int) (*foldPartial, error) {
+	workers := buildTuner.Workers(len(chunks), width)
+	t0 := time.Now()
+	partials, err := parallel.MapOrdered(workers, len(chunks), func(ci int) (*foldPartial, error) {
 		lo, hi := chunks[ci][0], chunks[ci][1]
 		return foldChunk(schema, rows, lo, hi)
 	})
 	if err != nil {
 		return nil, err
 	}
+	buildTuner.Observe(len(chunks), workers, time.Since(t0))
 	// Merge later chunks into the first, reusing chunk 0's hash table and
 	// the hashes and key spans every fold already computed; then
-	// materialize, for the merged survivors only, the key strings (with
-	// each cell's Coords as substrings of its key — one backing array per
-	// cell) and the string cell index the finished cube's Lookup needs.
+	// materialize the merged survivors into columnar form.
 	base := partials[0]
 	for _, p := range partials[1:] {
 		base.mergeInto(p)
 	}
-	out := base.cube
-	nd := schema.NumDims()
-	for i, cell := range out.order {
-		k := string(base.key(int32(i)))
-		cell.Coords = splitKey(k, nd)
-		out.cells[k] = cell
-	}
-	return out, nil
+	return base.materialize(schema), nil
 }
 
-// dimensionCubePooled is DimensionCube's pooled fast path: project and
-// fold fixed-grain chunks of the cell order into partial cubes, merge in
-// chunk order. Returns nil when the cube is small or the pool width is 1,
-// sending the caller down the sequential path.
-func (c *Cube) dimensionCubePooled(ns *Schema, srcIdx []int) *Cube {
-	width := parallel.DefaultWidth()
-	if width <= 1 || len(c.order) < dimCubePooledMin {
-		return nil
+// dimensionCubeFold folds c's cells into out through the precomputed
+// remap tables — pure integer column work. Width 1 is the sequential
+// reference: one pass in row order. Width > 1 folds fixed-grain cell
+// chunks into partial cubes on the worker pool and merges them in chunk
+// order; the chunk grain never depends on the width or the tuner, so the
+// result is bit-identical at every width > 1. The tuner picks only the
+// worker count for those fixed chunks (1 worker runs them inline), so
+// a timing-driven downshift cannot change any output bit.
+func (c *Cube) dimensionCubeFold(out *Cube, remap [][]uint32, srcIdx []int) {
+	n := len(c.sums)
+	if n == 0 {
+		return
 	}
-	chunks := parallel.Chunks(len(c.order), dimCubeGrain)
-	partials, err := parallel.MapOrdered(width, len(chunks), func(ci int) (*Cube, error) {
+	nd := len(remap)
+	width := parallel.DefaultWidth()
+	if width <= 1 {
+		ids := make([]uint32, nd)
+		for row := 0; row < n; row++ {
+			for k, si := range srcIdx {
+				ids[k] = remap[k][c.cols[si][row]]
+			}
+			r := out.upsertRow(ids, hashIDs(ids))
+			out.sums[r] += c.sums[row]
+			out.counts[r] += c.counts[row]
+			out.gen++
+		}
+		return
+	}
+	chunks := parallel.Chunks(n, dimCubeGrain)
+	workers := dimCubeTuner.Workers(len(chunks), width)
+	t0 := time.Now()
+	// Partials share out's dictionaries — the remap tables pre-interned
+	// every reachable value, so the fold only READS them, which is safe
+	// across goroutines.
+	partials, _ := parallel.MapOrdered(workers, len(chunks), func(ci int) (*Cube, error) {
 		lo, hi := chunks[ci][0], chunks[ci][1]
-		p := &Cube{schema: ns, cells: make(map[string]*Cell, hi-lo)}
-		var buf []byte
-		coords := make([]string, len(srcIdx))
-		for _, cell := range c.order[lo:hi] {
-			for i, si := range srcIdx {
-				coords[i] = cell.Coords[si]
+		p := &Cube{
+			schema: out.schema,
+			dicts:  out.dicts,
+			cols:   make([][]uint32, nd),
+			idx:    newCellTableSized(256),
+		}
+		ids := make([]uint32, nd)
+		for row := lo; row < hi; row++ {
+			for k, si := range srcIdx {
+				ids[k] = remap[k][c.cols[si][row]]
 			}
-			buf, _ = appendCellKey(buf[:0], coords)
-			dst, ok := p.cells[string(buf)]
-			if !ok {
-				dst = &Cell{Coords: append([]string(nil), coords...)}
-				p.cells[string(buf)] = dst
-				p.order = append(p.order, dst)
-			}
-			dst.Sum += cell.Sum
-			dst.Count += cell.Count
+			r := p.upsertRow(ids, hashIDs(ids))
+			p.sums[r] += c.sums[row]
+			p.counts[r] += c.counts[row]
 		}
 		return p, nil
 	})
-	if err != nil { // projection cannot fail; defensive
-		return nil
-	}
-	out := partials[0]
+	dimCubeTuner.Observe(len(chunks), workers, time.Since(t0))
+	base := partials[0]
 	for _, p := range partials[1:] {
-		out.absorb(p)
+		base.absorbIDs(p)
 	}
-	out.rows = c.rows
-	return out
+	out.cols = base.cols
+	out.sums = base.sums
+	out.counts = base.counts
+	out.idx = base.idx
+	out.keyBytes = base.keyBytes
+	// Generation accounting matches the pre-columnar pooled fold: the
+	// first partial contributes nothing, each later one its distinct-cell
+	// count (absorbIDs). Derived-cube generations only need to be
+	// deterministic — no memo keys off them — and chunk boundaries are
+	// width-independent, so this is.
+	out.gen += base.gen
+}
+
+// absorbIDs folds every cell of p — which must share c's dictionaries —
+// into c, preserving p's row order for first occurrences. Called
+// chunk-by-chunk in index order by dimensionCubeFold, so the merge —
+// like the chunks — is deterministic.
+func (c *Cube) absorbIDs(p *Cube) {
+	nd := len(c.cols)
+	ids := make([]uint32, nd)
+	for row := 0; row < len(p.sums); row++ {
+		for d := 0; d < nd; d++ {
+			ids[d] = p.cols[d][row]
+		}
+		r := c.upsertRow(ids, p.idx.hashes[row])
+		c.sums[r] += p.sums[row]
+		c.counts[r] += p.counts[row]
+	}
+	c.gen += uint64(len(p.sums))
 }

@@ -63,3 +63,45 @@ func benchBuild(width int) func(*testing.B) {
 
 func BenchmarkBuildCube120kWidth1(b *testing.B) { benchBuild(1)(b) }
 func BenchmarkBuildCube120kWidth4(b *testing.B) { benchBuild(4)(b) }
+
+// TestLookupZeroAlloc pins the columnar point-lookup hot path: dictionary
+// id() hits, a stack coordinate buffer, and an open-addressed probe —
+// nothing on the heap. Probe scoring calls Lookup per probed cell, so a
+// single allocation here multiplies across every similarity check.
+func TestLookupZeroAlloc(t *testing.T) {
+	schema := MustSchema("region", "product", "day")
+	rows := benchRows(10_000)
+	c, err := BuildCube(schema, rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := rows[0].Coords
+	miss := []string{"region-none", "product-none", "day-none"}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := c.Lookup(hit[0], hit[1], hit[2]); !ok {
+			t.Fatal("lookup of inserted coords failed")
+		}
+		if _, ok := c.Lookup(miss[0], miss[1], miss[2]); ok {
+			t.Fatal("lookup of unseen coords succeeded")
+		}
+	}); allocs != 0 {
+		t.Fatalf("Lookup allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	schema := MustSchema("region", "product", "day")
+	rows := benchRows(120_000)
+	c, err := BuildCube(schema, rows, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coords := rows[len(rows)/2].Coords
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Lookup(coords[0], coords[1], coords[2]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package olap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bohr/internal/parallel"
+)
+
+// refCube is an independent map-backed reference implementation of the
+// cube's aggregation semantics — the representation the columnar slabs
+// replaced. It keys cells by joined coordinates, tracks insertion order
+// explicitly, and folds derived views in that order, so any divergence in
+// the columnar cube's interning, hashing, or remap logic shows up as a
+// cell-for-cell mismatch.
+type refCube struct {
+	dims  []string
+	cells map[string]*Cell
+	order []string
+}
+
+func newRefCube(dims []string) *refCube {
+	return &refCube{dims: dims, cells: map[string]*Cell{}}
+}
+
+func (r *refCube) add(coords []string, sum float64, count int) {
+	k := key(coords)
+	if c, ok := r.cells[k]; ok {
+		c.Sum += sum
+		c.Count += count
+		return
+	}
+	r.cells[k] = &Cell{Coords: append([]string(nil), coords...), Sum: sum, Count: count}
+	r.order = append(r.order, k)
+}
+
+// inOrder returns the cells in insertion order (the ExportCells contract).
+func (r *refCube) inOrder() []Cell {
+	out := make([]Cell, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, *r.cells[k])
+	}
+	return out
+}
+
+// sorted returns the cells in the Cells() order: count desc, key asc.
+func (r *refCube) sorted() []Cell {
+	keys := append([]string(nil), r.order...)
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := r.cells[keys[i]], r.cells[keys[j]]
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([]Cell, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *r.cells[k])
+	}
+	return out
+}
+
+func (r *refCube) dimIndex(dim string) int {
+	for i, d := range r.dims {
+		if d == dim {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refCube) slice(dim, value string) *refCube {
+	di := r.dimIndex(dim)
+	out := newRefCube(without(r.dims, di))
+	for _, c := range r.inOrder() {
+		if c.Coords[di] != value {
+			continue
+		}
+		out.add(without(c.Coords, di), c.Sum, c.Count)
+	}
+	return out
+}
+
+func (r *refCube) dice(filters map[string][]string) *refCube {
+	out := newRefCube(r.dims)
+	for _, c := range r.inOrder() {
+		keep := true
+		for dim, vals := range filters {
+			di := r.dimIndex(dim)
+			ok := false
+			for _, v := range vals {
+				if c.Coords[di] == v {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.add(c.Coords, c.Sum, c.Count)
+		}
+	}
+	return out
+}
+
+func (r *refCube) rollUp(dim string) *refCube {
+	di := r.dimIndex(dim)
+	out := newRefCube(without(r.dims, di))
+	for _, c := range r.inOrder() {
+		out.add(without(c.Coords, di), c.Sum, c.Count)
+	}
+	return out
+}
+
+func (r *refCube) pivot(dims []string) *refCube {
+	out := newRefCube(dims)
+	idx := make([]int, len(dims))
+	for k, d := range dims {
+		idx[k] = r.dimIndex(d)
+	}
+	coords := make([]string, len(dims))
+	for _, c := range r.inOrder() {
+		for k, di := range idx {
+			coords[k] = c.Coords[di]
+		}
+		out.add(coords, c.Sum, c.Count)
+	}
+	return out
+}
+
+func without[T any](s []T, i int) []T {
+	out := make([]T, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+// matchCells compares a cube against the reference cell-for-cell: same
+// insertion order (ExportCells), same sorted order including tie-breaks
+// (Cells / TopCells), and every reference cell reachable through Lookup.
+// exact demands bit-equal sums (width-1 paths); otherwise a relative
+// tolerance absorbs the chunked fold's reassociated additions.
+func matchCells(t *testing.T, label string, c *Cube, ref *refCube, exact bool) {
+	t.Helper()
+	sumEq := func(a, b float64) bool {
+		if exact {
+			return a == b
+		}
+		return approxEq(a, b)
+	}
+	check := func(kind string, got, want []Cell) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s %s: %d cells, want %d", label, kind, len(got), len(want))
+		}
+		for i := range want {
+			g, w := got[i], want[i]
+			if fmt.Sprint(g.Coords) != fmt.Sprint(w.Coords) || g.Count != w.Count || !sumEq(g.Sum, w.Sum) {
+				t.Fatalf("%s %s cell %d: got %v sum=%v count=%d, want %v sum=%v count=%d",
+					label, kind, i, g.Coords, g.Sum, g.Count, w.Coords, w.Sum, w.Count)
+			}
+		}
+	}
+	check("export", c.ExportCells(), ref.inOrder())
+	wantSorted := ref.sorted()
+	check("cells", c.Cells(), wantSorted)
+	k := len(wantSorted)/2 + 1
+	check("topcells", c.TopCells(k), wantSorted[:min(k, len(wantSorted))])
+	for _, w := range ref.inOrder() {
+		got, ok := c.Lookup(w.Coords...)
+		if !ok {
+			t.Fatalf("%s lookup %v: missing", label, w.Coords)
+		}
+		if got.Count != w.Count || !sumEq(got.Sum, w.Sum) {
+			t.Fatalf("%s lookup %v: got sum=%v count=%d, want sum=%v count=%d",
+				label, w.Coords, got.Sum, got.Count, w.Sum, w.Count)
+		}
+	}
+	if _, ok := c.Lookup(make([]string, len(ref.dims))...); ok {
+		t.Fatalf("%s lookup of unseen coords succeeded", label)
+	}
+}
+
+// TestColumnarMatchesMapReference property-tests the columnar cube
+// against the map-backed reference across base construction and every
+// derived view, at widths 1, 4 and 8. Width 1 must match the reference
+// bit-for-bit (it is the sequential seed semantics); wider builds must
+// agree on cells, counts, both orders and lookups, with sums equal up to
+// the chunked fold's float reassociation.
+func TestColumnarMatchesMapReference(t *testing.T) {
+	prev := parallel.DefaultWidth()
+	defer parallel.SetDefaultWidth(prev)
+
+	dims := []string{"region", "product", "day"}
+	for _, width := range []int{1, 4, 8} {
+		parallel.SetDefaultWidth(width)
+		exact := width == 1
+		rng := rand.New(rand.NewSource(606)) // same rows at every width
+		for trial := 0; trial < 4; trial++ {
+			n := buildGrain + 500 + rng.Intn(2000) // cross the chunked-build threshold
+			rows := make([]Row, n)
+			for i := range rows {
+				rows[i] = Row{
+					Coords: []string{
+						fmt.Sprintf("r%d", rng.Intn(5)),
+						fmt.Sprintf("p%d", rng.Intn(7)),
+						fmt.Sprintf("d%d", rng.Intn(11)),
+					},
+					Measure: rng.Float64() * 100,
+				}
+			}
+			ref := newRefCube(dims)
+			for _, r := range rows {
+				ref.add(r.Coords, r.Measure, 1)
+			}
+			c, err := BuildCube(MustSchema(dims...), rows, width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("width %d trial %d", width, trial)
+			matchCells(t, label+" base", c, ref, exact)
+
+			ru, err := c.RollUp("product")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Derived folds run over the base cube's cells sequentially in
+			// both implementations, so even a width>1 base diverges only by
+			// its already-accumulated sums.
+			matchCells(t, label+" rollup", ru, ref.rollUp("product"), exact)
+
+			sl, err := c.Slice("region", "r2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchCells(t, label+" slice", sl, ref.slice("region", "r2"), exact)
+
+			di, err := c.Dice(map[string][]string{"region": {"r0", "r3"}, "day": {"d1", "d4", "d7"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchCells(t, label+" dice", di, ref.dice(map[string][]string{"region": {"r0", "r3"}, "day": {"d1", "d4", "d7"}}), exact)
+
+			pv, err := c.Pivot("day", "region", "product")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pivot routes through the chunked DimensionCube fold at
+			// width > 1, which reassociates sums; width 1 stays exact.
+			matchCells(t, label+" pivot", pv, ref.pivot([]string{"day", "region", "product"}), exact)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -12,11 +12,13 @@ import (
 // deterministic walks (TotalMeasure, derived cubes) bit-identical to
 // the original's.
 func (c *Cube) ExportCells() []Cell {
-	out := make([]Cell, 0, len(c.order))
-	for _, cell := range c.order {
-		cp := *cell
-		cp.Coords = append([]string(nil), cell.Coords...)
-		out = append(out, cp)
+	out := make([]Cell, 0, len(c.sums))
+	for row := 0; row < len(c.sums); row++ {
+		out = append(out, Cell{
+			Coords: c.coordsForRow(row),
+			Sum:    c.sums[row],
+			Count:  c.counts[row],
+		})
 	}
 	return out
 }
@@ -37,10 +39,11 @@ func RestoreCube(schema *Schema, cells []Cell, rows int) (*Cube, error) {
 				return nil, fmt.Errorf("olap: restore cube: cell %d coord %d contains reserved separator", i, j)
 			}
 		}
-		if _, dup := out.cells[key(cell.Coords)]; dup {
+		before := out.NumCells()
+		out.add(cell.Coords, cell.Sum, cell.Count)
+		if out.NumCells() == before {
 			return nil, fmt.Errorf("olap: restore cube: duplicate cell %v", cell.Coords)
 		}
-		out.add(cell.Coords, cell.Sum, cell.Count)
 	}
 	out.rows = rows
 	return out, nil

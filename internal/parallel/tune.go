@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// minParallelNs is the estimated total job cost below which fanning out
+// to the pool is a loss: dispatching chunks costs on the order of a
+// microsecond of handoff latency each, so jobs in the tens of
+// microseconds finish sooner inline. One worker is also granted per
+// minParallelNs of estimated work, so medium jobs ramp up gradually
+// instead of jumping straight to full width.
+const minParallelNs = 100_000 // 100µs
+
+// Tuner sizes the worker count for one chunked kernel from its measured
+// per-chunk cost, replacing fixed "pooled only above N items" size
+// thresholds. A kernel keeps one package-level Tuner per call site and
+// brackets each pooled run with Workers / Observe.
+//
+// Determinism: a Tuner decision can only change HOW MANY goroutines run
+// a fixed set of chunks, never the chunk boundaries or the merge order —
+// callers must derive chunking from the input alone. MapOrdered and
+// ForEach produce identical results at every worker count, so the
+// timing-driven (and therefore nondeterministic) choice the Tuner makes
+// cannot surface in any output byte. In particular a kernel must NOT use
+// the Tuner to pick between a sequential and a chunked algorithm with
+// different float fold orders; it picks workers=1 and runs the same
+// chunks inline.
+type Tuner struct {
+	// perChunkNs is an EWMA of the measured per-chunk CPU cost in
+	// nanoseconds; zero means unmeasured.
+	perChunkNs atomic.Uint64
+}
+
+// NewTuner returns an unmeasured tuner: the first pooled run goes wide
+// (optimistically) and seeds the estimate.
+func NewTuner() *Tuner { return &Tuner{} }
+
+// Workers returns how many pool workers should run `chunks` fixed chunks
+// at the requested width: capped by both, dropped to 1 when the measured
+// per-chunk cost says the whole job is under minParallelNs, and scaled
+// to one worker per minParallelNs of estimated work in between. An
+// unmeasured kernel runs at full width once and learns from Observe.
+func (t *Tuner) Workers(chunks, width int) int {
+	if width > chunks {
+		width = chunks
+	}
+	if width <= 1 {
+		return 1
+	}
+	per := t.perChunkNs.Load()
+	if per == 0 {
+		return width
+	}
+	total := per * uint64(chunks)
+	if total < minParallelNs {
+		return 1
+	}
+	w := int(total / minParallelNs)
+	if w < 2 {
+		w = 2
+	}
+	if w > width {
+		w = width
+	}
+	return w
+}
+
+// Observe feeds back one run's wall time for `chunks` chunks executed by
+// `workers` goroutines. The per-chunk CPU cost is approximated as
+// elapsed·workers/chunks — without the workers factor a wide run would
+// under-report per-chunk cost by its own parallelism and the tuner would
+// oscillate between wide and narrow. Quarter-weight EWMA; concurrent
+// updates may lose a sample, which only costs adaptation speed, so a
+// plain load/store race is fine.
+func (t *Tuner) Observe(chunks, workers int, elapsed time.Duration) {
+	if chunks <= 0 || workers <= 0 || elapsed <= 0 {
+		return
+	}
+	sample := uint64(elapsed.Nanoseconds()) * uint64(workers) / uint64(chunks)
+	if sample == 0 {
+		sample = 1
+	}
+	old := t.perChunkNs.Load()
+	if old == 0 {
+		t.perChunkNs.Store(sample)
+		return
+	}
+	t.perChunkNs.Store(old - old/4 + sample/4)
+}

@@ -2,6 +2,7 @@ package placement
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -116,6 +117,12 @@ type Options struct {
 	// DisableCalibration skips the profiled re-solve loop of the joint
 	// planner (ablation knob).
 	DisableCalibration bool
+	// LPMaxPivots caps simplex pivots per LP phase (0 = solver default).
+	// A joint LP that stalls at the cap degrades to the no-move plan and
+	// a task LP that stalls degrades to uplink-proportional reduce
+	// fractions; both increment the lp.stalled counter on Obs instead of
+	// failing the planning round.
+	LPMaxPivots int
 	// BandwidthJitter > 0 makes the planner consume *estimated* bandwidth
 	// instead of ground truth, the way the prototype periodically probes
 	// links (§7): the true capacities are observed several times with this
@@ -322,12 +329,22 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 		// the moves to a scratch clone, replay map+combine, scale the
 		// incoming-similarity estimates by the observed error, re-solve.
 		var moves []engine.MoveSpec
+		lpStalled := false
 		calibrationRounds := 3
 		if opts.DisableCalibration {
 			calibrationRounds = 1
 		}
 		for iter := 0; iter < calibrationRounds; iter++ {
 			sol, err := lp.SolvePlacement(in)
+			if errors.Is(err, lp.ErrStalled) {
+				// The solve hit the pivot cap, so its movement tensor is
+				// untrusted; fall back to not moving anything rather than
+				// executing a half-optimized plan.
+				opts.Obs.Count("lp.stalled", 1)
+				moves = nil
+				lpStalled = true
+				break
+			}
 			if err != nil {
 				return nil, fmt.Errorf("placement: joint LP: %w", err)
 			}
@@ -349,18 +366,21 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 		// Keep the better of the LP plan and the similarity heuristic,
 		// judged on profiled realized volumes — the controller never
 		// deploys a joint plan that its own previous-run profiling says
-		// is worse than the simple heuristic.
-		heur := sequentialHeuristic(planTop, allStats, opts, true)
-		tLP, err := plannedTime(c, planTop, w, plan, moves, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		tHeur, err := plannedTime(c, planTop, w, plan, heur, opts.Seed)
-		if err != nil {
-			return nil, err
-		}
-		if tHeur < tLP {
-			moves = heur
+		// is worse than the simple heuristic. A stalled solve skips the
+		// comparison: the fallback is the conservative no-move plan.
+		if !lpStalled {
+			heur := sequentialHeuristic(planTop, allStats, opts, true)
+			tLP, err := plannedTime(c, planTop, w, plan, moves, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tHeur, err := plannedTime(c, planTop, w, plan, heur, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if tHeur < tLP {
+				moves = heur
+			}
 		}
 		plan.Moves = moves
 	} else {
@@ -374,8 +394,14 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 	if err != nil {
 		return nil, err
 	}
-	frac, _, pivots, err := lp.SolveTaskPlacementVolumes(fReal, planTop.Uplinks(), planTop.Downlinks())
-	if err != nil {
+	frac, _, pivots, err := lp.SolveTaskPlacementVolumesCapped(fReal, planTop.Uplinks(), planTop.Downlinks(), opts.LPMaxPivots)
+	if errors.Is(err, lp.ErrStalled) {
+		// Degrade to the bandwidth-proportional prior the alternating
+		// solver itself starts from; the plan stays executable.
+		opts.Obs.Count("lp.stalled", 1)
+		frac = uplinkProportional(planTop.Uplinks())
+		pivots = 0
+	} else if err != nil {
 		return nil, fmt.Errorf("placement: task LP: %w", err)
 	}
 	plan.TaskFrac = frac
@@ -397,6 +423,27 @@ func PlanScheme(id SchemeID, c *engine.Cluster, w *workload.Workload, opts Optio
 		plan.Assigner = asg
 	}
 	return plan, nil
+}
+
+// uplinkProportional is the bandwidth-proportional reduce-fraction prior
+// (the alternating solver's own starting point), used when the task LP
+// stalls at the pivot cap.
+func uplinkProportional(up []float64) []float64 {
+	r := make([]float64, len(up))
+	var total float64
+	for _, u := range up {
+		total += u
+	}
+	if total <= 0 {
+		for i := range r {
+			r[i] = 1 / float64(len(r))
+		}
+		return r
+	}
+	for i, u := range up {
+		r[i] = u / total
+	}
+	return r
 }
 
 // tensorToMoves converts an LP movement tensor into MoveSpecs.
@@ -548,6 +595,7 @@ func buildLPInput(planTop *wan.Topology, n int, allStats []*DatasetStats, opts O
 		Lag:               opts.Lag,
 		IncomingInflation: incomingInflation,
 		PaperObjective:    opts.PaperObjective,
+		MaxPivots:         opts.LPMaxPivots,
 		Obs:               opts.Obs,
 	}
 	for _, st := range allStats {

@@ -8,9 +8,16 @@ package similarity
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"bohr/internal/parallel"
 )
+
+// sigTuner sizes the worker count for batch signature computation from
+// the measured per-set cost, so small batches stay inline instead of
+// paying pool dispatch. Worker count never affects the output (results
+// merge in index order), so the timing-driven choice is invisible.
+var sigTuner = parallel.NewTuner()
 
 // MinHasher computes m-function minhash signatures over string sets, the
 // estimator behind Jaccard similarity checks. Signatures of two sets agree
@@ -41,24 +48,64 @@ func NewMinHasher(m int, seed int64) (*MinHasher, error) {
 // M returns the number of hash functions.
 func (h *MinHasher) M() int { return len(h.seeds) }
 
-// FNV-1a constants (stdlib hash/fnv, inlined below to avoid a hasher
-// allocation per key on the signature hot path).
+// FNV-style constants for baseHash's word lanes (the classic FNV prime
+// with two decorrelated offset bases, one per lane).
 const (
-	fnvOffset64 uint64 = 14695981039346656037
-	fnvPrime64  uint64 = 1099511628211
+	fnvOffset64  uint64 = 14695981039346656037
+	fnvOffset64b uint64 = 0x9e3779b97f4a7c15
+	fnvPrime64   uint64 = 1099511628211
 )
+
+// load64 reads 8 little-endian bytes of s at offset j. The bounds are the
+// caller's responsibility; the compiler inlines this to a single load.
+func load64(s string, j int) uint64 {
+	return uint64(s[j]) | uint64(s[j+1])<<8 | uint64(s[j+2])<<16 | uint64(s[j+3])<<24 |
+		uint64(s[j+4])<<32 | uint64(s[j+5])<<40 | uint64(s[j+6])<<48 | uint64(s[j+7])<<56
+}
 
 // baseHash hashes a key once; per-function values are derived by mixing
 // the base hash with each function's seed through a full-avalanche
 // finalizer, which gives a family that is close enough to min-wise
-// independent for Jaccard estimation. This is FNV-1a, bit-identical to
-// hash/fnv's New64a but allocation-free.
+// independent for Jaccard estimation. Same two-lane SWAR scheme as the
+// olap fold's key hash: two independent FNV lanes over alternating
+// 8-byte words (halving the serial xor-multiply dependency chain that
+// dominates a byte-at-a-time FNV), the tail read as one zero-padded
+// word, combined through a murmur-style avalanche. Internal to the
+// signature computation, never persisted, so it only needs to be fast
+// and well mixed — not stable across releases.
 func baseHash(key string) uint64 {
-	h := fnvOffset64
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= fnvPrime64
+	h1, h2 := fnvOffset64, fnvOffset64b
+	n := len(key)
+	j := 0
+	for ; j+16 <= n; j += 16 {
+		w1 := uint64(key[j]) | uint64(key[j+1])<<8 | uint64(key[j+2])<<16 | uint64(key[j+3])<<24 |
+			uint64(key[j+4])<<32 | uint64(key[j+5])<<40 | uint64(key[j+6])<<48 | uint64(key[j+7])<<56
+		w2 := uint64(key[j+8]) | uint64(key[j+9])<<8 | uint64(key[j+10])<<16 | uint64(key[j+11])<<24 |
+			uint64(key[j+12])<<32 | uint64(key[j+13])<<40 | uint64(key[j+14])<<48 | uint64(key[j+15])<<56
+		h1 = (h1 ^ w1) * fnvPrime64
+		h2 = (h2 ^ w2) * fnvPrime64
 	}
+	if j+8 <= n {
+		w := uint64(key[j]) | uint64(key[j+1])<<8 | uint64(key[j+2])<<16 | uint64(key[j+3])<<24 |
+			uint64(key[j+4])<<32 | uint64(key[j+5])<<40 | uint64(key[j+6])<<48 | uint64(key[j+7])<<56
+		h1 = (h1 ^ w) * fnvPrime64
+		j += 8
+	}
+	if j < n {
+		var w uint64
+		for k := 0; j+k < n; k++ {
+			w |= uint64(key[j+k]) << (8 * uint(k))
+		}
+		// Fold the key length into the tail word's high byte so "a" and
+		// "a\x00" (and other zero-padding collisions) hash apart.
+		h2 = (h2 ^ (w | uint64(uint8(n))<<56)) * fnvPrime64
+	}
+	h := h1 ^ (h2 * fnvPrime64)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }
 
@@ -94,9 +141,12 @@ func (h *MinHasher) Signature(keys []string) []uint64 {
 // the output is identical at every width — the batch entry point DIMSUM
 // and the signature cache use.
 func (h *MinHasher) SignatureBatch(keysets [][]string, width int) [][]uint64 {
-	out, _ := parallel.MapOrdered(width, len(keysets), func(i int) ([]uint64, error) {
+	workers := sigTuner.Workers(len(keysets), parallel.Resolve(width))
+	t0 := time.Now()
+	out, _ := parallel.MapOrdered(workers, len(keysets), func(i int) ([]uint64, error) {
 		return h.Signature(keysets[i]), nil
 	})
+	sigTuner.Observe(len(keysets), workers, time.Since(t0))
 	return out
 }
 
